@@ -1,0 +1,41 @@
+//! Criterion benches for the Section 6.4 overhead claims: the per-round
+//! cost of AutoFL's observe/select/reward/update pipeline at fleet scale.
+
+use autofl_core::AutoFl;
+use autofl_fed::engine::{SimConfig, Simulation};
+use autofl_fed::selection::RandomSelector;
+use autofl_nn::zoo::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// One full AutoFL round on the 200-device paper fleet (the controller
+/// decision + learning cost dominates over the analytic cost model).
+fn autofl_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller");
+    group.sample_size(20);
+    group.bench_function("autofl_round_200_devices", |b| {
+        let cfg = SimConfig::paper_default(Workload::CnnMnist);
+        let mut sim = Simulation::new(cfg);
+        let mut agent = AutoFl::paper_default();
+        let mut round = 0usize;
+        b.iter(|| {
+            let record = sim.run_round(&mut agent, round);
+            round += 1;
+            record.round_time_s
+        });
+    });
+    group.bench_function("random_round_200_devices", |b| {
+        let cfg = SimConfig::paper_default(Workload::CnnMnist);
+        let mut sim = Simulation::new(cfg);
+        let mut selector = RandomSelector::new();
+        let mut round = 0usize;
+        b.iter(|| {
+            let record = sim.run_round(&mut selector, round);
+            round += 1;
+            record.round_time_s
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, autofl_round);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benches for the NN substrate: per-batch training cost of the
+//! three workload models (what an emulated device "runs" per step).
+
+use autofl_nn::optim::Sgd;
+use autofl_nn::tensor::Tensor;
+use autofl_nn::zoo::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn train_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_training");
+    group.sample_size(10);
+    for workload in [
+        Workload::CnnMnist,
+        Workload::LstmShakespeare,
+        Workload::MobileNetImageNet,
+    ] {
+        group.bench_function(format!("train_batch16_{}", workload.name()), |b| {
+            let mut model = workload.build_trainable(1);
+            let mut shape = vec![16];
+            shape.extend(workload.input_shape());
+            let x = if workload.is_sequence() {
+                Tensor::from_vec(shape.clone(), vec![1.0; shape.iter().product()])
+            } else {
+                Tensor::zeros(shape)
+            };
+            let labels: Vec<usize> = (0..16).map(|i| i % workload.num_classes()).collect();
+            let mut sgd = Sgd::new(0.05);
+            b.iter(|| model.train_batch(&x, &labels, &mut sgd));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, train_batch);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches for the simulation substrate: round cost estimation
+//! and oracle decision-making at fleet scale.
+
+use autofl_device::cost::{ExecutionPlan, TrainingTask};
+use autofl_device::fleet::{DeviceId, Fleet};
+use autofl_device::scenario::DeviceConditions;
+use autofl_fed::engine::{SimConfig, Simulation};
+use autofl_fed::estimate::estimate_round;
+use autofl_fed::oracle::OracleSelector;
+use autofl_nn::zoo::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn estimate(c: &mut Criterion) {
+    let fleet = Fleet::paper_fleet(1);
+    let conditions = vec![DeviceConditions::ideal(); fleet.len()];
+    let ids: Vec<DeviceId> = (0..20).map(DeviceId).collect();
+    let plans: Vec<ExecutionPlan> = ids
+        .iter()
+        .map(|id| ExecutionPlan::cpu_max(fleet.device(*id).tier()))
+        .collect();
+    let tasks = vec![
+        TrainingTask {
+            flops: 100_000_000_000,
+            upload_bytes: 6_653_480,
+        };
+        20
+    ];
+    c.bench_function("estimate_round_k20_n200", |b| {
+        b.iter(|| estimate_round(&fleet, &ids, &plans, &tasks, &conditions))
+    });
+
+    let mut group = c.benchmark_group("oracle");
+    group.sample_size(20);
+    group.bench_function("ofl_round_200_devices", |b| {
+        let cfg = SimConfig::paper_default(Workload::CnnMnist);
+        let mut sim = Simulation::new(cfg);
+        let mut oracle = OracleSelector::full();
+        let mut round = 0usize;
+        b.iter(|| {
+            let record = sim.run_round(&mut oracle, round);
+            round += 1;
+            record.round_time_s
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, estimate);
+criterion_main!(benches);

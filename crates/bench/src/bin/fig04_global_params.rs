@@ -1,0 +1,44 @@
+//! Figure 4: the optimal cluster of participants (Table 4's C1–C7) shifts
+//! with the FL global parameters S1–S4, and differs between CNN-MNIST and
+//! LSTM-Shakespeare.
+
+use autofl_bench::run_policy;
+use autofl_bench::Policy;
+use autofl_fed::clusters::CharacterizationCluster;
+use autofl_fed::engine::{SimConfig, Simulation};
+use autofl_fed::selection::ClusterSelector;
+use autofl_fed::GlobalParams;
+use autofl_nn::zoo::Workload;
+
+fn main() {
+    for workload in [Workload::CnnMnist, Workload::LstmShakespeare] {
+        println!("\n=== Figure 4: {} ===", workload.name());
+        println!(
+            "{:<8} {}",
+            "setting",
+            CharacterizationCluster::fixed()
+                .iter()
+                .map(|c| format!("{:>7}", c.name()))
+                .collect::<String>()
+        );
+        for (label, params) in GlobalParams::paper_settings() {
+            let mut cfg = SimConfig::paper_default(workload);
+            cfg.params = params;
+            cfg.max_rounds = 400;
+            let base = run_policy(&cfg, Policy::Random).ppw_global().max(1e-300);
+            let mut line = format!("{:<8}", label);
+            let mut best = ("C?", 0.0f64);
+            for cluster in CharacterizationCluster::fixed() {
+                let r = Simulation::new(cfg.clone()).run(&mut ClusterSelector::new(cluster));
+                let gain = r.ppw_global() / base;
+                if gain > best.1 {
+                    best = (cluster.name(), gain);
+                }
+                line += &format!("{:>6.2}x", gain);
+            }
+            println!("{line}   <- optimal: {}", best.0);
+        }
+    }
+    println!("\npaper: CNN-MNIST optimal shifts C1->C2->C3->C4 over S1->S4;");
+    println!("LSTM-Shakespeare prefers C3/C4/C5 (mid/low-end viable when memory-bound).");
+}

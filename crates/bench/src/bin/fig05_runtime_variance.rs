@@ -1,0 +1,44 @@
+//! Figure 5: runtime variance moves the optimal cluster — C3-ish when
+//! calm, toward high-end (C1) under interference, toward low-power (C5)
+//! under weak network signal.
+
+use autofl_bench::{run_policy, Policy};
+use autofl_device::scenario::VarianceScenario;
+use autofl_fed::clusters::CharacterizationCluster;
+use autofl_fed::engine::{SimConfig, Simulation};
+use autofl_fed::selection::ClusterSelector;
+use autofl_nn::zoo::Workload;
+
+fn main() {
+    let regimes = [
+        ("(a) no variance", VarianceScenario::calm()),
+        ("(b) interference", VarianceScenario::with_interference()),
+        ("(c) weak network", VarianceScenario::weak_network()),
+    ];
+    println!(
+        "{:<18} {}",
+        "regime",
+        CharacterizationCluster::fixed()
+            .iter()
+            .map(|c| format!("{:>7}", c.name()))
+            .collect::<String>()
+    );
+    for (label, scenario) in regimes {
+        let mut cfg = SimConfig::paper_default(Workload::CnnMnist);
+        cfg.scenario = scenario;
+        cfg.max_rounds = 400;
+        let base = run_policy(&cfg, Policy::Random).ppw_global().max(1e-300);
+        let mut line = format!("{:<18}", label);
+        let mut best = ("C?", 0.0f64);
+        for cluster in CharacterizationCluster::fixed() {
+            let r = Simulation::new(cfg.clone()).run(&mut ClusterSelector::new(cluster));
+            let gain = r.ppw_global() / base;
+            if gain > best.1 {
+                best = (cluster.name(), gain);
+            }
+            line += &format!("{:>6.2}x", gain);
+        }
+        println!("{line}   <- optimal: {}", best.0);
+    }
+    println!("\npaper: optimal shifts C3 (calm) -> C1 (interference) -> C5 (weak network).");
+}

@@ -1,0 +1,49 @@
+//! Figure 6: (a) convergence curves under increasing data heterogeneity;
+//! (b) the >85% energy-efficiency gap between ideal and data-blind
+//! selection under non-IID data.
+
+use autofl_bench::{run_policy, Policy};
+use autofl_data::partition::DataDistribution;
+use autofl_fed::engine::SimConfig;
+use autofl_nn::zoo::Workload;
+
+fn main() {
+    let regimes = [
+        DataDistribution::IidIdeal,
+        DataDistribution::non_iid_percent(50),
+        DataDistribution::non_iid_percent(75),
+        DataDistribution::non_iid_percent(100),
+    ];
+    println!("=== Figure 6(a): accuracy over rounds, FedAvg-Random ===");
+    println!(
+        "{:<16} {}",
+        "distribution",
+        (0..=6).map(|i| format!("r{:<6}", i * 100)).collect::<String>()
+    );
+    let mut ppw = Vec::new();
+    for dist in regimes {
+        let mut cfg = SimConfig::paper_default(Workload::CnnMnist);
+        cfg.distribution = dist;
+        cfg.max_rounds = 600;
+        cfg.target_accuracy = Some(1.1); // never stop early: record full curve
+        let r = run_policy(&cfg, Policy::Random);
+        let mut line = format!("{:<16}", dist.label());
+        for i in 0..=6 {
+            let round = (i * 100).min(r.records.len() - 1);
+            line += &format!("{:>5.1}% ", r.records[round].accuracy * 100.0);
+        }
+        println!("{line}");
+        // (b): PPW of random vs oracle selection under this distribution.
+        let mut cfg_b = cfg.clone();
+        cfg_b.target_accuracy = None;
+        let rand = run_policy(&cfg_b, Policy::Random);
+        let oracle = run_policy(&cfg_b, Policy::OracleFull);
+        ppw.push((dist.label(), rand.ppw_global() / oracle.ppw_global().max(1e-300)));
+    }
+    println!("\n=== Figure 6(b): FedAvg-Random PPW as a fraction of ideal selection ===");
+    for (label, frac) in ppw {
+        println!("{:<16} {:>5.1}% of ideal", label, frac * 100.0);
+    }
+    println!("\npaper: non-IID defers convergence; random selection leaves >85% of the");
+    println!("energy efficiency of ideal selection on the table under heavy non-IID.");
+}

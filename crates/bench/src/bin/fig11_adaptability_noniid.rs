@@ -1,0 +1,26 @@
+//! Figure 11: AutoFL under data heterogeneity — Ideal IID through
+//! Non-IID(100%). Data-blind baselines degrade or stall; AutoFL composes
+//! balanced cohorts.
+
+use autofl_bench::{comparison, print_rows, Policy};
+use autofl_data::partition::DataDistribution;
+use autofl_fed::engine::SimConfig;
+use autofl_nn::zoo::Workload;
+
+fn main() {
+    let regimes = [
+        ("(a) Ideal IID", DataDistribution::IidIdeal),
+        ("(b) Non-IID (50%)", DataDistribution::non_iid_percent(50)),
+        ("(c) Non-IID (75%)", DataDistribution::non_iid_percent(75)),
+        ("(d) Non-IID (100%)", DataDistribution::non_iid_percent(100)),
+    ];
+    for (label, dist) in regimes {
+        let mut cfg = SimConfig::paper_default(Workload::CnnMnist);
+        cfg.distribution = dist;
+        cfg.max_rounds = 1000;
+        let rows = comparison(&cfg, &Policy::all());
+        print_rows(&format!("Figure 11 {label}"), &rows);
+    }
+    println!("\npaper: AutoFL achieves 4.0x/5.5x/9.3x/7.3x PPW over FedAvg-Random across");
+    println!("(a)-(d); at 75/100% the data-blind baselines fail to converge in 1000 rounds.");
+}

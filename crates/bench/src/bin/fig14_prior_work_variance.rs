@@ -1,0 +1,53 @@
+//! Figure 14: AutoFL vs FedNova/FEDL under (a) interference, (b) network
+//! variance and (c) data heterogeneity.
+
+use autofl_bench::{run_policy, Policy};
+use autofl_data::partition::DataDistribution;
+use autofl_device::scenario::VarianceScenario;
+use autofl_fed::algorithms::AggregationAlgorithm;
+use autofl_fed::engine::SimConfig;
+use autofl_nn::zoo::Workload;
+
+fn main() {
+    let regimes: [(&str, VarianceScenario, DataDistribution); 3] = [
+        (
+            "(a) interference",
+            VarianceScenario::with_interference(),
+            DataDistribution::IidIdeal,
+        ),
+        (
+            "(b) network variance",
+            VarianceScenario::weak_network(),
+            DataDistribution::IidIdeal,
+        ),
+        (
+            "(c) non-IID (75%)",
+            VarianceScenario::calm(),
+            DataDistribution::non_iid_percent(75),
+        ),
+    ];
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "regime", "FedNova", "FEDL", "AutoFL"
+    );
+    for (label, scenario, dist) in regimes {
+        let mut cfg = SimConfig::paper_default(Workload::CnnMnist);
+        cfg.scenario = scenario;
+        cfg.distribution = dist;
+        cfg.max_rounds = 800;
+        let base = run_policy(&cfg, Policy::Random).ppw_global().max(1e-300);
+        let mut nova_cfg = cfg.clone();
+        nova_cfg.algorithm = AggregationAlgorithm::FedNova;
+        let nova = run_policy(&nova_cfg, Policy::Random).ppw_global() / base;
+        let mut fedl_cfg = cfg.clone();
+        fedl_cfg.algorithm = AggregationAlgorithm::Fedl { eta: 0.1 };
+        let fedl = run_policy(&fedl_cfg, Policy::Random).ppw_global() / base;
+        let autofl = run_policy(&cfg, Policy::AutoFl).ppw_global() / base;
+        println!(
+            "{:<22} {:>9.2}x {:>9.2}x {:>9.2}x",
+            label, nova, fedl, autofl
+        );
+    }
+    println!("\npaper: AutoFL outperforms FedNova/FEDL by 62.7%/48.8% under variance and");
+    println!("stays near-optimal under data heterogeneity.");
+}

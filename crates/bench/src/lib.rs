@@ -1,0 +1,164 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! Every `fig*` binary in `src/bin/` reproduces one table or figure of the
+//! paper: it builds the matching [`SimConfig`], runs each policy, and
+//! prints the same rows/series the paper reports (PPW normalised to
+//! FedAvg-Random, convergence time, accuracy). See EXPERIMENTS.md for the
+//! paper-vs-measured record.
+
+use autofl_core::{AutoFl, AutoFlConfig};
+use autofl_fed::engine::{SimConfig, SimResult, Simulation};
+use autofl_fed::oracle::OracleSelector;
+use autofl_fed::selection::{ClusterSelector, RandomSelector, Selector};
+
+/// The policies the paper compares (Section 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// FedAvg with uniform random selection (the baseline, cluster C0).
+    Random,
+    /// All low-end devices (cluster C7).
+    Power,
+    /// All high-end devices (cluster C1).
+    Performance,
+    /// Oracle participant selection at CPU-max.
+    OracleParticipant,
+    /// Oracle participants + execution targets + DVFS.
+    OracleFull,
+    /// The learned controller.
+    AutoFl,
+}
+
+impl Policy {
+    /// The six evaluation policies in the paper's reporting order.
+    pub fn all() -> [Policy; 6] {
+        [
+            Policy::Random,
+            Policy::Power,
+            Policy::Performance,
+            Policy::OracleParticipant,
+            Policy::OracleFull,
+            Policy::AutoFl,
+        ]
+    }
+
+    /// Baselines only (everything except AutoFL).
+    pub fn baselines() -> [Policy; 5] {
+        [
+            Policy::Random,
+            Policy::Power,
+            Policy::Performance,
+            Policy::OracleParticipant,
+            Policy::OracleFull,
+        ]
+    }
+
+    /// Display name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Random => "FedAvg-Random",
+            Policy::Power => "Power",
+            Policy::Performance => "Performance",
+            Policy::OracleParticipant => "O_participant",
+            Policy::OracleFull => "O_FL",
+            Policy::AutoFl => "AutoFL",
+        }
+    }
+
+    /// Instantiates the selector.
+    pub fn build(&self) -> Box<dyn Selector> {
+        match self {
+            Policy::Random => Box::new(RandomSelector::new()),
+            Policy::Power => Box::new(ClusterSelector::power()),
+            Policy::Performance => Box::new(ClusterSelector::performance()),
+            Policy::OracleParticipant => Box::new(OracleSelector::participant()),
+            Policy::OracleFull => Box::new(OracleSelector::full()),
+            Policy::AutoFl => Box::new(AutoFl::new(AutoFlConfig::default())),
+        }
+    }
+}
+
+/// Runs one policy on one configuration.
+pub fn run_policy(config: &SimConfig, policy: Policy) -> SimResult {
+    let mut selector = policy.build();
+    Simulation::new(config.clone()).run(selector.as_mut())
+}
+
+/// One row of a normalised comparison table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Policy label.
+    pub label: String,
+    /// PPW relative to the baseline.
+    pub ppw_norm: f64,
+    /// Convergence-time speedup relative to the baseline.
+    pub conv_speedup: f64,
+    /// Round the run converged, if it did.
+    pub converged_round: Option<usize>,
+    /// Final accuracy.
+    pub accuracy: f64,
+}
+
+/// Runs a set of policies and normalises PPW / convergence time to the
+/// first policy in the list (conventionally [`Policy::Random`]).
+pub fn comparison(config: &SimConfig, policies: &[Policy]) -> Vec<Row> {
+    let results: Vec<(Policy, SimResult)> = policies
+        .iter()
+        .map(|p| (*p, run_policy(config, *p)))
+        .collect();
+    let base_ppw = results[0].1.ppw_global().max(1e-300);
+    let base_time = results[0].1.time_to_target_s().max(1e-300);
+    results
+        .into_iter()
+        .map(|(p, r)| Row {
+            label: p.name().to_string(),
+            ppw_norm: r.ppw_global() / base_ppw,
+            conv_speedup: base_time / r.time_to_target_s().max(1e-300),
+            converged_round: r.converged_round(),
+            accuracy: r.final_accuracy(),
+        })
+        .collect()
+}
+
+/// Prints a comparison table with a title.
+pub fn print_rows(title: &str, rows: &[Row]) {
+    println!("\n--- {title} ---");
+    println!(
+        "{:<16} {:>9} {:>12} {:>10} {:>9}",
+        "policy", "PPW x", "conv-speed x", "converged", "accuracy"
+    );
+    for row in rows {
+        println!(
+            "{:<16} {:>8.2}x {:>11.2}x {:>10} {:>8.1}%",
+            row.label,
+            row.ppw_norm,
+            row.conv_speedup,
+            row.converged_round
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "no".into()),
+            row.accuracy * 100.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofl_nn::zoo::Workload;
+
+    #[test]
+    fn comparison_normalises_to_first_policy() {
+        let mut cfg = SimConfig::tiny_test(1);
+        cfg.workload = Workload::TinyTest;
+        let rows = comparison(&cfg, &[Policy::Random, Policy::Performance]);
+        assert_eq!(rows[0].ppw_norm, 1.0);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn every_policy_builds_and_names() {
+        for p in Policy::all() {
+            let s = p.build();
+            assert_eq!(s.name(), p.name());
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! DBSCAN density-based clustering.
+//!
+//! The paper (Section 4.1) converts continuous state features into the
+//! discrete bins of Table 1 by running DBSCAN on observed feature values:
+//! "DBSCAN determines the optimal number of clusters for the given data".
+//! [`Discretizer`] wraps exactly that workflow for 1-D features.
+
+/// Cluster assignment of one point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assignment {
+    /// Point belongs to the cluster with this index.
+    Cluster(usize),
+    /// Density noise — not within `eps` of `min_pts` neighbours.
+    Noise,
+}
+
+/// Runs DBSCAN over `points` (row-major, `dim` columns) with radius `eps`
+/// and core threshold `min_pts`.
+///
+/// Returns one [`Assignment`] per point; cluster indices are dense starting
+/// at 0, in discovery order.
+///
+/// # Panics
+///
+/// Panics if `dim == 0`, `points.len()` is not a multiple of `dim`, or
+/// `eps` is not positive.
+pub fn dbscan(points: &[f64], dim: usize, eps: f64, min_pts: usize) -> Vec<Assignment> {
+    assert!(dim > 0, "dimension must be positive");
+    assert!(eps > 0.0, "eps must be positive");
+    assert_eq!(points.len() % dim, 0, "points not a multiple of dim");
+    let n = points.len() / dim;
+    let dist2 = |a: usize, b: usize| -> f64 {
+        (0..dim)
+            .map(|k| {
+                let d = points[a * dim + k] - points[b * dim + k];
+                d * d
+            })
+            .sum()
+    };
+    let eps2 = eps * eps;
+    let neighbours = |i: usize| -> Vec<usize> {
+        (0..n).filter(|&j| dist2(i, j) <= eps2).collect()
+    };
+
+    let mut labels: Vec<Option<Assignment>> = vec![None; n];
+    let mut next_cluster = 0usize;
+    for i in 0..n {
+        if labels[i].is_some() {
+            continue;
+        }
+        let nb = neighbours(i);
+        if nb.len() < min_pts {
+            labels[i] = Some(Assignment::Noise);
+            continue;
+        }
+        let cluster = next_cluster;
+        next_cluster += 1;
+        labels[i] = Some(Assignment::Cluster(cluster));
+        let mut frontier = nb;
+        while let Some(j) = frontier.pop() {
+            match labels[j] {
+                Some(Assignment::Cluster(_)) => continue,
+                Some(Assignment::Noise) | None => {
+                    let was_unvisited = labels[j].is_none();
+                    labels[j] = Some(Assignment::Cluster(cluster));
+                    if was_unvisited {
+                        let nb_j = neighbours(j);
+                        if nb_j.len() >= min_pts {
+                            frontier.extend(nb_j);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    labels.into_iter().map(|l| l.expect("all visited")).collect()
+}
+
+/// Discretizes a continuous 1-D feature into bins derived from DBSCAN
+/// clusters, mirroring the paper's Table 1 procedure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discretizer {
+    /// Sorted upper boundaries between adjacent bins.
+    boundaries: Vec<f64>,
+}
+
+impl Discretizer {
+    /// Learns bin boundaries by clustering `values` with DBSCAN and placing
+    /// boundaries at the midpoints between adjacent clusters' extents.
+    /// Noise points are absorbed into the nearest cluster interval.
+    ///
+    /// Falls back to a single bin if DBSCAN finds fewer than two clusters.
+    pub fn fit(values: &[f64], eps: f64, min_pts: usize) -> Self {
+        let assignments = dbscan(values, 1, eps, min_pts);
+        let num_clusters = assignments
+            .iter()
+            .filter_map(|a| match a {
+                Assignment::Cluster(c) => Some(c + 1),
+                Assignment::Noise => None,
+            })
+            .max()
+            .unwrap_or(0);
+        if num_clusters < 2 {
+            return Discretizer {
+                boundaries: Vec::new(),
+            };
+        }
+        // Extent (min, max) of each cluster.
+        let mut extents = vec![(f64::INFINITY, f64::NEG_INFINITY); num_clusters];
+        for (v, a) in values.iter().zip(assignments.iter()) {
+            if let Assignment::Cluster(c) = a {
+                extents[*c].0 = extents[*c].0.min(*v);
+                extents[*c].1 = extents[*c].1.max(*v);
+            }
+        }
+        extents.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite extents"));
+        let boundaries = extents
+            .windows(2)
+            .map(|w| (w[0].1 + w[1].0) / 2.0)
+            .collect();
+        Discretizer { boundaries }
+    }
+
+    /// Creates a discretizer from explicit boundaries (the published
+    /// Table 1 bins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boundaries are not strictly increasing.
+    pub fn from_boundaries(boundaries: Vec<f64>) -> Self {
+        assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "boundaries must be strictly increasing"
+        );
+        Discretizer { boundaries }
+    }
+
+    /// Number of bins (`boundaries + 1`).
+    pub fn num_bins(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// Maps a value to its bin index in `0..num_bins()`.
+    pub fn bin(&self, value: f64) -> usize {
+        self.boundaries.iter().take_while(|&&b| value >= b).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(i as f64 * 0.1); // blob at 0..1
+            pts.push(10.0 + i as f64 * 0.1); // blob at 10..11
+        }
+        let labels = dbscan(&pts, 1, 0.5, 3);
+        let c0 = labels[0];
+        let c1 = labels[1];
+        assert_ne!(c0, c1);
+        assert!(matches!(c0, Assignment::Cluster(_)));
+        // All even indices share c0, all odd share c1.
+        for (i, l) in labels.iter().enumerate() {
+            assert_eq!(*l, if i % 2 == 0 { c0 } else { c1 });
+        }
+    }
+
+    #[test]
+    fn isolated_point_is_noise() {
+        let pts = vec![0.0, 0.1, 0.2, 0.3, 50.0];
+        let labels = dbscan(&pts, 1, 0.5, 3);
+        assert_eq!(labels[4], Assignment::Noise);
+    }
+
+    #[test]
+    fn two_dim_clustering_uses_euclidean_distance() {
+        // Two clusters along the diagonal.
+        let pts = vec![0.0, 0.0, 0.1, 0.1, 0.2, 0.0, 5.0, 5.0, 5.1, 5.1, 5.0, 5.2];
+        let labels = dbscan(&pts, 2, 0.5, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn discretizer_learns_boundary_between_modes() {
+        let mut values = Vec::new();
+        for i in 0..20 {
+            values.push(i as f64 * 0.01); // mode near 0
+            values.push(1.0 + i as f64 * 0.01); // mode near 1
+        }
+        let d = Discretizer::fit(&values, 0.05, 3);
+        assert_eq!(d.num_bins(), 2);
+        assert_eq!(d.bin(0.1), 0);
+        assert_eq!(d.bin(0.9), 1);
+    }
+
+    #[test]
+    fn discretizer_single_mode_is_one_bin() {
+        let values: Vec<f64> = (0..50).map(|i| i as f64 * 0.01).collect();
+        let d = Discretizer::fit(&values, 0.05, 3);
+        assert_eq!(d.num_bins(), 1);
+        assert_eq!(d.bin(-10.0), 0);
+        assert_eq!(d.bin(10.0), 0);
+    }
+
+    #[test]
+    fn explicit_boundaries_match_table1_semantics() {
+        // S_B bins: small (<8), medium (<32), large (>=32).
+        let d = Discretizer::from_boundaries(vec![8.0, 32.0]);
+        assert_eq!(d.bin(4.0), 0);
+        assert_eq!(d.bin(16.0), 1);
+        assert_eq!(d.bin(32.0), 2);
+        assert_eq!(d.bin(64.0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_boundaries() {
+        let _ = Discretizer::from_boundaries(vec![5.0, 2.0]);
+    }
+}

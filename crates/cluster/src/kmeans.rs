@@ -1,0 +1,181 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! Section 4 of the paper: "additional clustering algorithm can be used
+//! along with the AutoFL for binding similar category of devices" to share
+//! Q-tables at scale. This module provides that algorithm: devices are
+//! embedded by their performance/behaviour features and clustered into
+//! Q-table groups.
+
+use rand::Rng;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+    assignments: Vec<usize>,
+    inertia: f64,
+}
+
+impl KMeans {
+    /// Clusters `points` (row-major, `dim` columns) into `k` groups.
+    ///
+    /// Runs k-means++ initialisation followed by Lloyd iterations until the
+    /// assignment is stable or `max_iter` is reached. Deterministic given
+    /// the `rng` state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `dim == 0`, or there are fewer points than `k`.
+    pub fn fit(points: &[f64], dim: usize, k: usize, max_iter: usize, rng: &mut impl Rng) -> Self {
+        assert!(dim > 0 && k > 0, "k and dim must be positive");
+        assert_eq!(points.len() % dim, 0, "points not a multiple of dim");
+        let n = points.len() / dim;
+        assert!(n >= k, "need at least k points");
+        let point = |i: usize| &points[i * dim..(i + 1) * dim];
+        let dist2 = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+        };
+
+        // k-means++ seeding.
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(point(rng.gen_range(0..n)).to_vec());
+        while centroids.len() < k {
+            let weights: Vec<f64> = (0..n)
+                .map(|i| {
+                    centroids
+                        .iter()
+                        .map(|c| dist2(point(i), c))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let total: f64 = weights.iter().sum();
+            if total <= 0.0 {
+                // All remaining points coincide with a centroid.
+                centroids.push(point(rng.gen_range(0..n)).to_vec());
+                continue;
+            }
+            let mut draw = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, w) in weights.iter().enumerate() {
+                if draw < *w {
+                    chosen = i;
+                    break;
+                }
+                draw -= w;
+            }
+            centroids.push(point(chosen).to_vec());
+        }
+
+        let mut assignments = vec![0usize; n];
+        for _ in 0..max_iter {
+            let mut changed = false;
+            for i in 0..n {
+                let best = (0..k)
+                    .min_by(|&a, &b| {
+                        dist2(point(i), &centroids[a])
+                            .partial_cmp(&dist2(point(i), &centroids[b]))
+                            .expect("finite distances")
+                    })
+                    .expect("k > 0");
+                if assignments[i] != best {
+                    assignments[i] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            for (c, centroid) in centroids.iter_mut().enumerate() {
+                let members: Vec<usize> =
+                    (0..n).filter(|&i| assignments[i] == c).collect();
+                if members.is_empty() {
+                    continue;
+                }
+                for d in 0..dim {
+                    centroid[d] = members.iter().map(|&i| point(i)[d]).sum::<f64>()
+                        / members.len() as f64;
+                }
+            }
+        }
+        let inertia = (0..n)
+            .map(|i| dist2(point(i), &centroids[assignments[i]]))
+            .sum();
+        KMeans {
+            centroids,
+            assignments,
+            inertia,
+        }
+    }
+
+    /// Cluster index of each input point.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// The fitted centroids.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Sum of squared distances of points to their centroid.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Assigns a new point to the nearest fitted centroid.
+    pub fn predict(&self, point: &[f64]) -> usize {
+        self.centroids
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let da: f64 = a.iter().zip(point).map(|(x, y)| (x - y) * (x - y)).sum();
+                let db: f64 = b.iter().zip(point).map(|(x, y)| (x - y) * (x - y)).sum();
+                da.partial_cmp(&db).expect("finite distances")
+            })
+            .map(|(i, _)| i)
+            .expect("at least one centroid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_three_well_separated_blobs() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut pts = Vec::new();
+        for center in [0.0, 10.0, 20.0] {
+            for i in 0..20 {
+                pts.push(center + (i % 5) as f64 * 0.01);
+                pts.push(center - (i % 3) as f64 * 0.01);
+            }
+        }
+        let km = KMeans::fit(&pts, 2, 3, 50, &mut rng);
+        // Points within a blob share a cluster.
+        let a = km.assignments();
+        for blob in 0..3 {
+            let first = a[blob * 20];
+            assert!(a[blob * 20..(blob + 1) * 20].iter().all(|&x| x == first));
+        }
+        assert!(km.inertia() < 1.0);
+    }
+
+    #[test]
+    fn predict_matches_training_assignment() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let pts = vec![0.0, 0.1, 0.2, 9.0, 9.1, 9.2];
+        let km = KMeans::fit(&pts, 1, 2, 50, &mut rng);
+        assert_eq!(km.predict(&[0.05]), km.assignments()[0]);
+        assert_eq!(km.predict(&[9.05]), km.assignments()[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k points")]
+    fn rejects_more_clusters_than_points() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _ = KMeans::fit(&[1.0, 2.0], 1, 3, 10, &mut rng);
+    }
+}

@@ -1,0 +1,226 @@
+//! The AutoFL reinforcement-learning state (Table 1 of the paper).
+//!
+//! The state splits into a *global* part shared by every device in a round
+//! (NN layer mix and the `(B, E, K)` parameters) and a *local* part
+//! observed per device (co-running CPU/memory load, network bandwidth,
+//! data classes). Continuous features are discretised into the bins the
+//! paper derived with DBSCAN; [`StateSpace`] holds those boundaries and
+//! can alternatively re-derive them from observations
+//! ([`StateSpace::fit_runtime_bins`]).
+
+use autofl_cluster::dbscan::Discretizer;
+use autofl_device::network::BANDWIDTH_THRESHOLD_MBPS;
+use autofl_device::scenario::DeviceConditions;
+use autofl_fed::selection::RoundContext;
+use serde::{Deserialize, Serialize};
+
+/// The discretised global state `S_global`: one value per Table 1 row of
+/// the "NN-related Features" and "Global Parameters" groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GlobalState {
+    /// `S_CONV` bin: # of CONV layers.
+    pub conv: u8,
+    /// `S_FC` bin: # of FC layers.
+    pub fc: u8,
+    /// `S_RC` bin: # of RC layers.
+    pub rc: u8,
+    /// `S_B` bin: batch size.
+    pub batch: u8,
+    /// `S_E` bin: local epochs.
+    pub epochs: u8,
+    /// `S_K` bin: participants per round.
+    pub k: u8,
+}
+
+/// The discretised per-device state `S_local`: the "Runtime Variance" and
+/// "Data Classes" groups of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LocalState {
+    /// `S_Co_CPU` bin: co-running CPU utilisation
+    /// (none / small / medium / large).
+    pub co_cpu: u8,
+    /// `S_Co_MEM` bin: co-running memory usage.
+    pub co_mem: u8,
+    /// `S_Network` bin: 0 = regular (> 40 Mbps), 1 = bad.
+    pub network: u8,
+    /// `S_Data` bin: fraction of label classes present
+    /// (small < 25% / medium < 100% / large = 100%).
+    pub data: u8,
+}
+
+/// Bin boundaries for every state feature.
+#[derive(Debug, Clone)]
+pub struct StateSpace {
+    conv: Discretizer,
+    fc: Discretizer,
+    rc: Discretizer,
+    batch: Discretizer,
+    epochs: Discretizer,
+    k: Discretizer,
+    co_cpu: Discretizer,
+    co_mem: Discretizer,
+}
+
+impl Default for StateSpace {
+    fn default() -> Self {
+        StateSpace::paper_bins()
+    }
+}
+
+impl StateSpace {
+    /// The published Table 1 bins.
+    pub fn paper_bins() -> Self {
+        StateSpace {
+            // small (<10), medium (<20), large (<40), larger (>=40)
+            conv: Discretizer::from_boundaries(vec![10.0, 20.0, 40.0]),
+            // small (<10), large (>=10)
+            fc: Discretizer::from_boundaries(vec![10.0]),
+            // small (<5), medium (<10), large (>=10)
+            rc: Discretizer::from_boundaries(vec![5.0, 10.0]),
+            // small (<8), medium (<32), large (>=32)
+            batch: Discretizer::from_boundaries(vec![8.0, 32.0]),
+            // small (<5), medium (<10), large (>=10)
+            epochs: Discretizer::from_boundaries(vec![5.0, 10.0]),
+            // small (<10), medium (<50), large (>=50)
+            k: Discretizer::from_boundaries(vec![10.0, 50.0]),
+            // small (<25%), medium (<75%), large (<=100%); the "none"
+            // bin is handled specially for an exact zero.
+            co_cpu: Discretizer::from_boundaries(vec![0.25, 0.75]),
+            co_mem: Discretizer::from_boundaries(vec![0.25, 0.75]),
+        }
+    }
+
+    /// Re-derives the runtime-variance bins from observed utilisation
+    /// samples with DBSCAN, the procedure the paper used to build Table 1.
+    /// NN/parameter bins keep their published values.
+    pub fn fit_runtime_bins(cpu_observations: &[f64], mem_observations: &[f64]) -> Self {
+        let mut space = StateSpace::paper_bins();
+        let fit = |obs: &[f64], fallback: &Discretizer| -> Discretizer {
+            if obs.len() < 10 {
+                return fallback.clone();
+            }
+            let d = Discretizer::fit(obs, 0.08, 4);
+            if d.num_bins() >= 2 {
+                d
+            } else {
+                fallback.clone()
+            }
+        };
+        space.co_cpu = fit(cpu_observations, &space.co_cpu);
+        space.co_mem = fit(mem_observations, &space.co_mem);
+        space
+    }
+
+    /// Discretises the round-global features.
+    pub fn global_state(&self, ctx: &RoundContext<'_>) -> GlobalState {
+        GlobalState {
+            conv: self.conv.bin(ctx.layer_counts.conv as f64) as u8,
+            fc: self.fc.bin(ctx.layer_counts.fc as f64) as u8,
+            rc: self.rc.bin(ctx.layer_counts.rc as f64) as u8,
+            batch: self.batch.bin(ctx.params.batch_size as f64) as u8,
+            epochs: self.epochs.bin(ctx.params.local_epochs as f64) as u8,
+            k: self.k.bin(ctx.params.num_participants as f64) as u8,
+        }
+    }
+
+    /// Discretises one device's local features.
+    ///
+    /// `class_fraction` is the share of label classes present on the
+    /// device (`S_Data`).
+    pub fn local_state(
+        &self,
+        conditions: &DeviceConditions,
+        class_fraction: f64,
+    ) -> LocalState {
+        // Table 1 gives CPU/MEM a dedicated "none" bin at exactly 0%.
+        let cpu_bin = if conditions.interference.co_cpu == 0.0 {
+            0
+        } else {
+            1 + self.co_cpu.bin(conditions.interference.co_cpu) as u8
+        };
+        let mem_bin = if conditions.interference.co_mem == 0.0 {
+            0
+        } else {
+            1 + self.co_mem.bin(conditions.interference.co_mem) as u8
+        };
+        let network = if conditions.network.bandwidth_mbps > BANDWIDTH_THRESHOLD_MBPS {
+            0
+        } else {
+            1
+        };
+        let data = if class_fraction < 0.25 {
+            0
+        } else if class_fraction < 1.0 {
+            1
+        } else {
+            2
+        };
+        LocalState {
+            co_cpu: cpu_bin,
+            co_mem: mem_bin,
+            network,
+            data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofl_device::interference::Interference;
+    use autofl_device::network::{NetworkObservation, SignalStrength};
+
+    fn conditions(co_cpu: f64, co_mem: f64, bw: f64) -> DeviceConditions {
+        DeviceConditions {
+            interference: Interference { co_cpu, co_mem },
+            network: NetworkObservation {
+                signal: if bw > 40.0 {
+                    SignalStrength::Strong
+                } else {
+                    SignalStrength::Weak
+                },
+                bandwidth_mbps: bw,
+            },
+        }
+    }
+
+    #[test]
+    fn local_state_bins_match_table1() {
+        let space = StateSpace::paper_bins();
+        // None / small / medium / large CPU bins.
+        assert_eq!(space.local_state(&conditions(0.0, 0.0, 80.0), 1.0).co_cpu, 0);
+        assert_eq!(space.local_state(&conditions(0.1, 0.0, 80.0), 1.0).co_cpu, 1);
+        assert_eq!(space.local_state(&conditions(0.5, 0.0, 80.0), 1.0).co_cpu, 2);
+        assert_eq!(space.local_state(&conditions(0.9, 0.0, 80.0), 1.0).co_cpu, 3);
+        // Network threshold at 40 Mbps.
+        assert_eq!(space.local_state(&conditions(0.0, 0.0, 80.0), 1.0).network, 0);
+        assert_eq!(space.local_state(&conditions(0.0, 0.0, 30.0), 1.0).network, 1);
+        // Data classes: small / medium / large.
+        assert_eq!(space.local_state(&conditions(0.0, 0.0, 80.0), 0.2).data, 0);
+        assert_eq!(space.local_state(&conditions(0.0, 0.0, 80.0), 0.7).data, 1);
+        assert_eq!(space.local_state(&conditions(0.0, 0.0, 80.0), 1.0).data, 2);
+    }
+
+    #[test]
+    fn fitted_bins_fall_back_on_sparse_data() {
+        let space = StateSpace::fit_runtime_bins(&[0.1, 0.2], &[0.3]);
+        // Too few observations: published bins kept.
+        assert_eq!(
+            space.local_state(&conditions(0.5, 0.0, 80.0), 1.0).co_cpu,
+            2
+        );
+    }
+
+    #[test]
+    fn fitted_bins_separate_bimodal_load() {
+        let mut cpu = Vec::new();
+        for i in 0..30 {
+            cpu.push(0.1 + (i % 5) as f64 * 0.005); // idle-ish mode
+            cpu.push(0.8 + (i % 5) as f64 * 0.005); // busy mode
+        }
+        let space = StateSpace::fit_runtime_bins(&cpu, &cpu);
+        let lo = space.local_state(&conditions(0.12, 0.0, 80.0), 1.0).co_cpu;
+        let hi = space.local_state(&conditions(0.82, 0.0, 80.0), 1.0).co_cpu;
+        assert_ne!(lo, hi);
+    }
+}

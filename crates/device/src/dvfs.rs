@@ -1,0 +1,195 @@
+//! DVFS frequency/power tables (the augmented second-level action of
+//! AutoFL).
+//!
+//! The paper measures power at every V-F step of the three phones
+//! (Table 3) and lets AutoFL pick a step to exploit straggler slack. We
+//! rebuild those tables from the published peaks: step frequencies are
+//! evenly spaced up to the published maximum, and busy power follows the
+//! standard `P(f) = P_idle + (P_peak − P_idle)·(f/f_max)³` DVFS law
+//! (dynamic power ∝ f·V², with V roughly ∝ f).
+
+use crate::tier::DeviceTier;
+use serde::{Deserialize, Serialize};
+
+/// Which silicon the training loop runs on — the paper's second-level
+/// action (Section 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecutionTarget {
+    /// Train on the CPU cluster.
+    Cpu,
+    /// Train on the GPU.
+    Gpu,
+}
+
+impl ExecutionTarget {
+    /// Both targets.
+    pub fn all() -> [ExecutionTarget; 2] {
+        [ExecutionTarget::Cpu, ExecutionTarget::Gpu]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecutionTarget::Cpu => "CPU",
+            ExecutionTarget::Gpu => "GPU",
+        }
+    }
+}
+
+/// Fraction of the CPU's training throughput the mobile GPU achieves.
+///
+/// On-device *training* on mobile GPUs is memory-bound and poorly
+/// optimised, so despite lower power the GPU is slower; the paper observes
+/// CPU wins on energy when there is no interference, which pins this
+/// factor below `P_gpu/P_cpu` on every tier (tightest bound: mid-end,
+/// 2.4 W GPU vs 5.6 W CPU ⇒ factor < 0.43).
+pub const GPU_THROUGHPUT_FACTOR: f64 = 0.40;
+
+/// Fraction of theoretical GFLOPS that a real training loop achieves.
+/// Cancels out of every ratio the paper reports; sets absolute time scale.
+pub const TRAINING_EFFICIENCY: f64 = 0.15;
+
+/// Idle power of a component as a fraction of its peak power.
+const COMPONENT_IDLE_FRACTION: f64 = 0.08;
+
+/// A DVFS operating-point table for one execution target of one tier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DvfsTable {
+    steps: usize,
+    max_freq_ghz: f64,
+    peak_power_w: f64,
+    idle_power_w: f64,
+    /// Peak training throughput in GFLOPS at the maximum step.
+    peak_gflops: f64,
+}
+
+impl DvfsTable {
+    /// Builds the table for a tier/target pair from the Table 2/3 constants.
+    pub fn for_tier(tier: DeviceTier, target: ExecutionTarget) -> Self {
+        let (steps, max_freq, peak_power, peak_gflops) = match target {
+            ExecutionTarget::Cpu => (
+                tier.cpu_vf_steps(),
+                tier.cpu_max_freq_ghz(),
+                tier.cpu_peak_power_w(),
+                tier.gflops() * TRAINING_EFFICIENCY,
+            ),
+            ExecutionTarget::Gpu => (
+                tier.gpu_vf_steps(),
+                tier.gpu_max_freq_ghz(),
+                tier.gpu_peak_power_w(),
+                tier.gflops() * TRAINING_EFFICIENCY * GPU_THROUGHPUT_FACTOR,
+            ),
+        };
+        DvfsTable {
+            steps,
+            max_freq_ghz: max_freq,
+            peak_power_w: peak_power,
+            idle_power_w: peak_power * COMPONENT_IDLE_FRACTION,
+            peak_gflops,
+        }
+    }
+
+    /// Number of V-F steps (Table 3).
+    pub fn num_steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Frequency in GHz at `step` (1-based; step == num_steps is maximum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is 0 or greater than [`DvfsTable::num_steps`].
+    pub fn freq_ghz(&self, step: usize) -> f64 {
+        assert!(step >= 1 && step <= self.steps, "invalid DVFS step {}", step);
+        self.max_freq_ghz * step as f64 / self.steps as f64
+    }
+
+    /// Busy power in watts at `step`, following the cubic DVFS law.
+    pub fn busy_power_w(&self, step: usize) -> f64 {
+        let ratio = self.freq_ghz(step) / self.max_freq_ghz;
+        self.idle_power_w + (self.peak_power_w - self.idle_power_w) * ratio.powi(3)
+    }
+
+    /// Component idle power in watts.
+    pub fn idle_power_w(&self) -> f64 {
+        self.idle_power_w
+    }
+
+    /// Training throughput in GFLOPS at `step` (scales linearly with
+    /// frequency).
+    pub fn gflops(&self, step: usize) -> f64 {
+        self.peak_gflops * self.freq_ghz(step) / self.max_freq_ghz
+    }
+
+    /// The step closest to `fraction` of maximum frequency
+    /// (`fraction` clamped to `(0, 1]`).
+    pub fn step_at_fraction(&self, fraction: f64) -> usize {
+        let f = fraction.clamp(1.0 / self.steps as f64, 1.0);
+        ((f * self.steps as f64).round() as usize).clamp(1, self.steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_counts_match_table3() {
+        let t = DvfsTable::for_tier(DeviceTier::High, ExecutionTarget::Cpu);
+        assert_eq!(t.num_steps(), 23);
+        let g = DvfsTable::for_tier(DeviceTier::Mid, ExecutionTarget::Gpu);
+        assert_eq!(g.num_steps(), 9);
+    }
+
+    #[test]
+    fn max_step_hits_published_peaks() {
+        let t = DvfsTable::for_tier(DeviceTier::High, ExecutionTarget::Cpu);
+        assert!((t.freq_ghz(23) - 2.8).abs() < 1e-9);
+        assert!((t.busy_power_w(23) - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_is_monotonic_in_frequency() {
+        let t = DvfsTable::for_tier(DeviceTier::Low, ExecutionTarget::Cpu);
+        for s in 1..t.num_steps() {
+            assert!(t.busy_power_w(s) < t.busy_power_w(s + 1));
+            assert!(t.gflops(s) < t.gflops(s + 1));
+        }
+    }
+
+    #[test]
+    fn lower_frequency_improves_energy_per_flop() {
+        // Cubic power vs linear throughput: energy/FLOP must fall with f.
+        let t = DvfsTable::for_tier(DeviceTier::Mid, ExecutionTarget::Cpu);
+        let e_hi = t.busy_power_w(t.num_steps()) / t.gflops(t.num_steps());
+        let e_lo = t.busy_power_w(t.num_steps() / 2) / t.gflops(t.num_steps() / 2);
+        assert!(e_lo < e_hi);
+    }
+
+    #[test]
+    fn cpu_beats_gpu_on_energy_per_flop_at_peak() {
+        // Section 6.2: without interference the CPU is the more
+        // energy-efficient training target.
+        for tier in DeviceTier::all() {
+            let cpu = DvfsTable::for_tier(tier, ExecutionTarget::Cpu);
+            let gpu = DvfsTable::for_tier(tier, ExecutionTarget::Gpu);
+            let e_cpu = cpu.busy_power_w(cpu.num_steps()) / cpu.gflops(cpu.num_steps());
+            let e_gpu = gpu.busy_power_w(gpu.num_steps()) / gpu.gflops(gpu.num_steps());
+            assert!(
+                e_cpu < e_gpu,
+                "{:?}: CPU {} vs GPU {} J/GFLOP",
+                tier,
+                e_cpu,
+                e_gpu
+            );
+        }
+    }
+
+    #[test]
+    fn step_at_fraction_clamps() {
+        let t = DvfsTable::for_tier(DeviceTier::High, ExecutionTarget::Cpu);
+        assert_eq!(t.step_at_fraction(1.0), 23);
+        assert_eq!(t.step_at_fraction(0.0), 1);
+        assert_eq!(t.step_at_fraction(2.0), 23);
+    }
+}

@@ -1,0 +1,184 @@
+//! The emulated device fleet.
+
+use crate::tier::DeviceTier;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a device within a [`Fleet`] (dense, 0-based).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct DeviceId(pub usize);
+
+/// One emulated smartphone.
+///
+/// Besides the tier, each device carries per-user tendencies sampled at
+/// fleet creation: how often this user's apps interfere with training and
+/// how often the device sits on a weak network. These make runtime variance
+/// *heterogeneous across devices*, which is what gives an adaptive selector
+/// something to learn.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Device {
+    id: DeviceId,
+    tier: DeviceTier,
+    interference_propensity: f64,
+    weak_signal_propensity: f64,
+}
+
+impl Device {
+    /// The device id.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The performance tier.
+    pub fn tier(&self) -> DeviceTier {
+        self.tier
+    }
+
+    /// Multiplier (≈ 0.5–1.5) on the scenario's interference probability.
+    pub fn interference_propensity(&self) -> f64 {
+        self.interference_propensity
+    }
+
+    /// Multiplier (≈ 0.5–1.5) on the scenario's weak-network probability.
+    pub fn weak_signal_propensity(&self) -> f64 {
+        self.weak_signal_propensity
+    }
+}
+
+/// The collection of devices participating in FL (`N` in the paper).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fleet {
+    devices: Vec<Device>,
+}
+
+impl Fleet {
+    /// The paper's 200-device fleet: 30 high-end, 70 mid-end, 100 low-end
+    /// (Section 5.1).
+    pub fn paper_fleet(seed: u64) -> Self {
+        Fleet::custom(
+            &[
+                (DeviceTier::High, DeviceTier::High.paper_fleet_count()),
+                (DeviceTier::Mid, DeviceTier::Mid.paper_fleet_count()),
+                (DeviceTier::Low, DeviceTier::Low.paper_fleet_count()),
+            ],
+            seed,
+        )
+    }
+
+    /// A fleet with explicit per-tier counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total count is zero.
+    pub fn custom(counts: &[(DeviceTier, usize)], seed: u64) -> Self {
+        let total: usize = counts.iter().map(|(_, n)| n).sum();
+        assert!(total > 0, "fleet must contain at least one device");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut devices = Vec::with_capacity(total);
+        for &(tier, n) in counts {
+            for _ in 0..n {
+                let id = DeviceId(devices.len());
+                devices.push(Device {
+                    id,
+                    tier,
+                    interference_propensity: rng.gen_range(0.5..1.5),
+                    weak_signal_propensity: rng.gen_range(0.5..1.5),
+                });
+            }
+        }
+        Fleet { devices }
+    }
+
+    /// Number of devices (`N`).
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the fleet is empty (never true for a constructed fleet).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Looks up a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.0]
+    }
+
+    /// Iterates over all devices.
+    pub fn iter(&self) -> impl Iterator<Item = &Device> {
+        self.devices.iter()
+    }
+
+    /// All device ids.
+    pub fn ids(&self) -> Vec<DeviceId> {
+        self.devices.iter().map(|d| d.id).collect()
+    }
+
+    /// Ids of all devices of one tier.
+    pub fn ids_of_tier(&self, tier: DeviceTier) -> Vec<DeviceId> {
+        self.devices
+            .iter()
+            .filter(|d| d.tier == tier)
+            .map(|d| d.id)
+            .collect()
+    }
+
+    /// Device count per tier `(high, mid, low)`.
+    pub fn tier_counts(&self) -> (usize, usize, usize) {
+        let count = |t: DeviceTier| self.devices.iter().filter(|d| d.tier == t).count();
+        (
+            count(DeviceTier::High),
+            count(DeviceTier::Mid),
+            count(DeviceTier::Low),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fleet_composition() {
+        let f = Fleet::paper_fleet(1);
+        assert_eq!(f.len(), 200);
+        assert_eq!(f.tier_counts(), (30, 70, 100));
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let f = Fleet::paper_fleet(2);
+        for (i, d) in f.iter().enumerate() {
+            assert_eq!(d.id().0, i);
+        }
+        assert_eq!(f.ids_of_tier(DeviceTier::High).len(), 30);
+    }
+
+    #[test]
+    fn propensities_vary_across_devices() {
+        let f = Fleet::paper_fleet(3);
+        let first = f.device(DeviceId(0)).interference_propensity();
+        assert!(f
+            .iter()
+            .any(|d| (d.interference_propensity() - first).abs() > 0.1));
+    }
+
+    #[test]
+    fn fleet_is_deterministic_per_seed() {
+        let a = Fleet::paper_fleet(4);
+        let b = Fleet::paper_fleet(4);
+        for (da, db) in a.iter().zip(b.iter()) {
+            assert_eq!(
+                da.interference_propensity(),
+                db.interference_propensity()
+            );
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! On-device interference from co-running applications.
+//!
+//! Section 5.2: "we initiate a synthetic co-running application on a random
+//! subset of devices, mimicking the effect of a real-world application,
+//! i.e., web browsing. The synthetic application generates CPU and memory
+//! utilization patterns following those of web browsing."
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// CPU/memory load imposed by co-running apps on one device for one round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interference {
+    /// CPU utilisation of co-running apps, in `[0, 1]` (`S_Co_CPU`).
+    pub co_cpu: f64,
+    /// Memory usage of co-running apps, in `[0, 1]` (`S_Co_MEM`).
+    pub co_mem: f64,
+}
+
+impl Interference {
+    /// No co-running load.
+    pub fn none() -> Self {
+        Interference {
+            co_cpu: 0.0,
+            co_mem: 0.0,
+        }
+    }
+
+    /// Samples a web-browsing-like load: bursty CPU (page loads alternate
+    /// with idle reading) and moderately high resident memory.
+    pub fn web_browsing(rng: &mut impl Rng) -> Self {
+        // Page-load burst vs. reading phase, weighted toward bursts since
+        // browsing sessions during FL rounds are short.
+        let bursting = rng.gen_bool(0.6);
+        let co_cpu = if bursting {
+            rng.gen_range(0.45..0.95)
+        } else {
+            rng.gen_range(0.10..0.35)
+        };
+        let co_mem = rng.gen_range(0.25..0.70);
+        Interference { co_cpu, co_mem }
+    }
+
+    /// Whether any co-running load is present.
+    pub fn is_active(&self) -> bool {
+        self.co_cpu > 0.0 || self.co_mem > 0.0
+    }
+
+    /// Multiplier on CPU training throughput under this load.
+    ///
+    /// Two effects the paper calls out (Section 6.2): competition for CPU
+    /// time slices / cache, and thermal throttling under sustained load.
+    pub fn cpu_throughput_factor(&self) -> f64 {
+        let time_slice = 1.0 - 0.70 * self.co_cpu;
+        let thermal = if self.co_cpu > 0.5 { 0.85 } else { 1.0 };
+        (time_slice * thermal).max(0.05)
+    }
+
+    /// Multiplier on GPU training throughput under this load.
+    ///
+    /// The GPU does not compete for CPU time slices; it is only mildly
+    /// affected through shared memory bandwidth.
+    pub fn gpu_throughput_factor(&self) -> f64 {
+        (1.0 - 0.15 * self.co_mem).max(0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_means_full_throughput() {
+        let i = Interference::none();
+        assert!(!i.is_active());
+        assert_eq!(i.cpu_throughput_factor(), 1.0);
+        assert_eq!(i.gpu_throughput_factor(), 1.0);
+    }
+
+    #[test]
+    fn web_browsing_hurts_cpu_more_than_gpu_on_average() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (mut cpu_sum, mut gpu_sum) = (0.0, 0.0);
+        for _ in 0..200 {
+            let i = Interference::web_browsing(&mut rng);
+            assert!(i.is_active());
+            assert!(i.cpu_throughput_factor() < 1.0);
+            cpu_sum += i.cpu_throughput_factor();
+            gpu_sum += i.gpu_throughput_factor();
+        }
+        assert!(
+            cpu_sum < 0.8 * gpu_sum,
+            "mean cpu factor {} vs gpu {}",
+            cpu_sum / 200.0,
+            gpu_sum / 200.0
+        );
+    }
+
+    #[test]
+    fn interference_shifts_optimal_target_to_gpu() {
+        // Section 6.2: under interference the optimal execution target
+        // usually shifts from CPU to GPU. Check the crossing exists with
+        // the DVFS model: heavy browsing makes GPU J/FLOP better.
+        use crate::dvfs::{DvfsTable, ExecutionTarget};
+        use crate::tier::DeviceTier;
+        let heavy = Interference {
+            co_cpu: 0.8,
+            co_mem: 0.5,
+        };
+        for tier in DeviceTier::all() {
+            let cpu = DvfsTable::for_tier(tier, ExecutionTarget::Cpu);
+            let gpu = DvfsTable::for_tier(tier, ExecutionTarget::Gpu);
+            let e_cpu = cpu.busy_power_w(cpu.num_steps())
+                / (cpu.gflops(cpu.num_steps()) * heavy.cpu_throughput_factor());
+            let e_gpu = gpu.busy_power_w(gpu.num_steps())
+                / (gpu.gflops(gpu.num_steps()) * heavy.gpu_throughput_factor());
+            assert!(e_gpu < e_cpu, "{:?} should prefer GPU under load", tier);
+        }
+    }
+
+    #[test]
+    fn throughput_factor_bounded_away_from_zero() {
+        let i = Interference {
+            co_cpu: 1.0,
+            co_mem: 1.0,
+        };
+        assert!(i.cpu_throughput_factor() >= 0.05);
+        assert!(i.gpu_throughput_factor() >= 0.05);
+    }
+}

@@ -1,0 +1,145 @@
+//! Wireless network model: Gaussian bandwidth variance and signal-strength
+//! dependent transmit power (Eq. 3 of the paper).
+//!
+//! Section 5.2: "real-world network variability is typically modeled by a
+//! Gaussian distribution"; Section 3.2: under weak signal the
+//! communication time and energy increase ~4.3x on average.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// Bandwidth threshold between the paper's `Regular` and `Bad` network
+/// states (Table 1): 40 Mbps.
+pub const BANDWIDTH_THRESHOLD_MBPS: f64 = 40.0;
+
+/// Signal strength regimes with distinct transmit-power draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignalStrength {
+    /// Strong signal: high bandwidth, low TX power.
+    Strong,
+    /// Weak signal: low bandwidth, elevated TX power (the radio boosts
+    /// amplification to hold the link).
+    Weak,
+}
+
+impl SignalStrength {
+    /// Transmit power of the wireless interface in watts (the `P^S_TX` of
+    /// Eq. 3). Weak-signal TX power is ~2.75x strong-signal, consistent
+    /// with the signal-strength power measurements the paper cites.
+    pub fn tx_power_w(&self) -> f64 {
+        match self {
+            SignalStrength::Strong => 0.8,
+            SignalStrength::Weak => 2.2,
+        }
+    }
+
+    /// Mean downlink/uplink bandwidth in Mbps under this signal.
+    pub fn mean_bandwidth_mbps(&self) -> f64 {
+        match self {
+            SignalStrength::Strong => 90.0,
+            SignalStrength::Weak => 14.0,
+        }
+    }
+
+    /// Standard deviation of the Gaussian bandwidth draw.
+    pub fn bandwidth_std_mbps(&self) -> f64 {
+        match self {
+            SignalStrength::Strong => 18.0,
+            SignalStrength::Weak => 6.0,
+        }
+    }
+}
+
+/// The network condition a device observes during one aggregation round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkObservation {
+    /// Signal regime.
+    pub signal: SignalStrength,
+    /// Sampled bandwidth in Mbps (Gaussian, clamped to ≥ 1).
+    pub bandwidth_mbps: f64,
+}
+
+impl NetworkObservation {
+    /// Samples a per-round observation for the given signal regime.
+    pub fn sample(signal: SignalStrength, rng: &mut impl Rng) -> Self {
+        let normal = Normal::new(
+            signal.mean_bandwidth_mbps(),
+            signal.bandwidth_std_mbps(),
+        )
+        .expect("finite bandwidth parameters");
+        let bandwidth_mbps = normal.sample(rng).max(1.0);
+        NetworkObservation {
+            signal,
+            bandwidth_mbps,
+        }
+    }
+
+    /// Whether the paper's `S_Network` state is `Regular` (> 40 Mbps).
+    pub fn is_regular(&self) -> bool {
+        self.bandwidth_mbps > BANDWIDTH_THRESHOLD_MBPS
+    }
+
+    /// Time in seconds to transmit `bytes` at the observed bandwidth
+    /// (the `t_TX` of Eq. 3).
+    pub fn comm_time_s(&self, bytes: u64) -> f64 {
+        (bytes as f64 * 8.0) / (self.bandwidth_mbps * 1e6)
+    }
+
+    /// Communication energy in joules per Eq. 3:
+    /// `E_comm = P^S_TX × t_TX`.
+    pub fn comm_energy_j(&self, bytes: u64) -> f64 {
+        self.signal.tx_power_w() * self.comm_time_s(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weak_signal_is_slower_and_hungrier() {
+        // Mean comm time ratio should be roughly the paper's 4.3x and
+        // energy strictly worse.
+        let strong_t = SignalStrength::Strong.mean_bandwidth_mbps();
+        let weak_t = SignalStrength::Weak.mean_bandwidth_mbps();
+        let ratio = strong_t / weak_t;
+        assert!(ratio > 4.0 && ratio < 8.0, "time ratio {}", ratio);
+        assert!(SignalStrength::Weak.tx_power_w() > SignalStrength::Strong.tx_power_w());
+    }
+
+    #[test]
+    fn sampled_bandwidth_is_positive_and_regular_matches_threshold() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let o = NetworkObservation::sample(SignalStrength::Weak, &mut rng);
+            assert!(o.bandwidth_mbps >= 1.0);
+            assert_eq!(o.is_regular(), o.bandwidth_mbps > 40.0);
+        }
+    }
+
+    #[test]
+    fn comm_energy_follows_eq3() {
+        let o = NetworkObservation {
+            signal: SignalStrength::Strong,
+            bandwidth_mbps: 80.0,
+        };
+        // 10 MB at 80 Mbps = 1 s; at 0.8 W = 0.8 J.
+        let bytes = 10_000_000u64;
+        assert!((o.comm_time_s(bytes) - 1.0).abs() < 1e-9);
+        assert!((o.comm_energy_j(bytes) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weak_draws_mostly_fall_below_threshold() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let below = (0..500)
+            .filter(|_| {
+                !NetworkObservation::sample(SignalStrength::Weak, &mut rng).is_regular()
+            })
+            .count();
+        assert!(below > 450, "only {}/500 weak draws below 40 Mbps", below);
+    }
+}

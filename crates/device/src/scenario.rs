@@ -1,0 +1,147 @@
+//! Runtime-variance scenarios: which devices see interference and weak
+//! networks in a given round (Section 5.2 / Figures 5 and 10).
+
+use crate::fleet::Device;
+use crate::interference::Interference;
+use crate::network::{NetworkObservation, SignalStrength};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Probabilities of per-round runtime variance across the fleet.
+///
+/// Each device's per-user propensity multiplies these base probabilities,
+/// so some users are chronically noisy and an adaptive selector can learn
+/// to route around them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VarianceScenario {
+    /// Probability that a device runs an interfering app during a round.
+    pub interference_prob: f64,
+    /// Probability that a device is on a weak-signal network in a round.
+    pub weak_network_prob: f64,
+}
+
+impl VarianceScenario {
+    /// No interference, stable strong network (Figure 5a / 10a).
+    pub fn calm() -> Self {
+        VarianceScenario {
+            interference_prob: 0.0,
+            weak_network_prob: 0.0,
+        }
+    }
+
+    /// Co-running application interference present (Figure 5b / 10b).
+    pub fn with_interference() -> Self {
+        VarianceScenario {
+            interference_prob: 0.55,
+            weak_network_prob: 0.05,
+        }
+    }
+
+    /// Weak network signal strength (Figure 5c / 10c).
+    pub fn weak_network() -> Self {
+        VarianceScenario {
+            interference_prob: 0.05,
+            weak_network_prob: 0.65,
+        }
+    }
+
+    /// A mixed, in-the-field default.
+    pub fn realistic() -> Self {
+        VarianceScenario {
+            interference_prob: 0.30,
+            weak_network_prob: 0.20,
+        }
+    }
+
+    /// Samples the conditions one device observes during one round.
+    pub fn sample(&self, device: &Device, rng: &mut impl Rng) -> DeviceConditions {
+        let p_int = (self.interference_prob * device.interference_propensity()).clamp(0.0, 1.0);
+        let interference = if p_int > 0.0 && rng.gen_bool(p_int) {
+            Interference::web_browsing(rng)
+        } else {
+            Interference::none()
+        };
+        let p_weak = (self.weak_network_prob * device.weak_signal_propensity()).clamp(0.0, 1.0);
+        let signal = if p_weak > 0.0 && rng.gen_bool(p_weak) {
+            SignalStrength::Weak
+        } else {
+            SignalStrength::Strong
+        };
+        DeviceConditions {
+            interference,
+            network: NetworkObservation::sample(signal, rng),
+        }
+    }
+}
+
+/// The runtime conditions one device observes during one round — the
+/// per-device part of the AutoFL state (Table 1 rows `S_Co_CPU`,
+/// `S_Co_MEM`, `S_Network`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConditions {
+    /// Co-running app load.
+    pub interference: Interference,
+    /// Network observation.
+    pub network: NetworkObservation,
+}
+
+impl DeviceConditions {
+    /// Ideal conditions (no load, strong mean bandwidth). Useful in tests.
+    pub fn ideal() -> Self {
+        DeviceConditions {
+            interference: Interference::none(),
+            network: NetworkObservation {
+                signal: SignalStrength::Strong,
+                bandwidth_mbps: SignalStrength::Strong.mean_bandwidth_mbps(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::Fleet;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn calm_scenario_produces_no_interference() {
+        let fleet = Fleet::paper_fleet(1);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let sc = VarianceScenario::calm();
+        for d in fleet.iter().take(50) {
+            let c = sc.sample(d, &mut rng);
+            assert!(!c.interference.is_active());
+            assert_eq!(c.network.signal, SignalStrength::Strong);
+        }
+    }
+
+    #[test]
+    fn interference_scenario_hits_about_half_the_fleet() {
+        let fleet = Fleet::paper_fleet(2);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let sc = VarianceScenario::with_interference();
+        let active = fleet
+            .iter()
+            .filter(|d| sc.sample(d, &mut rng).interference.is_active())
+            .count();
+        assert!(
+            (60..=160).contains(&active),
+            "{} of 200 devices interfered",
+            active
+        );
+    }
+
+    #[test]
+    fn weak_scenario_mostly_weak_signals() {
+        let fleet = Fleet::paper_fleet(3);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let sc = VarianceScenario::weak_network();
+        let weak = fleet
+            .iter()
+            .filter(|d| sc.sample(d, &mut rng).network.signal == SignalStrength::Weak)
+            .count();
+        assert!(weak > 80, "{} of 200 on weak signal", weak);
+    }
+}

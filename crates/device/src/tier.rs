@@ -1,0 +1,170 @@
+//! Device performance tiers (Tables 2 and 3 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// The three representative categories of smartphones evaluated in the
+/// paper: high-end (Mi8Pro-class), mid-end (Galaxy S10e-class) and low-end
+/// (Moto X Force-class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DeviceTier {
+    /// High-end devices — `m4.large`-emulated, Mi8Pro power profile.
+    High,
+    /// Mid-end devices — `t3a.medium`-emulated, Galaxy S10e power profile.
+    Mid,
+    /// Low-end devices — `t2.small`-emulated, Moto X Force power profile.
+    Low,
+}
+
+impl DeviceTier {
+    /// All tiers, highest first.
+    pub fn all() -> [DeviceTier; 3] {
+        [DeviceTier::High, DeviceTier::Mid, DeviceTier::Low]
+    }
+
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeviceTier::High => "H",
+            DeviceTier::Mid => "M",
+            DeviceTier::Low => "L",
+        }
+    }
+
+    /// The emulated phone model (Table 3).
+    pub fn phone(&self) -> &'static str {
+        match self {
+            DeviceTier::High => "Mi8Pro",
+            DeviceTier::Mid => "Galaxy S10e",
+            DeviceTier::Low => "Moto X Force",
+        }
+    }
+
+    /// Theoretical GFLOPS of the emulating EC2 instance (Table 2). Used as
+    /// the CPU training-throughput ceiling.
+    pub fn gflops(&self) -> f64 {
+        match self {
+            DeviceTier::High => 153.6,
+            DeviceTier::Mid => 80.0,
+            DeviceTier::Low => 52.8,
+        }
+    }
+
+    /// RAM in GB (Table 2).
+    pub fn ram_gb(&self) -> u32 {
+        match self {
+            DeviceTier::High => 8,
+            DeviceTier::Mid => 4,
+            DeviceTier::Low => 2,
+        }
+    }
+
+    /// Peak CPU power in watts at the maximum V-F step (Table 3).
+    pub fn cpu_peak_power_w(&self) -> f64 {
+        match self {
+            DeviceTier::High => 5.5,
+            DeviceTier::Mid => 5.6,
+            DeviceTier::Low => 3.6,
+        }
+    }
+
+    /// Peak GPU power in watts (Table 3).
+    pub fn gpu_peak_power_w(&self) -> f64 {
+        match self {
+            DeviceTier::High => 2.8,
+            DeviceTier::Mid => 2.4,
+            DeviceTier::Low => 2.0,
+        }
+    }
+
+    /// Number of CPU V-F steps (Table 3).
+    pub fn cpu_vf_steps(&self) -> usize {
+        match self {
+            DeviceTier::High => 23,
+            DeviceTier::Mid => 21,
+            DeviceTier::Low => 15,
+        }
+    }
+
+    /// Number of GPU V-F steps (Table 3).
+    pub fn gpu_vf_steps(&self) -> usize {
+        match self {
+            DeviceTier::High => 7,
+            DeviceTier::Mid => 9,
+            DeviceTier::Low => 6,
+        }
+    }
+
+    /// Maximum CPU frequency in GHz (Table 3).
+    pub fn cpu_max_freq_ghz(&self) -> f64 {
+        match self {
+            DeviceTier::High => 2.8,
+            DeviceTier::Mid => 2.7,
+            DeviceTier::Low => 1.9,
+        }
+    }
+
+    /// Maximum GPU frequency in GHz (Table 3).
+    pub fn gpu_max_freq_ghz(&self) -> f64 {
+        match self {
+            DeviceTier::High => 0.7,
+            DeviceTier::Mid => 0.7,
+            DeviceTier::Low => 0.6,
+        }
+    }
+
+    /// Device count in the paper's 200-device fleet (Section 5.1).
+    pub fn paper_fleet_count(&self) -> usize {
+        match self {
+            DeviceTier::High => 30,
+            DeviceTier::Mid => 70,
+            DeviceTier::Low => 100,
+        }
+    }
+
+    /// Whole-device idle power in watts (screen off, SoC idle). Not in the
+    /// paper's tables; set to typical measured values so Eq. (4) idle
+    /// energy is non-zero.
+    pub fn idle_power_w(&self) -> f64 {
+        match self {
+            DeviceTier::High => 0.25,
+            DeviceTier::Mid => 0.20,
+            DeviceTier::Low => 0.15,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_constants() {
+        assert_eq!(DeviceTier::High.gflops(), 153.6);
+        assert_eq!(DeviceTier::Mid.gflops(), 80.0);
+        assert_eq!(DeviceTier::Low.gflops(), 52.8);
+        assert_eq!(DeviceTier::High.ram_gb(), 8);
+    }
+
+    #[test]
+    fn table3_constants() {
+        assert_eq!(DeviceTier::High.cpu_peak_power_w(), 5.5);
+        assert_eq!(DeviceTier::Mid.cpu_vf_steps(), 21);
+        assert_eq!(DeviceTier::Low.gpu_vf_steps(), 6);
+        assert_eq!(DeviceTier::Low.cpu_max_freq_ghz(), 1.9);
+    }
+
+    #[test]
+    fn paper_fleet_totals_200() {
+        let total: usize = DeviceTier::all().iter().map(|t| t.paper_fleet_count()).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn performance_gap_matches_section3() {
+        // Section 3.1: high-end shows ~1.7x / 2.5x better training time than
+        // mid / low (compute-bound); our GFLOPS ratios: 1.92x and 2.9x.
+        let h = DeviceTier::High.gflops();
+        assert!(h / DeviceTier::Mid.gflops() > 1.5);
+        assert!(h / DeviceTier::Low.gflops() > 2.3);
+    }
+}

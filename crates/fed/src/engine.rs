@@ -1,0 +1,594 @@
+//! The FL simulation engine: rounds, straggler handling, energy accounting
+//! and convergence metrics.
+
+use crate::accuracy::{AccuracyEngine, CohortStats, ConvergenceProfile, RealTrainingEngine, SurrogateEngine};
+use crate::algorithms::AggregationAlgorithm;
+use crate::estimate::estimate_round;
+use crate::global::GlobalParams;
+use crate::selection::{RoundContext, RoundFeedback, SelectionDecision, Selector};
+use autofl_data::partition::DataDistribution;
+use autofl_data::FlData;
+use autofl_device::cost::ExecutionPlan;
+use autofl_device::fleet::{DeviceId, Fleet};
+use autofl_device::idle_energy_j;
+use autofl_device::scenario::{DeviceConditions, VarianceScenario};
+use autofl_nn::zoo::Workload;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Which accuracy engine drives convergence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fidelity {
+    /// Calibrated learning-curve surrogate (fast; used by figure sweeps).
+    Surrogate,
+    /// Real training of the scaled-down model (ground truth; slower).
+    RealTraining {
+        /// Client SGD learning rate.
+        lr: f32,
+        /// Max test samples used per evaluation.
+        eval_samples: usize,
+    },
+}
+
+/// Full configuration of one simulated FL deployment.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The FL use case.
+    pub workload: Workload,
+    /// `(B, E, K)`.
+    pub params: GlobalParams,
+    /// Data heterogeneity scenario.
+    pub distribution: DataDistribution,
+    /// Runtime-variance scenario.
+    pub scenario: VarianceScenario,
+    /// Aggregation algorithm.
+    pub algorithm: AggregationAlgorithm,
+    /// Accuracy engine.
+    pub fidelity: Fidelity,
+    /// Fleet size `N`.
+    pub num_devices: usize,
+    /// Mean local training samples per device.
+    pub samples_per_device: usize,
+    /// Held-out test samples.
+    pub test_samples: usize,
+    /// Round deadline as a multiple of the cohort's median completion
+    /// time; participants beyond it are stragglers.
+    pub straggler_deadline_factor: f64,
+    /// Convergence threshold; `None` uses the workload profile's target.
+    pub target_accuracy: Option<f64>,
+    /// Maximum rounds to simulate.
+    pub max_rounds: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A paper-shaped configuration: 200 devices, S3 parameters, FedAvg,
+    /// ideal IID data, calm runtime, surrogate accuracy.
+    pub fn paper_default(workload: Workload) -> Self {
+        SimConfig {
+            workload,
+            params: GlobalParams::s3(),
+            distribution: DataDistribution::IidIdeal,
+            scenario: VarianceScenario::calm(),
+            algorithm: AggregationAlgorithm::FedAvg,
+            fidelity: Fidelity::Surrogate,
+            num_devices: 200,
+            samples_per_device: 300,
+            test_samples: 512,
+            straggler_deadline_factor: 2.0,
+            target_accuracy: None,
+            max_rounds: 1000,
+            seed: 42,
+        }
+    }
+
+    /// A miniature configuration for fast tests: few devices, tiny
+    /// workload data, short horizon.
+    pub fn tiny_test(seed: u64) -> Self {
+        SimConfig {
+            workload: Workload::TinyTest,
+            params: GlobalParams::new(8, 1, 4),
+            distribution: DataDistribution::IidIdeal,
+            scenario: VarianceScenario::calm(),
+            algorithm: AggregationAlgorithm::FedAvg,
+            fidelity: Fidelity::Surrogate,
+            num_devices: 12,
+            samples_per_device: 24,
+            test_samples: 48,
+            straggler_deadline_factor: 2.0,
+            target_accuracy: None,
+            max_rounds: 60,
+            seed,
+        }
+    }
+
+    /// The effective convergence target.
+    pub fn target(&self) -> f64 {
+        self.target_accuracy
+            .unwrap_or_else(|| ConvergenceProfile::for_workload(self.workload).target_accuracy)
+    }
+}
+
+/// Everything measured in one aggregation round.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Selected participants.
+    pub participants: Vec<DeviceId>,
+    /// Execution plans, aligned with `participants`.
+    pub plans: Vec<ExecutionPlan>,
+    /// Wall-clock duration of the round in seconds.
+    pub round_time_s: f64,
+    /// Active energy of participants in joules.
+    pub active_energy_j: f64,
+    /// Idle energy of non-participants in joules.
+    pub idle_energy_j: f64,
+    /// Test accuracy after aggregation.
+    pub accuracy: f64,
+    /// Participants dropped as stragglers (FedAvg) this round.
+    pub dropped: Vec<DeviceId>,
+    /// Fraction of nominal work each participant's aggregated update
+    /// represents (0 for dropped participants).
+    pub update_fractions: Vec<f64>,
+}
+
+impl RoundRecord {
+    /// Total energy of the round (Eq. 6).
+    pub fn total_energy_j(&self) -> f64 {
+        self.active_energy_j + self.idle_energy_j
+    }
+}
+
+/// Aggregated result of a simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Policy that produced the run.
+    pub policy: String,
+    /// The convergence target used.
+    pub target_accuracy: f64,
+    /// Per-round records.
+    pub records: Vec<RoundRecord>,
+}
+
+impl SimResult {
+    /// First round (0-based) whose accuracy reached the target.
+    pub fn converged_round(&self) -> Option<usize> {
+        self.records
+            .iter()
+            .position(|r| r.accuracy >= self.target_accuracy)
+    }
+
+    /// Whether the run reached the target within the horizon.
+    pub fn converged(&self) -> bool {
+        self.converged_round().is_some()
+    }
+
+    /// Simulated seconds until convergence (or the whole run if it never
+    /// converged).
+    pub fn time_to_target_s(&self) -> f64 {
+        let upto = self.converged_round().map(|r| r + 1).unwrap_or(self.records.len());
+        self.records[..upto].iter().map(|r| r.round_time_s).sum()
+    }
+
+    /// Total energy in joules until convergence (or the whole run).
+    pub fn energy_to_target_j(&self) -> f64 {
+        let upto = self.converged_round().map(|r| r + 1).unwrap_or(self.records.len());
+        self.records[..upto].iter().map(|r| r.total_energy_j()).sum()
+    }
+
+    /// Active (participant-side) energy until convergence.
+    pub fn local_energy_to_target_j(&self) -> f64 {
+        let upto = self.converged_round().map(|r| r + 1).unwrap_or(self.records.len());
+        self.records[..upto].iter().map(|r| r.active_energy_j).sum()
+    }
+
+    /// Final test accuracy.
+    pub fn final_accuracy(&self) -> f64 {
+        self.records.last().map(|r| r.accuracy).unwrap_or(0.0)
+    }
+
+    /// Best accuracy seen.
+    pub fn best_accuracy(&self) -> f64 {
+        self.records.iter().map(|r| r.accuracy).fold(0.0, f64::max)
+    }
+
+    /// Convergence progress in `[0, 1]`: best accuracy relative to target.
+    pub fn progress(&self) -> f64 {
+        (self.best_accuracy() / self.target_accuracy).min(1.0)
+    }
+
+    /// Global performance-per-watt figure of merit: progress per joule of
+    /// cluster energy. Ratios of this quantity are the paper's "PPW
+    /// improvement" numbers; non-converged runs are penalised through both
+    /// lower progress and the full-horizon energy.
+    pub fn ppw_global(&self) -> f64 {
+        self.progress() / self.energy_to_target_j().max(1e-9)
+    }
+
+    /// Local performance-per-watt: progress per joule of participant
+    /// (active) energy.
+    pub fn ppw_local(&self) -> f64 {
+        self.progress() / self.local_energy_to_target_j().max(1e-9)
+    }
+
+    /// Mean round time in seconds over the effective horizon.
+    pub fn mean_round_time_s(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let upto = self.converged_round().map(|r| r + 1).unwrap_or(self.records.len());
+        self.records[..upto].iter().map(|r| r.round_time_s).sum::<f64>() / upto as f64
+    }
+}
+
+/// The simulation: owns the fleet, the data, the accuracy engine and the
+/// per-round stochastic state.
+pub struct Simulation {
+    config: SimConfig,
+    fleet: Fleet,
+    data: FlData,
+    engine: Box<dyn AccuracyEngine>,
+    rng: SmallRng,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("workload", &self.config.workload.name())
+            .field("devices", &self.fleet.len())
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Builds a simulation from a configuration (deterministic in
+    /// `config.seed`).
+    pub fn new(config: SimConfig) -> Self {
+        let fleet = if config.num_devices == 200 {
+            Fleet::paper_fleet(config.seed)
+        } else {
+            // Keep the paper's 15/35/50% tier mix at any scale.
+            let h = (config.num_devices * 15 / 100).max(1);
+            let l = (config.num_devices * 50 / 100).max(1);
+            let m = config.num_devices - h - l;
+            Fleet::custom(
+                &[
+                    (autofl_device::tier::DeviceTier::High, h),
+                    (autofl_device::tier::DeviceTier::Mid, m),
+                    (autofl_device::tier::DeviceTier::Low, l),
+                ],
+                config.seed,
+            )
+        };
+        let data = FlData::generate(
+            config.workload,
+            config.num_devices,
+            config.samples_per_device,
+            config.test_samples,
+            config.distribution,
+            config.seed,
+        );
+        let engine: Box<dyn AccuracyEngine> = match config.fidelity {
+            Fidelity::Surrogate => Box::new(SurrogateEngine::new(
+                config.workload,
+                config.algorithm,
+                (config.params.num_participants * config.samples_per_device) as f64,
+                config.params.local_epochs as f64,
+                config.seed ^ 0xacc,
+            )),
+            Fidelity::RealTraining { lr, eval_samples } => Box::new(RealTrainingEngine::new(
+                config.workload,
+                data.clone(),
+                config.algorithm,
+                lr,
+                eval_samples,
+                config.seed,
+            )),
+        };
+        let rng = SmallRng::seed_from_u64(config.seed ^ 0x51b);
+        Simulation {
+            config,
+            fleet,
+            data,
+            engine,
+            rng,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The fleet.
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// The federated dataset.
+    pub fn data(&self) -> &FlData {
+        &self.data
+    }
+
+    /// Current global accuracy.
+    pub fn accuracy(&self) -> f64 {
+        self.engine.accuracy()
+    }
+
+    /// Runs one aggregation round under `selector` and returns its record.
+    pub fn run_round(&mut self, selector: &mut dyn Selector, round: usize) -> RoundRecord {
+        self.run_round_shadowed(selector, round, None).0
+    }
+
+    /// Like [`Simulation::run_round`], but additionally asks `shadow` what
+    /// it *would* have decided for the same round context, without
+    /// executing it. Used to measure prediction accuracy against the
+    /// oracle (Figure 12).
+    pub fn run_round_shadowed(
+        &mut self,
+        selector: &mut dyn Selector,
+        round: usize,
+        mut shadow: Option<&mut dyn Selector>,
+    ) -> (RoundRecord, Option<SelectionDecision>) {
+        // 1. Sample per-device runtime conditions.
+        let conditions: Vec<DeviceConditions> = self
+            .fleet
+            .iter()
+            .map(|d| self.config.scenario.sample(d, &mut self.rng))
+            .collect();
+
+        // 2. Ask the policy for participants + execution plans.
+        let prev_accuracy = self.engine.accuracy();
+        let ctx = RoundContext {
+            round,
+            fleet: &self.fleet,
+            conditions: &conditions,
+            partition: &self.data.partition,
+            params: &self.config.params,
+            workload: self.config.workload,
+            layer_counts: self.config.workload.reference_layer_counts(),
+            prev_accuracy,
+        };
+        let SelectionDecision {
+            participants,
+            plans,
+        } = selector.select(&ctx, &mut self.rng);
+        assert_eq!(participants.len(), plans.len(), "selector plan mismatch");
+        let shadow_decision = shadow.as_mut().map(|s| {
+            // The shadow gets its own RNG stream so it cannot perturb the
+            // main run's determinism.
+            let mut shadow_rng = SmallRng::seed_from_u64(
+                self.config.seed ^ (round as u64).wrapping_mul(0x5bd1_e995),
+            );
+            s.select(&ctx, &mut shadow_rng)
+        });
+        let tasks: Vec<_> = participants.iter().map(|id| ctx.task_for(*id)).collect();
+
+        // 3. Execute: per-device costs, straggler deadline, drops/partials.
+        let est = estimate_round(&self.fleet, &participants, &plans, &tasks, &conditions);
+        let mut completion: Vec<f64> = est
+            .per_participant
+            .iter()
+            .map(|c| c.total_time_s())
+            .collect();
+        let deadline = median(&completion) * self.config.straggler_deadline_factor;
+        let accepts_partial = self.config.algorithm.accepts_partial_updates();
+        let mut dropped = Vec::new();
+        let mut fractions = vec![1.0f64; participants.len()];
+        for (i, &t) in completion.clone().iter().enumerate() {
+            if t > deadline {
+                if accepts_partial {
+                    // Straggler submits whatever fraction of local steps it
+                    // finished before the deadline (communication still
+                    // happens, modelled inside the fraction).
+                    fractions[i] = (deadline / t).clamp(0.05, 1.0);
+                    completion[i] = deadline;
+                } else {
+                    fractions[i] = 0.0;
+                    dropped.push(participants[i]);
+                    completion[i] = deadline; // it burned energy until cut off
+                }
+            }
+        }
+        let round_time_s = completion.iter().copied().fold(0.0, f64::max).max(1e-9);
+
+        // 4. Energy accounting: participants pay active energy scaled by
+        // the share of work they performed; non-participants idle (Eq. 5).
+        let mut active_energy_j = 0.0;
+        let mut per_participant_energy = Vec::with_capacity(participants.len());
+        for (i, cost) in est.per_participant.iter().enumerate() {
+            let full = cost.total_energy_j();
+            let share = if fractions[i] > 0.0 {
+                fractions[i]
+            } else {
+                // Dropped straggler: computed until the deadline, then the
+                // update was discarded.
+                (deadline / cost.total_time_s()).clamp(0.0, 1.0)
+            };
+            let e = full * share;
+            active_energy_j += e;
+            per_participant_energy.push(e);
+        }
+        let mut idle_energy = 0.0;
+        for device in self.fleet.iter() {
+            if !participants.contains(&device.id()) {
+                idle_energy += idle_energy_j(device.tier(), round_time_s);
+            }
+        }
+
+        // 5. Aggregate: update global accuracy from the surviving cohort.
+        let survivors: Vec<DeviceId> = participants
+            .iter()
+            .zip(&fractions)
+            .filter(|(_, &f)| f > 0.0)
+            .map(|(id, _)| *id)
+            .collect();
+        let survivor_fractions: Vec<f64> =
+            fractions.iter().copied().filter(|&f| f > 0.0).collect();
+        let effective_samples: f64 = survivors
+            .iter()
+            .zip(&survivor_fractions)
+            .map(|(id, f)| self.data.partition.device_indices(id.0).len() as f64 * f)
+            .sum();
+        let survivor_ids: Vec<usize> = survivors.iter().map(|id| id.0).collect();
+        let mean_member_divergence = if effective_samples > 0.0 {
+            survivors
+                .iter()
+                .zip(&survivor_fractions)
+                .map(|(id, f)| {
+                    let w = self.data.partition.device_indices(id.0).len() as f64 * f;
+                    self.data.partition.device_divergence(id.0) * w
+                })
+                .sum::<f64>()
+                / effective_samples
+        } else {
+            0.0
+        };
+        let stats = CohortStats {
+            participants: survivors,
+            update_fractions: survivor_fractions,
+            effective_samples,
+            class_coverage: self.data.partition.cohort_class_coverage(&survivor_ids),
+            divergence: self.data.partition.cohort_divergence(&survivor_ids),
+            mean_member_divergence,
+            local_epochs: self.config.params.local_epochs,
+            batch_size: self.config.params.batch_size,
+        };
+        let accuracy = self.engine.apply_round(&stats);
+
+        // 6. Feed the outcome back to learning selectors.
+        let idle_per_device = if self.fleet.len() > participants.len() {
+            idle_energy / (self.fleet.len() - participants.len()) as f64
+        } else {
+            0.0
+        };
+        selector.observe(&RoundFeedback {
+            participants: participants.clone(),
+            per_participant_energy_j: per_participant_energy,
+            idle_energy_per_device_j: idle_per_device,
+            global_energy_j: active_energy_j + idle_energy,
+            round_time_s,
+            accuracy,
+            prev_accuracy,
+            dropped: dropped.clone(),
+        });
+
+        let record = RoundRecord {
+            round,
+            participants,
+            plans,
+            round_time_s,
+            active_energy_j,
+            idle_energy_j: idle_energy,
+            accuracy,
+            dropped,
+            update_fractions: fractions,
+        };
+        (record, shadow_decision)
+    }
+
+    /// Runs until the target accuracy is reached (plus nothing) or
+    /// `max_rounds`, whichever comes first, and returns the result.
+    pub fn run(&mut self, selector: &mut dyn Selector) -> SimResult {
+        let target = self.config.target();
+        let mut records = Vec::new();
+        for round in 0..self.config.max_rounds {
+            let record = self.run_round(selector, round);
+            let reached = record.accuracy >= target;
+            records.push(record);
+            if reached {
+                break;
+            }
+        }
+        SimResult {
+            policy: selector.name().to_string(),
+            target_accuracy: target,
+            records,
+        }
+    }
+}
+
+fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection::{ClusterSelector, RandomSelector};
+
+    #[test]
+    fn tiny_simulation_runs_and_converges() {
+        let mut sim = Simulation::new(SimConfig::tiny_test(1));
+        let result = sim.run(&mut RandomSelector::new());
+        assert!(!result.records.is_empty());
+        assert!(result.converged(), "final acc {}", result.final_accuracy());
+        assert!(result.energy_to_target_j() > 0.0);
+        assert!(result.time_to_target_s() > 0.0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_per_seed() {
+        let run = || {
+            let mut sim = Simulation::new(SimConfig::tiny_test(7));
+            sim.run(&mut RandomSelector::new())
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.records.len(), b.records.len());
+        for (ra, rb) in a.records.iter().zip(b.records.iter()) {
+            assert_eq!(ra.participants, rb.participants);
+            assert_eq!(ra.accuracy, rb.accuracy);
+            assert_eq!(ra.total_energy_j(), rb.total_energy_j());
+        }
+    }
+
+    #[test]
+    fn performance_policy_has_faster_rounds_than_power() {
+        let mut cfg = SimConfig::paper_default(Workload::CnnMnist);
+        cfg.max_rounds = 30;
+        let perf = Simulation::new(cfg.clone()).run(&mut ClusterSelector::performance());
+        let power = Simulation::new(cfg).run(&mut ClusterSelector::power());
+        assert!(
+            perf.mean_round_time_s() < power.mean_round_time_s(),
+            "perf {} vs power {}",
+            perf.mean_round_time_s(),
+            power.mean_round_time_s()
+        );
+    }
+
+    #[test]
+    fn fedavg_drops_stragglers_but_fednova_keeps_partial() {
+        let mut cfg = SimConfig::paper_default(Workload::CnnMnist);
+        cfg.scenario = VarianceScenario::with_interference();
+        cfg.max_rounds = 20;
+        cfg.straggler_deadline_factor = 1.3;
+        let avg = Simulation::new(cfg.clone()).run(&mut RandomSelector::new());
+        cfg.algorithm = AggregationAlgorithm::FedNova;
+        let nova = Simulation::new(cfg).run(&mut RandomSelector::new());
+        let drops = |r: &SimResult| -> usize { r.records.iter().map(|x| x.dropped.len()).sum() };
+        assert!(drops(&avg) > 0, "interference should create stragglers");
+        assert_eq!(drops(&nova), 0, "FedNova accepts partial updates");
+    }
+
+    #[test]
+    fn round_energy_includes_idle_fleet() {
+        let mut sim = Simulation::new(SimConfig::tiny_test(3));
+        let rec = sim.run_round(&mut RandomSelector::new(), 0);
+        assert!(rec.idle_energy_j > 0.0);
+        assert!(rec.active_energy_j > 0.0);
+        assert_eq!(rec.participants.len(), 4);
+    }
+}

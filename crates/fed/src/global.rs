@@ -1,0 +1,84 @@
+//! FL global parameters `(B, E, K)` — Table 5 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// The FL service's global parameters, fixed for the lifetime of a use
+/// case: mini-batch size `B`, local epochs `E`, and participants per round
+/// `K`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GlobalParams {
+    /// Local mini-batch size `B`.
+    pub batch_size: usize,
+    /// Local epochs per round `E`.
+    pub local_epochs: usize,
+    /// Participants per round `K`.
+    pub num_participants: usize,
+}
+
+impl GlobalParams {
+    /// Creates a parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new(batch_size: usize, local_epochs: usize, num_participants: usize) -> Self {
+        assert!(
+            batch_size > 0 && local_epochs > 0 && num_participants > 0,
+            "global parameters must be positive"
+        );
+        GlobalParams {
+            batch_size,
+            local_epochs,
+            num_participants,
+        }
+    }
+
+    /// Table 5, setting S1: `B=32, E=10, K=20`.
+    pub fn s1() -> Self {
+        GlobalParams::new(32, 10, 20)
+    }
+
+    /// Table 5, setting S2: `B=32, E=5, K=20`.
+    pub fn s2() -> Self {
+        GlobalParams::new(32, 5, 20)
+    }
+
+    /// Table 5, setting S3: `B=16, E=5, K=20`.
+    pub fn s3() -> Self {
+        GlobalParams::new(16, 5, 20)
+    }
+
+    /// Table 5, setting S4: `B=16, E=5, K=10`.
+    pub fn s4() -> Self {
+        GlobalParams::new(16, 5, 10)
+    }
+
+    /// All four Table 5 settings with their labels.
+    pub fn paper_settings() -> [(&'static str, GlobalParams); 4] {
+        [
+            ("S1", GlobalParams::s1()),
+            ("S2", GlobalParams::s2()),
+            ("S3", GlobalParams::s3()),
+            ("S4", GlobalParams::s4()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_settings() {
+        assert_eq!(GlobalParams::s1(), GlobalParams::new(32, 10, 20));
+        assert_eq!(GlobalParams::s2(), GlobalParams::new(32, 5, 20));
+        assert_eq!(GlobalParams::s3(), GlobalParams::new(16, 5, 20));
+        assert_eq!(GlobalParams::s4(), GlobalParams::new(16, 5, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_k() {
+        let _ = GlobalParams::new(16, 5, 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # autofl-fed
+//!
+//! The federated-learning framework substrate of the AutoFL reproduction:
+//!
+//! * [`global`] — the `(B, E, K)` parameter sets S1–S4 (Table 5).
+//! * [`clusters`] — the characterization compositions C0–C7 (Table 4).
+//! * [`algorithms`] — FedAvg plus the comparators FedProx, FedNova, FEDL.
+//! * [`selection`] — the [`selection::Selector`] trait and the
+//!   Random/Performance/Power baselines.
+//! * [`oracle`] — the `O_participant` and `O_FL` oracles.
+//! * [`accuracy`] — real-training and surrogate accuracy engines.
+//! * [`estimate`] — round-level time/energy estimation (Eqs. 5–6 inputs).
+//! * [`engine`] — the round simulator with straggler handling and energy
+//!   accounting, producing [`engine::SimResult`]s whose `ppw_*` ratios are
+//!   the paper's reported numbers.
+//!
+//! # Examples
+//!
+//! ```
+//! use autofl_fed::engine::{SimConfig, Simulation};
+//! use autofl_fed::selection::RandomSelector;
+//!
+//! let mut sim = Simulation::new(SimConfig::tiny_test(1));
+//! let result = sim.run(&mut RandomSelector::new());
+//! assert!(result.final_accuracy() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accuracy;
+pub mod algorithms;
+pub mod clusters;
+pub mod engine;
+pub mod estimate;
+pub mod global;
+pub mod oracle;
+pub mod selection;
+
+pub use algorithms::AggregationAlgorithm;
+pub use clusters::CharacterizationCluster;
+pub use engine::{Fidelity, RoundRecord, SimConfig, SimResult, Simulation};
+pub use global::GlobalParams;
+pub use oracle::OracleSelector;
+pub use selection::{
+    ClusterSelector, RandomSelector, RoundContext, RoundFeedback, SelectionDecision, Selector,
+};

@@ -1,0 +1,333 @@
+//! Participant-selection policies and the [`Selector`] trait AutoFL plugs
+//! into.
+
+use crate::clusters::CharacterizationCluster;
+use crate::global::GlobalParams;
+use autofl_data::partition::Partition;
+use autofl_device::cost::{ExecutionPlan, TrainingTask};
+use autofl_device::fleet::{DeviceId, Fleet};
+use autofl_device::scenario::DeviceConditions;
+use autofl_device::tier::DeviceTier;
+use autofl_nn::model::LayerCounts;
+use autofl_nn::zoo::Workload;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+/// Everything a selection policy may observe at the start of a round.
+///
+/// This mirrors the information the de-facto FL protocol already collects
+/// from devices (resource usage, network bandwidth, data-class counts) —
+/// footnote 3 of the paper.
+#[derive(Debug)]
+pub struct RoundContext<'a> {
+    /// 0-based aggregation-round index.
+    pub round: usize,
+    /// The device fleet.
+    pub fleet: &'a Fleet,
+    /// Per-device runtime conditions this round, indexed by raw device id.
+    pub conditions: &'a [DeviceConditions],
+    /// The training-data partition (for data-class counts).
+    pub partition: &'a Partition,
+    /// FL global parameters.
+    pub params: &'a GlobalParams,
+    /// The workload being trained.
+    pub workload: Workload,
+    /// CONV/FC/RC counts of the (paper-scale) model.
+    pub layer_counts: LayerCounts,
+    /// Global test accuracy after the previous round, in `[0, 1]`.
+    pub prev_accuracy: f64,
+}
+
+impl RoundContext<'_> {
+    /// The training task device `id` would perform this round:
+    /// `E × local_samples × training FLOPs/sample`, plus the gradient
+    /// upload.
+    pub fn task_for(&self, id: DeviceId) -> TrainingTask {
+        let samples = self.partition.device_indices(id.0).len() as u64;
+        TrainingTask {
+            flops: self.params.local_epochs as u64
+                * samples
+                * self.workload.reference_training_flops_per_sample(),
+            upload_bytes: self.workload.reference_model_bytes(),
+        }
+    }
+}
+
+/// What a policy decided for one round: who participates, and on what
+/// silicon/frequency each participant trains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectionDecision {
+    /// The `≤ K` chosen devices.
+    pub participants: Vec<DeviceId>,
+    /// Execution plan per participant, aligned with `participants`.
+    pub plans: Vec<ExecutionPlan>,
+}
+
+impl SelectionDecision {
+    /// Builds a decision that trains every participant on its CPU at
+    /// maximum frequency — the conventional default all non-O_FL baselines
+    /// use.
+    pub fn cpu_max(fleet: &Fleet, participants: Vec<DeviceId>) -> Self {
+        let plans = participants
+            .iter()
+            .map(|id| ExecutionPlan::cpu_max(fleet.device(*id).tier()))
+            .collect();
+        SelectionDecision {
+            participants,
+            plans,
+        }
+    }
+}
+
+/// Feedback a learning selector receives after the round completes.
+#[derive(Debug, Clone)]
+pub struct RoundFeedback {
+    /// The decision that was executed.
+    pub participants: Vec<DeviceId>,
+    /// Per-participant active energy in joules (Eq. 5 selected branch).
+    pub per_participant_energy_j: Vec<f64>,
+    /// Idle energy per non-participant in joules (Eq. 5 else branch).
+    pub idle_energy_per_device_j: f64,
+    /// Global energy of the round (Eq. 6).
+    pub global_energy_j: f64,
+    /// Wall-clock round time in seconds.
+    pub round_time_s: f64,
+    /// Test accuracy after aggregation, in `[0, 1]`.
+    pub accuracy: f64,
+    /// Test accuracy before this round, in `[0, 1]`.
+    pub prev_accuracy: f64,
+    /// Participants dropped as stragglers this round.
+    pub dropped: Vec<DeviceId>,
+}
+
+/// A participant-selection (and execution-target) policy.
+///
+/// Implemented by the baselines here and by `autofl_core::AutoFl`.
+pub trait Selector {
+    /// Chooses up to `K` participants and their execution plans.
+    fn select(&mut self, ctx: &RoundContext<'_>, rng: &mut SmallRng) -> SelectionDecision;
+
+    /// Receives the measured outcome of the round (learning selectors
+    /// update their policy here).
+    fn observe(&mut self, feedback: &RoundFeedback) {
+        let _ = feedback;
+    }
+
+    /// Policy name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The FedAvg baseline: `K` participants chosen uniformly at random
+/// (cluster C0), trained on CPU at maximum frequency.
+#[derive(Debug, Clone, Default)]
+pub struct RandomSelector;
+
+impl RandomSelector {
+    /// Creates the selector.
+    pub fn new() -> Self {
+        RandomSelector
+    }
+}
+
+impl Selector for RandomSelector {
+    fn select(&mut self, ctx: &RoundContext<'_>, rng: &mut SmallRng) -> SelectionDecision {
+        let mut ids = ctx.fleet.ids();
+        ids.shuffle(rng);
+        ids.truncate(ctx.params.num_participants);
+        SelectionDecision::cpu_max(ctx.fleet, ids)
+    }
+
+    fn name(&self) -> &'static str {
+        "FedAvg-Random"
+    }
+}
+
+/// A fixed Table 4 composition (C1–C7): picks the prescribed number of
+/// devices per tier, uniformly within each tier.
+#[derive(Debug, Clone)]
+pub struct ClusterSelector {
+    cluster: CharacterizationCluster,
+    label: &'static str,
+}
+
+impl ClusterSelector {
+    /// Creates a selector for any fixed cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is C0 (random has no fixed composition).
+    pub fn new(cluster: CharacterizationCluster) -> Self {
+        assert!(
+            cluster.base_composition().is_some(),
+            "C0 is the random baseline; use RandomSelector"
+        );
+        ClusterSelector {
+            cluster,
+            label: cluster.name(),
+        }
+    }
+
+    /// The `Performance` policy: all high-end devices (C1).
+    pub fn performance() -> Self {
+        let mut s = ClusterSelector::new(CharacterizationCluster::C1);
+        s.label = "Performance";
+        s
+    }
+
+    /// The `Power` policy: all low-end devices (C7).
+    pub fn power() -> Self {
+        let mut s = ClusterSelector::new(CharacterizationCluster::C7);
+        s.label = "Power";
+        s
+    }
+
+    /// The cluster this selector realises.
+    pub fn cluster(&self) -> CharacterizationCluster {
+        self.cluster
+    }
+}
+
+impl Selector for ClusterSelector {
+    fn select(&mut self, ctx: &RoundContext<'_>, rng: &mut SmallRng) -> SelectionDecision {
+        let (h, m, l) = self
+            .cluster
+            .composition(ctx.params.num_participants)
+            .expect("fixed cluster");
+        let mut participants = Vec::with_capacity(ctx.params.num_participants);
+        for (tier, want) in [
+            (DeviceTier::High, h),
+            (DeviceTier::Mid, m),
+            (DeviceTier::Low, l),
+        ] {
+            let mut pool = ctx.fleet.ids_of_tier(tier);
+            pool.shuffle(rng);
+            // If the fleet has fewer devices of the tier than requested,
+            // take what exists; the shortfall is filled below.
+            participants.extend(pool.into_iter().take(want));
+        }
+        // Fill any shortfall with random devices not yet selected.
+        if participants.len() < ctx.params.num_participants {
+            let mut rest: Vec<DeviceId> = ctx
+                .fleet
+                .ids()
+                .into_iter()
+                .filter(|id| !participants.contains(id))
+                .collect();
+            rest.shuffle(rng);
+            participants.extend(
+                rest.into_iter()
+                    .take(ctx.params.num_participants - participants.len()),
+            );
+        }
+        SelectionDecision::cpu_max(ctx.fleet, participants)
+    }
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofl_data::partition::DataDistribution;
+    use autofl_data::FlData;
+    use rand::SeedableRng;
+
+    fn context_fixture() -> (Fleet, FlData, GlobalParams) {
+        let fleet = Fleet::paper_fleet(1);
+        let data = FlData::generate(
+            Workload::TinyTest,
+            200,
+            8,
+            16,
+            DataDistribution::IidIdeal,
+            1,
+        );
+        (fleet, data, GlobalParams::s3())
+    }
+
+    fn ctx<'a>(
+        fleet: &'a Fleet,
+        data: &'a FlData,
+        params: &'a GlobalParams,
+        conditions: &'a [DeviceConditions],
+    ) -> RoundContext<'a> {
+        RoundContext {
+            round: 0,
+            fleet,
+            conditions,
+            partition: &data.partition,
+            params,
+            workload: Workload::TinyTest,
+            layer_counts: Workload::TinyTest.reference_layer_counts(),
+            prev_accuracy: 0.1,
+        }
+    }
+
+    #[test]
+    fn random_selects_k_distinct_devices() {
+        let (fleet, data, params) = context_fixture();
+        let conditions = vec![DeviceConditions::ideal(); 200];
+        let c = ctx(&fleet, &data, &params, &conditions);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = RandomSelector::new().select(&c, &mut rng);
+        assert_eq!(d.participants.len(), 20);
+        let mut unique = d.participants.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 20);
+        assert_eq!(d.plans.len(), 20);
+    }
+
+    #[test]
+    fn performance_selects_only_high_end() {
+        let (fleet, data, params) = context_fixture();
+        let conditions = vec![DeviceConditions::ideal(); 200];
+        let c = ctx(&fleet, &data, &params, &conditions);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let d = ClusterSelector::performance().select(&c, &mut rng);
+        assert!(d
+            .participants
+            .iter()
+            .all(|id| fleet.device(*id).tier() == DeviceTier::High));
+    }
+
+    #[test]
+    fn cluster_c3_mixes_tiers_as_table4() {
+        let (fleet, data, params) = context_fixture();
+        let conditions = vec![DeviceConditions::ideal(); 200];
+        let c = ctx(&fleet, &data, &params, &conditions);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let d = ClusterSelector::new(CharacterizationCluster::C3).select(&c, &mut rng);
+        let count = |t: DeviceTier| {
+            d.participants
+                .iter()
+                .filter(|id| fleet.device(**id).tier() == t)
+                .count()
+        };
+        assert_eq!(
+            (
+                count(DeviceTier::High),
+                count(DeviceTier::Mid),
+                count(DeviceTier::Low)
+            ),
+            (10, 5, 5)
+        );
+    }
+
+    #[test]
+    fn task_for_scales_with_local_data_and_epochs() {
+        let (fleet, data, params) = context_fixture();
+        let conditions = vec![DeviceConditions::ideal(); 200];
+        let c = ctx(&fleet, &data, &params, &conditions);
+        let t = c.task_for(DeviceId(0));
+        let samples = data.partition.device_indices(0).len() as u64;
+        assert_eq!(
+            t.flops,
+            params.local_epochs as u64
+                * samples
+                * Workload::TinyTest.reference_training_flops_per_sample()
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Weight initialisation helpers.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Examples
+///
+/// ```
+/// use autofl_nn::init::xavier_uniform;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let w = xavier_uniform(vec![3, 3], 3, 3, &mut rng);
+/// assert!(w.data().iter().all(|x| x.abs() <= 1.0));
+/// ```
+pub fn xavier_uniform(
+    shape: Vec<usize>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut impl Rng,
+) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(-a..a)).collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Uniform initialisation in `[-a, a]`.
+pub fn uniform(shape: Vec<usize>, a: f32, rng: &mut impl Rng) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(-a..a)).collect();
+    Tensor::from_vec(shape, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let w = xavier_uniform(vec![16, 16], 16, 16, &mut rng);
+        let bound = (6.0f32 / 32.0).sqrt();
+        assert!(w.data().iter().all(|x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let w1 = xavier_uniform(vec![8], 8, 8, &mut SmallRng::seed_from_u64(42));
+        let w2 = xavier_uniform(vec![8], 8, 8, &mut SmallRng::seed_from_u64(42));
+        assert_eq!(w1, w2);
+    }
+}

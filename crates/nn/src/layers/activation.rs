@@ -1,0 +1,130 @@
+//! Element-wise activation layers: ReLU, tanh, sigmoid.
+
+use crate::layers::{Layer, LayerKind};
+use crate::tensor::Tensor;
+
+macro_rules! activation_layer {
+    ($(#[$doc:meta])* $name:ident, $label:expr, $fwd:expr, $bwd:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Default)]
+        pub struct $name {
+            cache_y: Option<Tensor>,
+        }
+
+        impl $name {
+            /// Creates the activation layer.
+            pub fn new() -> Self {
+                Self { cache_y: None }
+            }
+        }
+
+        impl Layer for $name {
+            fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+                let y = input.map($fwd);
+                if train {
+                    self.cache_y = Some(y.clone());
+                }
+                y
+            }
+
+            fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+                let y = self
+                    .cache_y
+                    .take()
+                    .expect(concat!($label, "::backward without training forward"));
+                let mut gx = grad_out.clone();
+                let bwd: fn(f32) -> f32 = $bwd;
+                for (g, &yv) in gx.data_mut().iter_mut().zip(y.data().iter()) {
+                    *g *= bwd(yv);
+                }
+                gx
+            }
+
+            fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+                input_shape.to_vec()
+            }
+
+            fn flops_per_sample(&self, input_shape: &[usize]) -> u64 {
+                input_shape.iter().product::<usize>() as u64
+            }
+
+            fn kind(&self) -> LayerKind {
+                LayerKind::Other
+            }
+
+            fn name(&self) -> String {
+                $label.to_string()
+            }
+        }
+    };
+}
+
+activation_layer!(
+    /// Rectified linear unit, `y = max(0, x)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use autofl_nn::layers::{Layer, Relu};
+    /// use autofl_nn::tensor::Tensor;
+    ///
+    /// let mut relu = Relu::new();
+    /// let y = relu.forward(&Tensor::from_vec(vec![2], vec![-1.0, 2.0]), false);
+    /// assert_eq!(y.data(), &[0.0, 2.0]);
+    /// ```
+    Relu,
+    "relu",
+    |x| if x > 0.0 { x } else { 0.0 },
+    |y| if y > 0.0 { 1.0 } else { 0.0 }
+);
+
+activation_layer!(
+    /// Hyperbolic tangent activation.
+    Tanh,
+    "tanh",
+    |x| x.tanh(),
+    |y| 1.0 - y * y
+);
+
+activation_layer!(
+    /// Logistic sigmoid activation.
+    Sigmoid,
+    "sigmoid",
+    |x| 1.0 / (1.0 + (-x).exp()),
+    |y| y * (1.0 - y)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_layer_gradients;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn relu_zeroes_negatives() {
+        let mut relu = Relu::new();
+        let y = relu.forward(&Tensor::from_vec(vec![3], vec![-2.0, 0.0, 5.0]), false);
+        assert_eq!(y.data(), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn tanh_gradient_check() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        check_layer_gradients(Tanh::new(), &[2, 5], 1e-2, &mut rng);
+    }
+
+    #[test]
+    fn sigmoid_gradient_check() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        check_layer_gradients(Sigmoid::new(), &[2, 5], 1e-2, &mut rng);
+    }
+
+    #[test]
+    fn sigmoid_range_is_unit_interval() {
+        let mut s = Sigmoid::new();
+        let y = s.forward(&Tensor::from_vec(vec![2], vec![-100.0, 100.0]), false);
+        assert!(y.data()[0] >= 0.0 && y.data()[0] < 0.01);
+        assert!(y.data()[1] > 0.99 && y.data()[1] <= 1.0);
+    }
+}

@@ -1,0 +1,292 @@
+//! 2-D convolution via im2col.
+
+use crate::init::xavier_uniform;
+use crate::layers::{Layer, LayerKind};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// A 2-D convolution over `[batch, in_c, h, w]` inputs.
+///
+/// Implemented with im2col + matrix multiplication so the backward pass
+/// reuses the tensor kernels. Stride and symmetric zero-padding are
+/// supported.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    /// Weights laid out `[out_c, in_c*k*k]`.
+    w: Tensor,
+    b: Tensor,
+    gw: Tensor,
+    gb: Tensor,
+    cache: Option<ConvCache>,
+}
+
+#[derive(Debug, Clone)]
+struct ConvCache {
+    cols: Tensor,
+    in_shape: [usize; 4],
+    out_hw: (usize, usize),
+}
+
+impl Conv2d {
+    /// Creates a convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `stride == 0`.
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(k > 0 && stride > 0, "kernel and stride must be positive");
+        let fan_in = in_c * k * k;
+        Conv2d {
+            in_c,
+            out_c,
+            k,
+            stride,
+            pad,
+            w: xavier_uniform(vec![out_c, fan_in], fan_in, out_c, rng),
+            b: Tensor::zeros(vec![out_c]),
+            gw: Tensor::zeros(vec![out_c, fan_in]),
+            gb: Tensor::zeros(vec![out_c]),
+            cache: None,
+        }
+    }
+
+    /// Output spatial size for a given input spatial size.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h + 2 * self.pad - self.k) / self.stride + 1,
+            (w + 2 * self.pad - self.k) / self.stride + 1,
+        )
+    }
+
+    fn im2col(&self, input: &Tensor) -> (Tensor, (usize, usize)) {
+        let s = input.shape();
+        let (batch, in_c, h, w) = (s[0], s[1], s[2], s[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let kk = self.k;
+        let fan_in = in_c * kk * kk;
+        let mut cols = vec![0.0f32; batch * oh * ow * fan_in];
+        let data = input.data();
+        for b in 0..batch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = ((b * oh + oy) * ow + ox) * fan_in;
+                    for c in 0..in_c {
+                        for ky in 0..kk {
+                            let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let src = ((b * in_c + c) * h + iy as usize) * w;
+                            let dst = row + (c * kk + ky) * kk;
+                            for kx in 0..kk {
+                                let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                cols[dst + kx] = data[src + ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (
+            Tensor::from_vec(vec![batch * oh * ow, fan_in], cols),
+            (oh, ow),
+        )
+    }
+
+    fn col2im(&self, gcols: &Tensor, in_shape: [usize; 4], out_hw: (usize, usize)) -> Tensor {
+        let [batch, in_c, h, w] = in_shape;
+        let (oh, ow) = out_hw;
+        let kk = self.k;
+        let fan_in = in_c * kk * kk;
+        let mut gx = Tensor::zeros(vec![batch, in_c, h, w]);
+        let gdata = gx.data_mut();
+        let cols = gcols.data();
+        for b in 0..batch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = ((b * oh + oy) * ow + ox) * fan_in;
+                    for c in 0..in_c {
+                        for ky in 0..kk {
+                            let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let dst = ((b * in_c + c) * h + iy as usize) * w;
+                            let src = row + (c * kk + ky) * kk;
+                            for kx in 0..kk {
+                                let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                gdata[dst + ix as usize] += cols[src + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        gx
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let s = input.shape();
+        assert_eq!(s.len(), 4, "conv input must be [batch, c, h, w]");
+        assert_eq!(s[1], self.in_c, "conv input channel mismatch");
+        let (batch, h, w) = (s[0], s[2], s[3]);
+        let (cols, (oh, ow)) = self.im2col(input);
+        // [batch*oh*ow, fan_in] x [fan_in, out_c] -> rows are positions.
+        let y2 = cols.matmul_nt(&self.w);
+        // Permute rows (b, oy, ox) x out_c into [batch, out_c, oh, ow].
+        let mut out = vec![0.0f32; batch * self.out_c * oh * ow];
+        let bias = self.b.data();
+        for b in 0..batch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = (b * oh + oy) * ow + ox;
+                    for oc in 0..self.out_c {
+                        out[((b * self.out_c + oc) * oh + oy) * ow + ox] =
+                            y2.at2(row, oc) + bias[oc];
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache = Some(ConvCache {
+                cols,
+                in_shape: [batch, self.in_c, h, w],
+                out_hw: (oh, ow),
+            });
+        }
+        Tensor::from_vec(vec![batch, self.out_c, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("Conv2d::backward called without training forward");
+        let [batch, _, _, _] = cache.in_shape;
+        let (oh, ow) = cache.out_hw;
+        // Permute grad back to [batch*oh*ow, out_c].
+        let mut g2 = vec![0.0f32; batch * oh * ow * self.out_c];
+        let g = grad_out.data();
+        for b in 0..batch {
+            for oc in 0..self.out_c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        g2[((b * oh + oy) * ow + ox) * self.out_c + oc] =
+                            g[((b * self.out_c + oc) * oh + oy) * ow + ox];
+                    }
+                }
+            }
+        }
+        let g2 = Tensor::from_vec(vec![batch * oh * ow, self.out_c], g2);
+        self.gw.add_assign(&g2.matmul_tn(&cache.cols).reshape(vec![
+            self.out_c,
+            self.in_c * self.k * self.k,
+        ]));
+        for r in 0..g2.rows() {
+            for oc in 0..self.out_c {
+                self.gb.data_mut()[oc] += g2.at2(r, oc);
+            }
+        }
+        let gcols = g2.matmul(&self.w);
+        self.col2im(&gcols, cache.in_shape, cache.out_hw)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.w, &mut self.gw);
+        f(&mut self.b, &mut self.gb);
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        assert_eq!(input_shape.len(), 3, "conv expects [c, h, w] input");
+        assert_eq!(input_shape[0], self.in_c, "conv input channel mismatch");
+        let (oh, ow) = self.out_hw(input_shape[1], input_shape[2]);
+        vec![self.out_c, oh, ow]
+    }
+
+    fn flops_per_sample(&self, input_shape: &[usize]) -> u64 {
+        let (oh, ow) = self.out_hw(input_shape[1], input_shape[2]);
+        // Per output element: 2*fan_in FLOPs plus the bias add.
+        ((2 * self.in_c * self.k * self.k + 1) * self.out_c * oh * ow) as u64
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Conv
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "conv2d({}->{},{}x{},s{},p{})",
+            self.in_c, self.out_c, self.k, self.k, self.stride, self.pad
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_layer_gradients;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_same_padding() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut conv = Conv2d::new(1, 4, 3, 1, 1, &mut rng);
+        let x = Tensor::zeros(vec![2, 1, 8, 8]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 4, 8, 8]);
+    }
+
+    #[test]
+    fn forward_shape_valid_stride2() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut conv = Conv2d::new(3, 2, 3, 2, 0, &mut rng);
+        let x = Tensor::zeros(vec![1, 3, 9, 9]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng);
+        conv.w.data_mut()[0] = 1.0;
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn gradients_match_numerical_padded() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let layer = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        check_layer_gradients(layer, &[2, 2, 4, 4], 2e-2, &mut rng);
+    }
+
+    #[test]
+    fn gradients_match_numerical_strided() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let layer = Conv2d::new(1, 2, 3, 2, 0, &mut rng);
+        check_layer_gradients(layer, &[1, 1, 5, 5], 2e-2, &mut rng);
+    }
+}

@@ -1,0 +1,165 @@
+//! Fully-connected layer.
+
+use crate::init::xavier_uniform;
+use crate::layers::{Layer, LayerKind};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// A fully-connected layer computing `y = x·W + b`.
+///
+/// Input `[batch, in_dim]`, output `[batch, out_dim]`.
+///
+/// # Examples
+///
+/// ```
+/// use autofl_nn::layers::{Dense, Layer};
+/// use autofl_nn::tensor::Tensor;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let mut fc = Dense::new(4, 2, &mut rng);
+/// let x = Tensor::zeros(vec![3, 4]);
+/// let y = fc.forward(&x, false);
+/// assert_eq!(y.shape(), &[3, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    w: Tensor,
+    b: Tensor,
+    gw: Tensor,
+    gb: Tensor,
+    cache_x: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-uniform weights and zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        Dense {
+            in_dim,
+            out_dim,
+            w: xavier_uniform(vec![in_dim, out_dim], in_dim, out_dim, rng),
+            b: Tensor::zeros(vec![out_dim]),
+            gw: Tensor::zeros(vec![in_dim, out_dim]),
+            gb: Tensor::zeros(vec![out_dim]),
+            cache_x: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape()[1], self.in_dim, "dense input dim mismatch");
+        let mut y = input.matmul(&self.w);
+        let out = self.out_dim;
+        for r in 0..y.rows() {
+            for c in 0..out {
+                *y.at2_mut(r, c) += self.b.data()[c];
+            }
+        }
+        if train {
+            self.cache_x = Some(input.clone());
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cache_x
+            .take()
+            .expect("Dense::backward called without training forward");
+        self.gw.add_assign(&x.matmul_tn(grad_out));
+        for r in 0..grad_out.rows() {
+            for c in 0..self.out_dim {
+                self.gb.data_mut()[c] += grad_out.at2(r, c);
+            }
+        }
+        grad_out.matmul_nt(&self.w)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.w, &mut self.gw);
+        f(&mut self.b, &mut self.gb);
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        assert_eq!(input_shape, [self.in_dim], "dense expects [in_dim] input");
+        vec![self.out_dim]
+    }
+
+    fn flops_per_sample(&self, _input_shape: &[usize]) -> u64 {
+        // One multiply + one add per weight, plus the bias add.
+        (2 * self.in_dim * self.out_dim + self.out_dim) as u64
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::FullyConnected
+    }
+
+    fn name(&self) -> String {
+        format!("dense({}->{})", self.in_dim, self.out_dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_layer_gradients;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut fc = Dense::new(3, 2, &mut rng);
+        fc.b.data_mut()[0] = 1.0;
+        let x = Tensor::zeros(vec![4, 3]);
+        let y = fc.forward(&x, false);
+        assert_eq!(y.shape(), &[4, 2]);
+        assert_eq!(y.at2(0, 0), 1.0);
+        assert_eq!(y.at2(0, 1), 0.0);
+    }
+
+    #[test]
+    fn gradients_match_numerical() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let layer = Dense::new(4, 3, &mut rng);
+        check_layer_gradients(layer, &[2, 4], 1e-2, &mut rng);
+    }
+
+    #[test]
+    fn param_count_counts_weights_and_bias() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut fc = Dense::new(5, 7, &mut rng);
+        assert_eq!(fc.param_count(), 5 * 7 + 7);
+    }
+
+    #[test]
+    fn flops_formula() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let fc = Dense::new(10, 4, &mut rng);
+        assert_eq!(fc.flops_per_sample(&[10]), 2 * 10 * 4 + 4);
+        assert_eq!(fc.output_shape(&[10]), vec![4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "without training forward")]
+    fn backward_requires_training_forward() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut fc = Dense::new(2, 2, &mut rng);
+        let x = Tensor::zeros(vec![1, 2]);
+        let _ = fc.forward(&x, false);
+        let _ = fc.backward(&Tensor::zeros(vec![1, 2]));
+    }
+}

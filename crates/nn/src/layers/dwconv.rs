@@ -1,0 +1,196 @@
+//! Depthwise convolution, the building block of MobileNet-style models.
+
+use crate::init::xavier_uniform;
+use crate::layers::{Layer, LayerKind};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// A depthwise 2-D convolution: each input channel is convolved with its own
+/// `k`×`k` filter (channel multiplier 1). Combined with a 1×1 [`Conv2d`]
+/// (pointwise convolution) this forms the depthwise-separable block used by
+/// MobileNet.
+///
+/// [`Conv2d`]: crate::layers::Conv2d
+#[derive(Debug, Clone)]
+pub struct DepthwiseConv2d {
+    channels: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    /// Weights laid out `[channels, k*k]`.
+    w: Tensor,
+    b: Tensor,
+    gw: Tensor,
+    gb: Tensor,
+    cache_x: Option<Tensor>,
+}
+
+impl DepthwiseConv2d {
+    /// Creates a depthwise convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `stride == 0`.
+    pub fn new(channels: usize, k: usize, stride: usize, pad: usize, rng: &mut impl Rng) -> Self {
+        assert!(k > 0 && stride > 0, "kernel and stride must be positive");
+        let fan = k * k;
+        DepthwiseConv2d {
+            channels,
+            k,
+            stride,
+            pad,
+            w: xavier_uniform(vec![channels, fan], fan, fan, rng),
+            b: Tensor::zeros(vec![channels]),
+            gw: Tensor::zeros(vec![channels, fan]),
+            gb: Tensor::zeros(vec![channels]),
+            cache_x: None,
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h + 2 * self.pad - self.k) / self.stride + 1,
+            (w + 2 * self.pad - self.k) / self.stride + 1,
+        )
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let s = input.shape();
+        assert_eq!(s.len(), 4, "dwconv input must be [batch, c, h, w]");
+        assert_eq!(s[1], self.channels, "dwconv channel mismatch");
+        let (batch, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let mut out = vec![0.0f32; batch * c * oh * ow];
+        let data = input.data();
+        let wdat = self.w.data();
+        for b in 0..batch {
+            for ch in 0..c {
+                let wbase = ch * self.k * self.k;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = self.b.data()[ch];
+                        for ky in 0..self.k {
+                            let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..self.k {
+                                let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += data[((b * c + ch) * h + iy as usize) * w + ix as usize]
+                                    * wdat[wbase + ky * self.k + kx];
+                            }
+                        }
+                        out[((b * c + ch) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache_x = Some(input.clone());
+        }
+        Tensor::from_vec(vec![batch, c, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cache_x
+            .take()
+            .expect("DepthwiseConv2d::backward without training forward");
+        let s = x.shape();
+        let (batch, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let mut gx = Tensor::zeros(vec![batch, c, h, w]);
+        let xd = x.data();
+        let gd = grad_out.data();
+        let wdat = self.w.data().to_vec();
+        for b in 0..batch {
+            for ch in 0..c {
+                let wbase = ch * self.k * self.k;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = gd[((b * c + ch) * oh + oy) * ow + ox];
+                        self.gb.data_mut()[ch] += g;
+                        for ky in 0..self.k {
+                            let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..self.k {
+                                let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let xi = ((b * c + ch) * h + iy as usize) * w + ix as usize;
+                                self.gw.data_mut()[wbase + ky * self.k + kx] += g * xd[xi];
+                                gx.data_mut()[xi] += g * wdat[wbase + ky * self.k + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.w, &mut self.gw);
+        f(&mut self.b, &mut self.gb);
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let (oh, ow) = self.out_hw(input_shape[1], input_shape[2]);
+        vec![self.channels, oh, ow]
+    }
+
+    fn flops_per_sample(&self, input_shape: &[usize]) -> u64 {
+        let (oh, ow) = self.out_hw(input_shape[1], input_shape[2]);
+        ((2 * self.k * self.k + 1) * self.channels * oh * ow) as u64
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Conv
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "dwconv({}ch,{}x{},s{},p{})",
+            self.channels, self.k, self.k, self.stride, self.pad
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_layer_gradients;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_preserves_channels() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut dw = DepthwiseConv2d::new(3, 3, 1, 1, &mut rng);
+        let y = dw.forward(&Tensor::zeros(vec![2, 3, 6, 6]), false);
+        assert_eq!(y.shape(), &[2, 3, 6, 6]);
+    }
+
+    #[test]
+    fn stride_two_downsamples() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let mut dw = DepthwiseConv2d::new(2, 3, 2, 1, &mut rng);
+        let y = dw.forward(&Tensor::zeros(vec![1, 2, 8, 8]), false);
+        assert_eq!(y.shape(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn gradients_match_numerical() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let layer = DepthwiseConv2d::new(2, 3, 1, 1, &mut rng);
+        check_layer_gradients(layer, &[1, 2, 4, 4], 2e-2, &mut rng);
+    }
+}

@@ -1,0 +1,134 @@
+//! Token embedding lookup.
+
+use crate::init::uniform;
+use crate::layers::{Layer, LayerKind};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Embedding lookup for token sequences.
+///
+/// The input is a `[batch, seq]` tensor whose `f32` values are integer token
+/// ids; the output is `[batch, seq, dim]`. The backward pass accumulates
+/// gradients into the looked-up rows and returns an all-zero input gradient
+/// (token ids are not differentiable).
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    vocab: usize,
+    dim: usize,
+    w: Tensor,
+    gw: Tensor,
+    cache_ids: Option<Vec<usize>>,
+}
+
+impl Embedding {
+    /// Creates an embedding table of `vocab` rows of width `dim`.
+    pub fn new(vocab: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        Embedding {
+            vocab,
+            dim,
+            w: uniform(vec![vocab, dim], 0.1, rng),
+            gw: Tensor::zeros(vec![vocab, dim]),
+            cache_ids: None,
+        }
+    }
+}
+
+impl Layer for Embedding {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let s = input.shape();
+        assert_eq!(s.len(), 2, "embedding input must be [batch, seq]");
+        let (batch, seq) = (s[0], s[1]);
+        let ids: Vec<usize> = input
+            .data()
+            .iter()
+            .map(|&x| {
+                let id = x as usize;
+                assert!(id < self.vocab, "token id {} out of vocab {}", id, self.vocab);
+                id
+            })
+            .collect();
+        let mut out = vec![0.0f32; batch * seq * self.dim];
+        for (pos, &id) in ids.iter().enumerate() {
+            out[pos * self.dim..(pos + 1) * self.dim]
+                .copy_from_slice(&self.w.data()[id * self.dim..(id + 1) * self.dim]);
+        }
+        if train {
+            self.cache_ids = Some(ids);
+        }
+        Tensor::from_vec(vec![batch, seq, self.dim], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let ids = self
+            .cache_ids
+            .take()
+            .expect("Embedding::backward without training forward");
+        for (pos, &id) in ids.iter().enumerate() {
+            let src = &grad_out.data()[pos * self.dim..(pos + 1) * self.dim];
+            let dst = &mut self.gw.data_mut()[id * self.dim..(id + 1) * self.dim];
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d += s;
+            }
+        }
+        // Token ids carry no gradient.
+        Tensor::zeros(vec![grad_out.shape()[0], ids.len() / grad_out.shape()[0]])
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.w, &mut self.gw);
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape[0], self.dim]
+    }
+
+    fn flops_per_sample(&self, _input_shape: &[usize]) -> u64 {
+        0 // Pure lookup.
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Other
+    }
+
+    fn name(&self) -> String {
+        format!("embedding({}x{})", self.vocab, self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_returns_rows() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let mut emb = Embedding::new(5, 3, &mut rng);
+        let x = Tensor::from_vec(vec![1, 2], vec![2.0, 4.0]);
+        let y = emb.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 2, 3]);
+        assert_eq!(&y.data()[0..3], &emb.w.data()[6..9]);
+        assert_eq!(&y.data()[3..6], &emb.w.data()[12..15]);
+    }
+
+    #[test]
+    fn backward_accumulates_into_rows() {
+        let mut rng = SmallRng::seed_from_u64(32);
+        let mut emb = Embedding::new(4, 2, &mut rng);
+        let x = Tensor::from_vec(vec![1, 2], vec![1.0, 1.0]);
+        let _ = emb.forward(&x, true);
+        let g = Tensor::from_vec(vec![1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let _ = emb.backward(&g);
+        assert_eq!(&emb.gw.data()[2..4], &[4.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn rejects_out_of_vocab_ids() {
+        let mut rng = SmallRng::seed_from_u64(33);
+        let mut emb = Embedding::new(3, 2, &mut rng);
+        let x = Tensor::from_vec(vec![1, 1], vec![7.0]);
+        let _ = emb.forward(&x, false);
+    }
+}

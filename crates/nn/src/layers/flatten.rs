@@ -1,0 +1,68 @@
+//! Shape adapter flattening all non-batch dimensions.
+
+use crate::layers::{Layer, LayerKind};
+use crate::tensor::Tensor;
+
+/// Flattens `[batch, d1, d2, ...]` into `[batch, d1*d2*...]`.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cache_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        Flatten { cache_shape: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let s = input.shape().to_vec();
+        let batch = s[0];
+        let rest: usize = s[1..].iter().product();
+        if train {
+            self.cache_shape = Some(s.clone());
+        }
+        input.clone().reshape(vec![batch, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let s = self
+            .cache_shape
+            .take()
+            .expect("Flatten::backward without training forward");
+        grad_out.clone().reshape(s)
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape.iter().product()]
+    }
+
+    fn flops_per_sample(&self, _input_shape: &[usize]) -> u64 {
+        0
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Other
+    }
+
+    fn name(&self) -> String {
+        "flatten".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_shape() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(vec![2, 3, 4]);
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 12]);
+        let gx = f.backward(&y);
+        assert_eq!(gx.shape(), &[2, 3, 4]);
+    }
+}

@@ -1,0 +1,271 @@
+//! A single-layer LSTM with backpropagation through time.
+
+use crate::init::xavier_uniform;
+use crate::layers::{Layer, LayerKind};
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// A single LSTM layer consuming `[batch, seq, input_dim]` sequences and
+/// emitting the final hidden state `[batch, hidden]`.
+///
+/// The four gates (input, forget, output, cell-candidate) share one packed
+/// weight matrix `[4*hidden, hidden + input_dim]` applied to the
+/// concatenation `[h_{t-1}, x_t]`. The forget-gate bias is initialised to 1,
+/// the standard trick to keep gradients flowing early in training.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    input_dim: usize,
+    hidden: usize,
+    /// Packed gate weights `[4H, H + X]`, rows ordered i, f, o, g.
+    w: Tensor,
+    b: Tensor,
+    gw: Tensor,
+    gb: Tensor,
+    cache: Option<BpttCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BpttCache {
+    batch: usize,
+    seq: usize,
+    /// Per-step caches, each `[batch, ...]`.
+    z: Vec<Tensor>,
+    i: Vec<Vec<f32>>,
+    f: Vec<Vec<f32>>,
+    o: Vec<Vec<f32>>,
+    g: Vec<Vec<f32>>,
+    c_prev: Vec<Vec<f32>>,
+    tanh_c: Vec<Vec<f32>>,
+}
+
+impl Lstm {
+    /// Creates an LSTM layer.
+    pub fn new(input_dim: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        let cols = hidden + input_dim;
+        let mut b = Tensor::zeros(vec![4 * hidden]);
+        // Forget gate bias = 1.
+        for v in &mut b.data_mut()[hidden..2 * hidden] {
+            *v = 1.0;
+        }
+        Lstm {
+            input_dim,
+            hidden,
+            w: xavier_uniform(vec![4 * hidden, cols], cols, hidden, rng),
+            b,
+            gw: Tensor::zeros(vec![4 * hidden, cols]),
+            gb: Tensor::zeros(vec![4 * hidden]),
+            cache: None,
+        }
+    }
+
+    /// Hidden-state width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let s = input.shape();
+        assert_eq!(s.len(), 3, "lstm input must be [batch, seq, input_dim]");
+        assert_eq!(s[2], self.input_dim, "lstm input dim mismatch");
+        let (batch, seq, x_dim) = (s[0], s[1], s[2]);
+        let hid = self.hidden;
+        let cols = hid + x_dim;
+
+        let mut h = vec![0.0f32; batch * hid];
+        let mut c = vec![0.0f32; batch * hid];
+        let mut cache = train.then(|| BpttCache {
+            batch,
+            seq,
+            z: Vec::with_capacity(seq),
+            i: Vec::with_capacity(seq),
+            f: Vec::with_capacity(seq),
+            o: Vec::with_capacity(seq),
+            g: Vec::with_capacity(seq),
+            c_prev: Vec::with_capacity(seq),
+            tanh_c: Vec::with_capacity(seq),
+        });
+
+        for t in 0..seq {
+            // z = [h_{t-1}, x_t]
+            let mut z = vec![0.0f32; batch * cols];
+            for bi in 0..batch {
+                z[bi * cols..bi * cols + hid].copy_from_slice(&h[bi * hid..(bi + 1) * hid]);
+                let xoff = (bi * seq + t) * x_dim;
+                z[bi * cols + hid..(bi + 1) * cols]
+                    .copy_from_slice(&input.data()[xoff..xoff + x_dim]);
+            }
+            let z = Tensor::from_vec(vec![batch, cols], z);
+            let mut a = z.matmul_nt(&self.w); // [batch, 4H]
+            for bi in 0..batch {
+                for j in 0..4 * hid {
+                    *a.at2_mut(bi, j) += self.b.data()[j];
+                }
+            }
+            let mut gate_i = vec![0.0f32; batch * hid];
+            let mut gate_f = vec![0.0f32; batch * hid];
+            let mut gate_o = vec![0.0f32; batch * hid];
+            let mut gate_g = vec![0.0f32; batch * hid];
+            let c_prev = c.clone();
+            let mut tanh_c = vec![0.0f32; batch * hid];
+            for bi in 0..batch {
+                for j in 0..hid {
+                    let iv = sigmoid(a.at2(bi, j));
+                    let fv = sigmoid(a.at2(bi, hid + j));
+                    let ov = sigmoid(a.at2(bi, 2 * hid + j));
+                    let gv = a.at2(bi, 3 * hid + j).tanh();
+                    let idx = bi * hid + j;
+                    let cv = fv * c_prev[idx] + iv * gv;
+                    let tc = cv.tanh();
+                    gate_i[idx] = iv;
+                    gate_f[idx] = fv;
+                    gate_o[idx] = ov;
+                    gate_g[idx] = gv;
+                    c[idx] = cv;
+                    tanh_c[idx] = tc;
+                    h[idx] = ov * tc;
+                }
+            }
+            if let Some(cc) = cache.as_mut() {
+                cc.z.push(z);
+                cc.i.push(gate_i);
+                cc.f.push(gate_f);
+                cc.o.push(gate_o);
+                cc.g.push(gate_g);
+                cc.c_prev.push(c_prev);
+                cc.tanh_c.push(tanh_c);
+            }
+        }
+        self.cache = cache;
+        Tensor::from_vec(vec![batch, hid], h)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("Lstm::backward called without training forward");
+        let (batch, seq) = (cache.batch, cache.seq);
+        let hid = self.hidden;
+        let x_dim = self.input_dim;
+
+        let mut dh: Vec<f32> = grad_out.data().to_vec();
+        let mut dc = vec![0.0f32; batch * hid];
+        let mut gx = Tensor::zeros(vec![batch, seq, x_dim]);
+
+        for t in (0..seq).rev() {
+            let mut da = vec![0.0f32; batch * 4 * hid];
+            for bi in 0..batch {
+                for j in 0..hid {
+                    let idx = bi * hid + j;
+                    let (iv, fv, ov, gv) = (
+                        cache.i[t][idx],
+                        cache.f[t][idx],
+                        cache.o[t][idx],
+                        cache.g[t][idx],
+                    );
+                    let tc = cache.tanh_c[t][idx];
+                    let dct = dc[idx] + dh[idx] * ov * (1.0 - tc * tc);
+                    let dov = dh[idx] * tc;
+                    let div = dct * gv;
+                    let dgv = dct * iv;
+                    let dfv = dct * cache.c_prev[t][idx];
+                    da[bi * 4 * hid + j] = div * iv * (1.0 - iv);
+                    da[bi * 4 * hid + hid + j] = dfv * fv * (1.0 - fv);
+                    da[bi * 4 * hid + 2 * hid + j] = dov * ov * (1.0 - ov);
+                    da[bi * 4 * hid + 3 * hid + j] = dgv * (1.0 - gv * gv);
+                    dc[idx] = dct * fv;
+                }
+            }
+            let da = Tensor::from_vec(vec![batch, 4 * hid], da);
+            self.gw.add_assign(&da.matmul_tn(&cache.z[t]));
+            for bi in 0..batch {
+                for j in 0..4 * hid {
+                    self.gb.data_mut()[j] += da.at2(bi, j);
+                }
+            }
+            let dz = da.matmul(&self.w); // [batch, cols]
+            for bi in 0..batch {
+                for j in 0..hid {
+                    dh[bi * hid + j] = dz.at2(bi, j);
+                }
+                let xoff = (bi * seq + t) * x_dim;
+                for j in 0..x_dim {
+                    gx.data_mut()[xoff + j] = dz.at2(bi, hid + j);
+                }
+            }
+        }
+        gx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.w, &mut self.gw);
+        f(&mut self.b, &mut self.gb);
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        assert_eq!(input_shape.len(), 2, "lstm per-sample shape is [seq, x]");
+        vec![self.hidden]
+    }
+
+    fn flops_per_sample(&self, input_shape: &[usize]) -> u64 {
+        let seq = input_shape[0] as u64;
+        let hid = self.hidden as u64;
+        let cols = (self.hidden + self.input_dim) as u64;
+        // Gate matmul + bias + ~10 pointwise ops per hidden unit per step.
+        seq * (2 * 4 * hid * cols + 4 * hid + 10 * hid)
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Recurrent
+    }
+
+    fn name(&self) -> String {
+        format!("lstm({}->{})", self.input_dim, self.hidden)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_layer_gradients;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_is_last_hidden() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        let mut lstm = Lstm::new(3, 5, &mut rng);
+        let x = Tensor::zeros(vec![2, 7, 3]);
+        let y = lstm.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 5]);
+    }
+
+    #[test]
+    fn zero_input_zero_state_gives_bounded_output() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut lstm = Lstm::new(2, 4, &mut rng);
+        let y = lstm.forward(&Tensor::zeros(vec![1, 3, 2]), false);
+        assert!(y.data().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn gradients_match_numerical() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        let layer = Lstm::new(3, 4, &mut rng);
+        check_layer_gradients(layer, &[2, 3, 3], 3e-2, &mut rng);
+    }
+
+    #[test]
+    fn longer_sequences_cost_more_flops() {
+        let mut rng = SmallRng::seed_from_u64(44);
+        let lstm = Lstm::new(8, 16, &mut rng);
+        assert!(lstm.flops_per_sample(&[20, 8]) > lstm.flops_per_sample(&[10, 8]));
+    }
+}

@@ -1,0 +1,97 @@
+//! Trainable layers with hand-written forward/backward passes.
+//!
+//! All layers implement [`Layer`], which couples the forward pass, the
+//! backward pass (accumulating parameter gradients), a visitor over
+//! `(parameter, gradient)` pairs used by the optimizer and by federated
+//! aggregation, and per-sample FLOP accounting used by the device energy
+//! model in `autofl-device`.
+
+mod activation;
+mod conv;
+mod dense;
+mod dwconv;
+mod embedding;
+mod flatten;
+mod lstm;
+mod pool;
+
+pub use activation::{Relu, Sigmoid, Tanh};
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use dwconv::DepthwiseConv2d;
+pub use embedding::Embedding;
+pub use flatten::Flatten;
+pub use lstm::Lstm;
+pub use pool::{GlobalAvgPool, MaxPool2d};
+
+use crate::tensor::Tensor;
+
+/// Coarse layer category used by the AutoFL reinforcement-learning state
+/// (Table 1 of the paper distinguishes CONV, FC and RC layers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Convolutional layers (regular and depthwise).
+    Conv,
+    /// Fully-connected (dense) layers.
+    FullyConnected,
+    /// Recurrent layers (LSTM).
+    Recurrent,
+    /// Everything else: activations, pooling, reshaping, embeddings.
+    Other,
+}
+
+/// A differentiable layer.
+///
+/// The contract between `forward` and `backward` is stateful: `backward`
+/// may only be called after `forward` was called with `train == true`, and
+/// consumes the caches that call created. Parameter gradients accumulate
+/// across `backward` calls until [`Layer::zero_grad`].
+pub trait Layer {
+    /// Runs the forward pass. When `train` is `true`, caches whatever the
+    /// backward pass will need.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates `grad_out` (gradient w.r.t. this layer's output) backward,
+    /// accumulating parameter gradients and returning the gradient w.r.t.
+    /// the layer input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding training-mode `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every `(parameter, gradient)` pair.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        let _ = f;
+    }
+
+    /// Clears accumulated parameter gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |_, g| {
+            for x in g.data_mut() {
+                *x = 0.0;
+            }
+        });
+    }
+
+    /// Number of trainable scalars in the layer.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p, _| n += p.len());
+        n
+    }
+
+    /// Output shape for a single sample with the given input shape
+    /// (shapes exclude the batch dimension).
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize>;
+
+    /// Forward-pass floating-point operations for a single sample with the
+    /// given input shape (excluding the batch dimension).
+    fn flops_per_sample(&self, input_shape: &[usize]) -> u64;
+
+    /// The coarse category of the layer.
+    fn kind(&self) -> LayerKind;
+
+    /// A short human-readable name, e.g. `"conv2d(8->16,3x3)"`.
+    fn name(&self) -> String;
+}

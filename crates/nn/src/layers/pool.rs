@@ -1,0 +1,216 @@
+//! Pooling layers.
+
+use crate::layers::{Layer, LayerKind};
+use crate::tensor::Tensor;
+
+/// Max pooling with a square window and equal stride over
+/// `[batch, c, h, w]` inputs.
+///
+/// # Examples
+///
+/// ```
+/// use autofl_nn::layers::{Layer, MaxPool2d};
+/// use autofl_nn::tensor::Tensor;
+///
+/// let mut pool = MaxPool2d::new(2);
+/// let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]);
+/// assert_eq!(pool.forward(&x, false).data(), &[5.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    k: usize,
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax flat indices, in shape)
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with window and stride `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "pool window must be positive");
+        MaxPool2d { k, cache: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let s = input.shape();
+        assert_eq!(s.len(), 4, "pool input must be [batch, c, h, w]");
+        let (batch, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let (oh, ow) = (h / self.k, w / self.k);
+        let mut out = vec![f32::NEG_INFINITY; batch * c * oh * ow];
+        let mut arg = vec![0usize; out.len()];
+        let data = input.data();
+        for b in 0..batch {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let o = ((b * c + ch) * oh + oy) * ow + ox;
+                        for ky in 0..self.k {
+                            for kx in 0..self.k {
+                                let i = ((b * c + ch) * h + oy * self.k + ky) * w
+                                    + ox * self.k
+                                    + kx;
+                                if data[i] > out[o] {
+                                    out[o] = data[i];
+                                    arg[o] = i;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache = Some((arg, s.to_vec()));
+        }
+        Tensor::from_vec(vec![batch, c, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (arg, in_shape) = self
+            .cache
+            .take()
+            .expect("MaxPool2d::backward without training forward");
+        let mut gx = Tensor::zeros(in_shape);
+        for (o, &i) in arg.iter().enumerate() {
+            gx.data_mut()[i] += grad_out.data()[o];
+        }
+        gx
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![
+            input_shape[0],
+            input_shape[1] / self.k,
+            input_shape[2] / self.k,
+        ]
+    }
+
+    fn flops_per_sample(&self, input_shape: &[usize]) -> u64 {
+        // One comparison per input element inside each window.
+        input_shape.iter().product::<usize>() as u64
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Other
+    }
+
+    fn name(&self) -> String {
+        format!("maxpool({})", self.k)
+    }
+}
+
+/// Global average pooling: `[batch, c, h, w]` → `[batch, c]`.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    cache_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { cache_shape: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let s = input.shape();
+        assert_eq!(s.len(), 4, "global pool input must be [batch, c, h, w]");
+        let (batch, c, hw) = (s[0], s[1], s[2] * s[3]);
+        let mut out = vec![0.0f32; batch * c];
+        for b in 0..batch {
+            for ch in 0..c {
+                let base = (b * c + ch) * hw;
+                let sum: f32 = input.data()[base..base + hw].iter().sum();
+                out[b * c + ch] = sum / hw as f32;
+            }
+        }
+        if train {
+            self.cache_shape = Some(s.to_vec());
+        }
+        Tensor::from_vec(vec![batch, c], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let s = self
+            .cache_shape
+            .take()
+            .expect("GlobalAvgPool::backward without training forward");
+        let (batch, c, hw) = (s[0], s[1], s[2] * s[3]);
+        let mut gx = Tensor::zeros(s.clone());
+        for b in 0..batch {
+            for ch in 0..c {
+                let g = grad_out.data()[b * c + ch] / hw as f32;
+                let base = (b * c + ch) * hw;
+                for x in &mut gx.data_mut()[base..base + hw] {
+                    *x = g;
+                }
+            }
+        }
+        gx
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape[0]]
+    }
+
+    fn flops_per_sample(&self, input_shape: &[usize]) -> u64 {
+        input_shape.iter().product::<usize>() as u64
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Other
+    }
+
+    fn name(&self) -> String {
+        "globalavgpool".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_selects_maxima() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            vec![1, 1, 4, 4],
+            (0..16).map(|v| v as f32).collect::<Vec<_>>(),
+        );
+        let y = pool.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 9.0, 3.0, 2.0]);
+        let _ = pool.forward(&x, true);
+        let gx = pool.backward(&Tensor::from_vec(vec![1, 1, 1, 1], vec![2.0]));
+        assert_eq!(gx.data(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_means() {
+        let mut pool = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1, 2, 1, 2], vec![1.0, 3.0, 10.0, 20.0]);
+        let y = pool.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[2.0, 15.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_backward_spreads_evenly() {
+        let mut pool = GlobalAvgPool::new();
+        let x = Tensor::zeros(vec![1, 1, 2, 2]);
+        let _ = pool.forward(&x, true);
+        let gx = pool.backward(&Tensor::from_vec(vec![1, 1], vec![4.0]));
+        assert_eq!(gx.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,51 @@
+//! # autofl-nn
+//!
+//! A from-scratch neural-network training substrate for the AutoFL
+//! reproduction. It provides:
+//!
+//! * a minimal dense [`tensor::Tensor`],
+//! * [`layers`] with hand-written backprop (dense, conv, depthwise conv,
+//!   pooling, activations, embedding, LSTM),
+//! * softmax cross-entropy [`loss`] and an SGD [`optim`]izer,
+//! * the [`model::Sequential`] container with flat parameter vectors for
+//!   federated aggregation and exact FLOP accounting, and
+//! * the paper's three workloads in [`zoo`] (CNN-MNIST, LSTM-Shakespeare,
+//!   MobileNet-ImageNet).
+//!
+//! FLOP accounting is load-bearing: the `autofl-device` energy model maps
+//! `FLOPs → seconds → joules`, so every layer reports its exact forward
+//! cost for a given input shape.
+//!
+//! # Examples
+//!
+//! Train a tiny model on random data:
+//!
+//! ```
+//! use autofl_nn::optim::Sgd;
+//! use autofl_nn::tensor::Tensor;
+//! use autofl_nn::zoo::Workload;
+//!
+//! let mut model = Workload::TinyTest.build_trainable(7);
+//! let x = Tensor::zeros(vec![4, 1, 8, 8]);
+//! let labels = [0usize, 1, 2, 3];
+//! let mut sgd = Sgd::new(0.05);
+//! let (loss, _acc) = model.train_batch(&x, &labels, &mut sgd);
+//! assert!(loss.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod model;
+pub mod optim;
+pub mod tensor;
+#[doc(hidden)]
+pub mod testutil;
+pub mod zoo;
+
+pub use model::{LayerCounts, Sequential};
+pub use tensor::Tensor;
+pub use zoo::Workload;

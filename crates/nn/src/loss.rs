@@ -1,0 +1,123 @@
+//! Classification loss and metrics.
+
+use crate::tensor::Tensor;
+
+/// Computes mean softmax cross-entropy loss and its gradient w.r.t. the
+/// logits.
+///
+/// `logits` is `[batch, classes]`; `labels[i]` is the class index of sample
+/// `i`. The returned gradient already includes the `1/batch` factor, so it
+/// can be fed straight into [`crate::model::Sequential::backward`].
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size or any label is out
+/// of range.
+///
+/// # Examples
+///
+/// ```
+/// use autofl_nn::loss::softmax_cross_entropy;
+/// use autofl_nn::tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![1, 2], vec![2.0, 0.0]);
+/// let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+/// assert!(loss < 0.2);
+/// assert_eq!(grad.shape(), &[1, 2]);
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (batch, classes) = (logits.rows(), logits.cols());
+    assert_eq!(batch, labels.len(), "label count must match batch size");
+    let mut grad = Tensor::zeros(vec![batch, classes]);
+    let mut loss = 0.0f64;
+    for bi in 0..batch {
+        let label = labels[bi];
+        assert!(label < classes, "label {} out of {} classes", label, classes);
+        let row: Vec<f32> = (0..classes).map(|c| logits.at2(bi, c)).collect();
+        let maxv = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let exps: Vec<f32> = row.iter().map(|&x| (x - maxv).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        for c in 0..classes {
+            let p = exps[c] / z;
+            let target = if c == label { 1.0 } else { 0.0 };
+            *grad.at2_mut(bi, c) = (p - target) / batch as f32;
+            if c == label {
+                loss -= (p.max(1e-12)).ln() as f64;
+            }
+        }
+    }
+    ((loss / batch as f64) as f32, grad)
+}
+
+/// Fraction of samples whose arg-max logit equals the label.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let (batch, classes) = (logits.rows(), logits.cols());
+    assert_eq!(batch, labels.len(), "label count must match batch size");
+    let mut correct = 0usize;
+    for bi in 0..batch {
+        let mut best = 0usize;
+        for c in 1..classes {
+            if logits.at2(bi, c) > logits.at2(bi, best) {
+                best = c;
+            }
+        }
+        if best == labels[bi] {
+            correct += 1;
+        }
+    }
+    correct as f32 / batch as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_classes_loss() {
+        let logits = Tensor::zeros(vec![2, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., -1., 0., 1.]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]);
+        for bi in 0..2 {
+            let s: f32 = (0..3).map(|c| grad.at2(bi, c)).sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(vec![1, 3], vec![0.5, -0.2, 0.1]);
+        let labels = [1usize];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for c in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[c] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[c] -= eps;
+            let (l1, _) = softmax_cross_entropy(&lp, &labels);
+            let (l2, _) = softmax_cross_entropy(&lm, &labels);
+            let fd = (l1 - l2) / (2.0 * eps);
+            assert!(
+                (grad.data()[c] - fd).abs() < 1e-3,
+                "class {}: {} vs {}",
+                c,
+                grad.data()[c],
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits = Tensor::from_vec(vec![2, 2], vec![0.9, 0.1, 0.2, 0.8]);
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 0]), 0.0);
+        assert_eq!(accuracy(&logits, &[0, 0]), 0.5);
+    }
+}

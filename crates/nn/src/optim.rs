@@ -1,0 +1,174 @@
+//! Stochastic gradient descent.
+
+use crate::model::Sequential;
+
+/// Plain SGD with optional momentum and global gradient-norm clipping.
+///
+/// The paper's FedAvg baseline trains each client with mini-batch SGD; this
+/// is that optimizer.
+///
+/// # Examples
+///
+/// ```
+/// use autofl_nn::optim::Sgd;
+///
+/// let sgd = Sgd::new(0.05).with_momentum(0.9).with_clip_norm(5.0);
+/// assert_eq!(sgd.lr(), 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    clip_norm: Option<f32>,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            clip_norm: None,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Enables classical momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Enables global L2 gradient-norm clipping (useful for the LSTM).
+    pub fn with_clip_norm(mut self, max_norm: f32) -> Self {
+        self.clip_norm = Some(max_norm);
+        self
+    }
+
+    /// The learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one SGD step to the model's parameters using its accumulated
+    /// gradients, then leaves the gradients untouched (call
+    /// [`Sequential::zero_grad`] between batches).
+    pub fn step(&mut self, model: &mut Sequential) {
+        let scale = match self.clip_norm {
+            Some(max_norm) => {
+                let mut sq = 0.0f64;
+                model.visit_params(&mut |_, g| {
+                    for &x in g.data() {
+                        sq += (x as f64) * (x as f64);
+                    }
+                });
+                let norm = sq.sqrt() as f32;
+                if norm > max_norm {
+                    max_norm / norm
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        };
+        let lr = self.lr;
+        let momentum = self.momentum;
+        if momentum == 0.0 {
+            model.visit_params(&mut |p, g| {
+                for (pv, gv) in p.data_mut().iter_mut().zip(g.data().iter()) {
+                    *pv -= lr * scale * gv;
+                }
+            });
+            return;
+        }
+        // Lazily size velocity buffers on first use.
+        if self.velocity.is_empty() {
+            model.visit_params(&mut |p, _| self.velocity.push(vec![0.0; p.len()]));
+        }
+        let velocity = &mut self.velocity;
+        let mut idx = 0;
+        model.visit_params(&mut |p, g| {
+            let v = &mut velocity[idx];
+            idx += 1;
+            for ((pv, gv), vv) in p
+                .data_mut()
+                .iter_mut()
+                .zip(g.data().iter())
+                .zip(v.iter_mut())
+            {
+                *vv = momentum * *vv + lr * scale * gv;
+                *pv -= *vv;
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Dense;
+    use crate::model::Sequential;
+    use crate::tensor::Tensor;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn one_param_model() -> Sequential {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut m = Sequential::new(vec![1]);
+        m.push(Dense::new(1, 1, &mut rng));
+        m
+    }
+
+    #[test]
+    fn step_moves_against_gradient() {
+        let mut m = one_param_model();
+        let before = m.param_vector();
+        // Run a training forward/backward to populate gradients.
+        let x = Tensor::from_vec(vec![1, 1], vec![1.0]);
+        let y = m.forward(&x, true);
+        let _ = m.backward(&Tensor::from_vec(y.shape().to_vec(), vec![1.0]));
+        let mut sgd = Sgd::new(0.1);
+        sgd.step(&mut m);
+        let after = m.param_vector();
+        // Gradient of (w*x + b) w.r.t. w is x = 1, w.r.t. b is 1.
+        assert!((after[0] - (before[0] - 0.1)).abs() < 1e-6);
+        assert!((after[1] - (before[1] - 0.1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_norm_bounds_the_update() {
+        let mut m = one_param_model();
+        let x = Tensor::from_vec(vec![1, 1], vec![100.0]);
+        let y = m.forward(&x, true);
+        let _ = m.backward(&Tensor::from_vec(y.shape().to_vec(), vec![1.0]));
+        let before = m.param_vector();
+        let mut sgd = Sgd::new(1.0).with_clip_norm(1.0);
+        sgd.step(&mut m);
+        let after = m.param_vector();
+        let step: f32 = before
+            .iter()
+            .zip(after.iter())
+            .map(|(b, a)| (b - a) * (b - a))
+            .sum::<f32>()
+            .sqrt();
+        assert!(step <= 1.0 + 1e-4, "clipped step was {}", step);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut m = one_param_model();
+        let x = Tensor::from_vec(vec![1, 1], vec![1.0]);
+        let mut sgd = Sgd::new(0.1).with_momentum(0.9);
+        let start = m.param_vector()[0];
+        for _ in 0..2 {
+            let y = m.forward(&x, true);
+            m.zero_grad();
+            let _ = m.backward(&Tensor::from_vec(y.shape().to_vec(), vec![1.0]));
+            sgd.step(&mut m);
+        }
+        // Two steps with momentum: 0.1 + (0.1 + 0.09) = 0.29 total.
+        let total = start - m.param_vector()[0];
+        assert!((total - 0.29).abs() < 1e-5, "total movement {}", total);
+    }
+}

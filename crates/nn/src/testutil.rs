@@ -1,0 +1,111 @@
+//! Numerical gradient checking used by the layer unit tests.
+//!
+//! Hidden from the public docs; exposed so downstream crates' tests can
+//! gradient-check composite models too.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Scalar loss used for gradient checks: a fixed random projection of the
+/// layer output, `L = Σ r_i · y_i`.
+fn projected_loss(y: &Tensor, r: &Tensor) -> f64 {
+    y.data()
+        .iter()
+        .zip(r.data().iter())
+        .map(|(&a, &b)| a as f64 * b as f64)
+        .sum()
+}
+
+/// Checks a layer's analytic gradients (input and parameters) against
+/// central finite differences.
+///
+/// # Panics
+///
+/// Panics (test failure) if any gradient deviates by more than `tol`
+/// relative error (with an absolute floor of `tol` for tiny gradients).
+pub fn check_layer_gradients<L: Layer>(
+    mut layer: L,
+    input_shape: &[usize],
+    tol: f32,
+    rng: &mut impl Rng,
+) {
+    let n: usize = input_shape.iter().product();
+    let x = Tensor::from_vec(
+        input_shape.to_vec(),
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    );
+
+    // Analytic pass.
+    let y = layer.forward(&x, true);
+    let r = Tensor::from_vec(
+        y.shape().to_vec(),
+        (0..y.len()).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    );
+    layer.zero_grad();
+    let gx = layer.backward(&r);
+
+    let eps = 1e-2f32;
+    let agree = |analytic: f32, numeric: f32| -> bool {
+        let denom = analytic.abs().max(numeric.abs()).max(1.0);
+        (analytic - numeric).abs() / denom <= tol
+    };
+
+    // Input gradient.
+    let mut xp = x.clone();
+    for i in 0..n {
+        let orig = xp.data()[i];
+        xp.data_mut()[i] = orig + eps;
+        let lp = projected_loss(&layer.forward(&xp, false), &r);
+        xp.data_mut()[i] = orig - eps;
+        let lm = projected_loss(&layer.forward(&xp, false), &r);
+        xp.data_mut()[i] = orig;
+        let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
+        assert!(
+            agree(gx.data()[i], fd),
+            "input grad [{}]: analytic {} vs numeric {}",
+            i,
+            gx.data()[i],
+            fd
+        );
+    }
+
+    // Parameter gradients. Collect analytic copies first, then perturb.
+    let mut analytic_grads: Vec<Vec<f32>> = Vec::new();
+    layer.visit_params(&mut |_, g| analytic_grads.push(g.data().to_vec()));
+    let num_params = analytic_grads.len();
+    for pi in 0..num_params {
+        let plen = analytic_grads[pi].len();
+        for i in 0..plen {
+            // Perturb parameter (pi, i) in both directions.
+            let mut lp = 0.0f64;
+            let mut lm = 0.0f64;
+            for (dir, out) in [(eps, &mut lp), (-eps, &mut lm)] {
+                let mut k = 0;
+                layer.visit_params(&mut |p, _| {
+                    if k == pi {
+                        p.data_mut()[i] += dir;
+                    }
+                    k += 1;
+                });
+                *out = projected_loss(&layer.forward(&x, false), &r);
+                let mut k = 0;
+                layer.visit_params(&mut |p, _| {
+                    if k == pi {
+                        p.data_mut()[i] -= dir;
+                    }
+                    k += 1;
+                });
+            }
+            let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!(
+                agree(analytic_grads[pi][i], fd),
+                "param {} grad [{}]: analytic {} vs numeric {}",
+                pi,
+                i,
+                analytic_grads[pi][i],
+                fd
+            );
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Reproduce the data-heterogeneity study: convergence and energy
+//! efficiency under Ideal IID and Non-IID(50/75/100%) Dirichlet splits
+//! (Figures 6 and 11 of the paper).
+//!
+//! ```sh
+//! cargo run --release --example non_iid_study
+//! ```
+
+use autofl_core::AutoFl;
+use autofl_data::partition::DataDistribution;
+use autofl_fed::engine::{SimConfig, Simulation};
+use autofl_fed::oracle::OracleSelector;
+use autofl_fed::selection::RandomSelector;
+use autofl_nn::zoo::Workload;
+
+fn main() {
+    println!("== Data heterogeneity (CNN-MNIST, Dirichlet alpha = 0.1) ==");
+    let scenarios = [
+        DataDistribution::IidIdeal,
+        DataDistribution::non_iid_percent(50),
+        DataDistribution::non_iid_percent(75),
+        DataDistribution::non_iid_percent(100),
+    ];
+    println!(
+        "{:<16} {:<22} {:<22} {:<22}",
+        "distribution", "FedAvg-Random", "AutoFL", "O_FL"
+    );
+    for distribution in scenarios {
+        let mut config = SimConfig::paper_default(Workload::CnnMnist);
+        config.distribution = distribution;
+        config.max_rounds = 700;
+
+        let fmt = |r: &autofl_fed::engine::SimResult| -> String {
+            match r.converged_round() {
+                Some(round) => format!("round {:>4}, {:>7.0} J/k", round,
+                    r.energy_to_target_j() / 1000.0),
+                None => format!("stalled @ {:.1}%", r.final_accuracy() * 100.0),
+            }
+        };
+        let random = Simulation::new(config.clone()).run(&mut RandomSelector::new());
+        let autofl = Simulation::new(config.clone()).run(&mut AutoFl::paper_default());
+        let oracle = Simulation::new(config).run(&mut OracleSelector::full());
+        println!(
+            "{:<16} {:<22} {:<22} {:<22}",
+            distribution.label(),
+            fmt(&random),
+            fmt(&autofl),
+            fmt(&oracle)
+        );
+    }
+    println!("\nNon-IID participants defer or destroy convergence for data-blind policies;");
+    println!("AutoFL learns to compose balanced cohorts from the S_Data state.");
+}

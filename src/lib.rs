@@ -1,0 +1,12 @@
+//! Workspace-level facade for the AutoFL reproduction.
+//!
+//! Re-exports the public crates so examples and integration tests can use
+//! one import root. See the README for the architecture overview and
+//! DESIGN.md for the paper-to-module mapping.
+
+pub use autofl_cluster as cluster;
+pub use autofl_core as core;
+pub use autofl_data as data;
+pub use autofl_device as device;
+pub use autofl_fed as fed;
+pub use autofl_nn as nn;

@@ -1,0 +1,124 @@
+//! End-to-end integration tests spanning all crates: data generation →
+//! partitioning → device models → round engine → AutoFL learning.
+
+use autofl_core::{AutoFl, AutoFlConfig};
+use autofl_data::partition::DataDistribution;
+use autofl_device::scenario::VarianceScenario;
+use autofl_fed::engine::{SimConfig, Simulation};
+use autofl_fed::oracle::OracleSelector;
+use autofl_fed::selection::{ClusterSelector, RandomSelector};
+use autofl_nn::zoo::Workload;
+
+fn paper_cfg() -> SimConfig {
+    let mut cfg = SimConfig::paper_default(Workload::CnnMnist);
+    cfg.max_rounds = 400;
+    cfg
+}
+
+#[test]
+fn autofl_beats_random_on_global_and_local_ppw() {
+    let autofl = Simulation::new(paper_cfg()).run(&mut AutoFl::paper_default());
+    let random = Simulation::new(paper_cfg()).run(&mut RandomSelector::new());
+    assert!(autofl.converged(), "AutoFL did not converge");
+    assert!(
+        autofl.ppw_global() > 1.2 * random.ppw_global(),
+        "global PPW: AutoFL {} vs random {}",
+        autofl.ppw_global(),
+        random.ppw_global()
+    );
+    assert!(
+        autofl.ppw_local() > 1.2 * random.ppw_local(),
+        "local PPW: AutoFL {} vs random {}",
+        autofl.ppw_local(),
+        random.ppw_local()
+    );
+}
+
+#[test]
+fn oracle_brackets_autofl_from_above() {
+    let autofl = Simulation::new(paper_cfg()).run(&mut AutoFl::paper_default());
+    let oracle = Simulation::new(paper_cfg()).run(&mut OracleSelector::full());
+    assert!(
+        oracle.ppw_global() >= autofl.ppw_global(),
+        "oracle {} should be at least AutoFL {}",
+        oracle.ppw_global(),
+        autofl.ppw_global()
+    );
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let mut cfg = paper_cfg();
+        cfg.max_rounds = 50;
+        cfg.target_accuracy = Some(1.1);
+        Simulation::new(cfg).run(&mut AutoFl::paper_default())
+    };
+    let (a, b) = (run(), run());
+    for (ra, rb) in a.records.iter().zip(b.records.iter()) {
+        assert_eq!(ra.participants, rb.participants);
+        assert_eq!(ra.plans, rb.plans);
+        assert_eq!(ra.accuracy, rb.accuracy);
+    }
+}
+
+#[test]
+fn interference_slows_the_random_baseline_more_than_autofl() {
+    let mut calm = paper_cfg();
+    calm.max_rounds = 300;
+    let mut noisy = calm.clone();
+    noisy.scenario = VarianceScenario::with_interference();
+
+    let random_calm = Simulation::new(calm).run(&mut RandomSelector::new());
+    let random_noisy = Simulation::new(noisy.clone()).run(&mut RandomSelector::new());
+    // Interference must cost the data-blind baseline energy.
+    assert!(
+        random_noisy.energy_to_target_j() > random_calm.energy_to_target_j(),
+        "interference should increase baseline energy"
+    );
+    let autofl_noisy = Simulation::new(noisy).run(&mut AutoFl::paper_default());
+    assert!(
+        autofl_noisy.ppw_global() > 1.2 * random_noisy.ppw_global(),
+        "AutoFL {} vs random {} under interference",
+        autofl_noisy.ppw_global(),
+        random_noisy.ppw_global()
+    );
+}
+
+#[test]
+fn full_non_iid_stalls_random_but_not_the_oracle() {
+    let mut cfg = paper_cfg();
+    cfg.distribution = DataDistribution::non_iid_percent(100);
+    cfg.max_rounds = 600;
+    let random = Simulation::new(cfg.clone()).run(&mut RandomSelector::new());
+    let oracle = Simulation::new(cfg.clone()).run(&mut OracleSelector::full());
+    let autofl = Simulation::new(cfg).run(&mut AutoFl::paper_default());
+    assert!(
+        !random.converged(),
+        "random should stall under full non-IID, reached {}",
+        random.final_accuracy()
+    );
+    assert!(
+        oracle.converged(),
+        "oracle should converge under full non-IID, reached {}",
+        oracle.final_accuracy()
+    );
+    assert!(
+        autofl.best_accuracy() > random.best_accuracy() + 0.05,
+        "AutoFL {} should outlearn random {}",
+        autofl.best_accuracy(),
+        random.best_accuracy()
+    );
+}
+
+#[test]
+fn performance_and_power_policies_bound_round_time() {
+    let mut cfg = paper_cfg();
+    cfg.max_rounds = 40;
+    cfg.target_accuracy = Some(1.1);
+    let perf = Simulation::new(cfg.clone()).run(&mut ClusterSelector::performance());
+    let power = Simulation::new(cfg.clone()).run(&mut ClusterSelector::power());
+    let random = Simulation::new(cfg).run(&mut RandomSelector::new());
+    assert!(perf.mean_round_time_s() < random.mean_round_time_s());
+    assert!(random.mean_round_time_s() < power.mean_round_time_s());
+}

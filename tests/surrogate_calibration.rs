@@ -1,0 +1,66 @@
+//! Checks that the surrogate accuracy engine's *orderings* agree with real
+//! federated training on the tiny workload: more heterogeneity is worse,
+//! and both engines converge on IID data.
+
+use autofl_data::partition::DataDistribution;
+use autofl_fed::engine::{Fidelity, SimConfig, Simulation};
+use autofl_fed::selection::RandomSelector;
+use autofl_fed::GlobalParams;
+use autofl_nn::zoo::Workload;
+
+fn tiny_real(dist: DataDistribution, seed: u64) -> f64 {
+    let mut cfg = SimConfig::tiny_test(seed);
+    cfg.workload = Workload::TinyTest;
+    cfg.num_devices = 8;
+    cfg.samples_per_device = 32;
+    cfg.test_samples = 96;
+    cfg.params = GlobalParams::new(8, 1, 4);
+    cfg.distribution = dist;
+    cfg.fidelity = Fidelity::RealTraining {
+        lr: 0.08,
+        eval_samples: 96,
+    };
+    cfg.max_rounds = 15;
+    cfg.target_accuracy = Some(1.1);
+    Simulation::new(cfg)
+        .run(&mut RandomSelector::new())
+        .best_accuracy()
+}
+
+fn tiny_surrogate(dist: DataDistribution, seed: u64) -> f64 {
+    let mut cfg = SimConfig::tiny_test(seed);
+    cfg.distribution = dist;
+    cfg.max_rounds = 15;
+    cfg.target_accuracy = Some(1.1);
+    Simulation::new(cfg)
+        .run(&mut RandomSelector::new())
+        .best_accuracy()
+}
+
+#[test]
+fn real_training_learns_on_iid_data() {
+    let acc = tiny_real(DataDistribution::IidIdeal, 3);
+    assert!(acc > 0.6, "real IID training reached only {}", acc);
+}
+
+#[test]
+fn both_engines_rank_iid_above_full_non_iid() {
+    // Average over seeds to avoid single-run flakiness.
+    let mean = |f: &dyn Fn(u64) -> f64| (f(1) + f(2) + f(3)) / 3.0;
+    let real_iid = mean(&|s| tiny_real(DataDistribution::IidIdeal, s));
+    let real_skew = mean(&|s| tiny_real(DataDistribution::non_iid_percent(100), s));
+    assert!(
+        real_iid > real_skew,
+        "real training: IID {} should beat non-IID {}",
+        real_iid,
+        real_skew
+    );
+    let sur_iid = mean(&|s| tiny_surrogate(DataDistribution::IidIdeal, s));
+    let sur_skew = mean(&|s| tiny_surrogate(DataDistribution::non_iid_percent(100), s));
+    assert!(
+        sur_iid > sur_skew,
+        "surrogate: IID {} should beat non-IID {}",
+        sur_iid,
+        sur_skew
+    );
+}
