@@ -18,6 +18,11 @@ fn main() {
         &cfg,
         &[Policy::Random, Policy::Performance, Policy::OracleFull],
     );
-    print_rows("Figure 1: PPW of judicious selection vs FedAvg-Random", &rows);
-    println!("\npaper: Performance and O_FL reach up to 5.4x PPW and 4.2x convergence over random.");
+    print_rows(
+        "Figure 1: PPW of judicious selection vs FedAvg-Random",
+        &rows,
+    );
+    println!(
+        "\npaper: Performance and O_FL reach up to 5.4x PPW and 4.2x convergence over random."
+    );
 }

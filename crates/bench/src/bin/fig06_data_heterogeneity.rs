@@ -18,7 +18,9 @@ fn main() {
     println!(
         "{:<16} {}",
         "distribution",
-        (0..=6).map(|i| format!("r{:<6}", i * 100)).collect::<String>()
+        (0..=6)
+            .map(|i| format!("r{:<6}", i * 100))
+            .collect::<String>()
     );
     let mut ppw = Vec::new();
     for dist in regimes {
@@ -38,7 +40,10 @@ fn main() {
         cfg_b.target_accuracy = None;
         let rand = run_policy(&cfg_b, Policy::Random);
         let oracle = run_policy(&cfg_b, Policy::OracleFull);
-        ppw.push((dist.label(), rand.ppw_global() / oracle.ppw_global().max(1e-300)));
+        ppw.push((
+            dist.label(),
+            rand.ppw_global() / oracle.ppw_global().max(1e-300),
+        ));
     }
     println!("\n=== Figure 6(b): FedAvg-Random PPW as a fraction of ideal selection ===");
     for (label, frac) in ppw {

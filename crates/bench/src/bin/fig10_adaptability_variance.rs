@@ -9,7 +9,10 @@ use autofl_nn::zoo::Workload;
 fn main() {
     let regimes = [
         ("(a) no variance", VarianceScenario::calm()),
-        ("(b) on-device interference", VarianceScenario::with_interference()),
+        (
+            "(b) on-device interference",
+            VarianceScenario::with_interference(),
+        ),
         ("(c) network variance", VarianceScenario::weak_network()),
     ];
     for (label, scenario) in regimes {

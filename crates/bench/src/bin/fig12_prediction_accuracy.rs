@@ -39,7 +39,11 @@ fn prediction_accuracy(cfg: &SimConfig, warmup: usize, rounds: usize) -> (f64, f
                 }
             }
         }
-        target_sum += if both > 0 { agree as f64 / both as f64 } else { 1.0 };
+        target_sum += if both > 0 {
+            agree as f64 / both as f64
+        } else {
+            1.0
+        };
         measured += 1;
     }
     (

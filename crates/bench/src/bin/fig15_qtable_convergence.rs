@@ -9,9 +9,10 @@ fn reward_trace(sharing: QSharing) -> (Vec<f64>, Option<usize>) {
     let mut cfg = SimConfig::paper_default(Workload::CnnMnist);
     cfg.max_rounds = 200;
     cfg.target_accuracy = Some(1.1); // run the full horizon
-    let mut ac = AutoFlConfig::default();
-    ac.sharing = sharing;
-    let mut agent = AutoFl::new(ac);
+    let mut agent = AutoFl::new(AutoFlConfig {
+        sharing,
+        ..Default::default()
+    });
     let _ = Simulation::new(cfg).run(&mut agent);
     let converged = agent.reward_converged_round(20, 12.0);
     (agent.reward_history().to_vec(), converged)
@@ -36,14 +37,20 @@ fn main() {
     let mut results = Vec::new();
     for gamma in [0.1, 0.5, 0.9] {
         for mu in [0.1, 0.5, 0.9] {
-            let mut ac = AutoFlConfig::default();
-            ac.learning_rate = gamma;
-            ac.discount = mu;
+            let ac = AutoFlConfig {
+                learning_rate: gamma,
+                discount: mu,
+                ..Default::default()
+            };
             let r = Simulation::new(cfg.clone()).run(&mut AutoFl::new(ac));
             results.push((gamma, mu, r.ppw_global()));
         }
     }
-    let best = results.iter().map(|r| r.2).fold(0.0f64, f64::max).max(1e-300);
+    let best = results
+        .iter()
+        .map(|r| r.2)
+        .fold(0.0f64, f64::max)
+        .max(1e-300);
     for (gamma, mu, ppw) in results {
         println!(
             "gamma={:.1} mu={:.1}: {:>5.1}% of best",

@@ -38,9 +38,7 @@ pub fn dbscan(points: &[f64], dim: usize, eps: f64, min_pts: usize) -> Vec<Assig
             .sum()
     };
     let eps2 = eps * eps;
-    let neighbours = |i: usize| -> Vec<usize> {
-        (0..n).filter(|&j| dist2(i, j) <= eps2).collect()
-    };
+    let neighbours = |i: usize| -> Vec<usize> { (0..n).filter(|&j| dist2(i, j) <= eps2).collect() };
 
     let mut labels: Vec<Option<Assignment>> = vec![None; n];
     let mut next_cluster = 0usize;
@@ -73,7 +71,10 @@ pub fn dbscan(points: &[f64], dim: usize, eps: f64, min_pts: usize) -> Vec<Assig
             }
         }
     }
-    labels.into_iter().map(|l| l.expect("all visited")).collect()
+    labels
+        .into_iter()
+        .map(|l| l.expect("all visited"))
+        .collect()
 }
 
 /// Discretizes a continuous 1-D feature into bins derived from DBSCAN

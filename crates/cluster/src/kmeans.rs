@@ -69,7 +69,7 @@ impl KMeans {
         let mut assignments = vec![0usize; n];
         for _ in 0..max_iter {
             let mut changed = false;
-            for i in 0..n {
+            for (i, slot) in assignments.iter_mut().enumerate() {
                 let best = (0..k)
                     .min_by(|&a, &b| {
                         dist2(point(i), &centroids[a])
@@ -77,8 +77,8 @@ impl KMeans {
                             .expect("finite distances")
                     })
                     .expect("k > 0");
-                if assignments[i] != best {
-                    assignments[i] = best;
+                if *slot != best {
+                    *slot = best;
                     changed = true;
                 }
             }
@@ -86,14 +86,13 @@ impl KMeans {
                 break;
             }
             for (c, centroid) in centroids.iter_mut().enumerate() {
-                let members: Vec<usize> =
-                    (0..n).filter(|&i| assignments[i] == c).collect();
+                let members: Vec<usize> = (0..n).filter(|&i| assignments[i] == c).collect();
                 if members.is_empty() {
                     continue;
                 }
-                for d in 0..dim {
-                    centroid[d] = members.iter().map(|&i| point(i)[d]).sum::<f64>()
-                        / members.len() as f64;
+                for (d, coord) in centroid.iter_mut().enumerate() {
+                    *coord =
+                        members.iter().map(|&i| point(i)[d]).sum::<f64>() / members.len() as f64;
                 }
             }
         }

@@ -1,0 +1,267 @@
+//! Minimal stand-in for the `criterion` benchmarking crate.
+//!
+//! Implements the small API surface the `autofl-bench` benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`criterion_group!`]/[`criterion_main!`] and
+//! [`black_box`] — with a simple but honest measurement loop: warm-up,
+//! then `sample_size` timed samples, reporting min/median/mean.
+//!
+//! It also understands the arguments Cargo passes to `harness = false`
+//! bench targets: `--test` (run each benchmark once, don't measure) and a
+//! positional filter substring.
+
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimiser from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How a run was invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (`cargo bench`).
+    Measure,
+    /// Smoke-run each benchmark body once (`cargo test --benches`).
+    Test,
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Measure;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => mode = Mode::Test,
+                // Harness flags Cargo or users may pass; no-ops here.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" | "--exact" => {}
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion {
+            mode,
+            filter,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one("", &id.into(), sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, group: &str, id: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            mode: self.mode,
+            sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        match self.mode {
+            Mode::Test => println!("test {full} ... ok"),
+            Mode::Measure => bencher.report(&full),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Registers and runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        let name = self.name.clone();
+        self.criterion.run_one(&name, &id.into(), sample_size, f);
+        self
+    }
+
+    /// Ends the group (formatting hook in real criterion; no-op here).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] runs the timing
+/// loop.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.mode == Mode::Test {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: run until ~50ms total or 3 iterations, whichever first.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_iters < 3 || warm_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 100 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed() / warm_iters;
+        // Batch enough iterations that one sample is >= ~1ms of work.
+        let batch = (Duration::from_millis(1).as_nanos() / per_iter.as_nanos().max(1)).max(1);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / batch as u32);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<44} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{name:<44} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+            min,
+            median,
+            mean,
+            sorted.len()
+        );
+    }
+}
+
+/// Declares a group function that runs a list of benchmark functions, as in
+/// real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            filter: None,
+            default_sample_size: 3,
+        };
+        let mut ran = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).bench_function("inc", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            filter: Some("nomatch".into()),
+            default_sample_size: 3,
+        };
+        let mut ran = 0;
+        c.bench_function("other", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 0);
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut b = Bencher {
+            mode: Mode::Measure,
+            sample_size: 4,
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(2u64.wrapping_mul(3)));
+        assert_eq!(b.samples.len(), 4);
+    }
+}

@@ -1,0 +1,208 @@
+//! Minimal stand-in for the `proptest` crate.
+//!
+//! Supports the subset used by `tests/state_properties.rs`: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(..)]` inner
+//! attribute), range strategies for integers and floats,
+//! [`bool::ANY`](crate::bool::ANY), and the `prop_assert*` macros.
+//!
+//! Unlike real proptest there is no shrinking and no failure-persistence
+//! file; inputs are drawn from a seeded deterministic generator, so a
+//! failing case reproduces identically on every run — which is exactly the
+//! reproducibility contract the rest of this workspace follows.
+
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{SampleUniform, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Everything a `proptest!` test file needs in scope.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random test inputs.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draws one input.
+    fn pick(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn pick(&self, rng: &mut SmallRng) -> T {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn pick(&self, rng: &mut SmallRng) -> T {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    use super::{SmallRng, Strategy};
+
+    /// Strategy yielding `true` or `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn pick(&self, rng: &mut SmallRng) -> bool {
+            use rand::Rng;
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Stable per-test seed so each property sees its own input stream but the
+/// stream never changes between runs.
+pub fn seed_for(test_name: &str) -> u64 {
+    // FNV-1a, folded with a workspace tag.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ 0xA070_F1A0_70F1
+}
+
+/// Builds the deterministic RNG for one property.
+pub fn rng_for(test_name: &str) -> SmallRng {
+    SmallRng::seed_from_u64(seed_for(test_name))
+}
+
+/// Defines property tests. Each `arg in strategy` binding is drawn fresh
+/// for every case; the body runs `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::rng_for(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::Strategy::pick(&($strat), &mut rng);
+                    )*
+                    let run = || {
+                        $body
+                    };
+                    if let Err(e) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        eprintln!(
+                            "proptest case {case} of {} failed with inputs: {}",
+                            stringify!($name),
+                            [$(format!("{} = {:?}", stringify!($arg), $arg)),*].join(", "),
+                        );
+                        ::std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $($arg in $strat),* ) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds(
+            x in 3usize..10,
+            y in -5i32..=5,
+            f in 0.25f64..0.75,
+            b in crate::bool::ANY,
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!([true, false].contains(&b));
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(f, f + 1.0);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(crate::seed_for("a"), crate::seed_for("a"));
+        assert_ne!(crate::seed_for("a"), crate::seed_for("b"));
+    }
+}

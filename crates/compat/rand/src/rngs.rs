@@ -1,0 +1,75 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, deterministic generator (xoshiro256++).
+///
+/// Unlike the upstream `rand::rngs::SmallRng`, the output stream here is
+/// guaranteed stable across releases of this workspace — simulation results
+/// keyed by seed are reproducible forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        // All-zero state is a fixed point of xoshiro; nudge it.
+        if s == [0; 4] {
+            s = [0x9e37_79b9_7f4a_7c15, 1, 2, 3];
+        }
+        SmallRng { s }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        SmallRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Uniform sampling over ranges, mirroring `rand::distributions::uniform`.
+
+use crate::{Rng, RngCore};
+use std::ops::{Range, RangeInclusive};
+
+/// Marker for types [`Rng::gen_range`] can produce.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform draw from the half-open interval `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Uniform draw from the closed interval `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range-like arguments accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "gen_range called with empty range");
+        T::sample_inclusive(low, high, rng)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($ty:ty => $wide:ty, $unsigned:ty);* $(;)?) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let span = (high as $wide).wrapping_sub(low as $wide) as $unsigned;
+                low.wrapping_add(bounded(rng, span as u64) as $ty)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let span = (high as $wide).wrapping_sub(low as $wide) as $unsigned as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                low.wrapping_add(bounded(rng, span + 1) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int! {
+    i8 => i64, u8;
+    i16 => i64, u16;
+    i32 => i64, u32;
+    i64 => i64, u64;
+    isize => i64, usize;
+    u8 => u64, u8;
+    u16 => u64, u16;
+    u32 => u64, u32;
+    u64 => u64, u64;
+    usize => u64, usize;
+}
+
+/// Draws uniformly from `[0, span)` by widening multiply with rejection
+/// (Lemire's method). `span == 0` means the full 2^64 domain.
+#[inline]
+fn bounded<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(span as u128);
+        let low = m as u64;
+        if low >= span || low >= span.wrapping_neg() % span {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_uniform_float {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let unit = <$ty as crate::Standard>::draw(rng);
+                let v = low + (high - low) * unit;
+                // Guard against rounding up to the excluded endpoint.
+                if v >= high { <$ty>::max(low, high - (high - low) * <$ty>::EPSILON) } else { v }
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let unit = <$ty as crate::Standard>::draw(rng);
+                low + (high - low) * unit
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::SmallRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn integer_ranges_cover_all_values() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn single_value_ranges() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(rng.gen_range(7i32..8), 7);
+        assert_eq!(rng.gen_range(7i32..=7), 7);
+    }
+
+    #[test]
+    fn negative_integer_ranges() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let v = rng.gen_range(-10i32..-5);
+            assert!((-10..-5).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Minimal stand-in for the `rand_distr` crate: just the [`Normal`] and
+//! [`Gamma`] distributions the AutoFL simulation draws from, built on the
+//! in-tree `rand` shim. Fully deterministic given a seeded generator.
+
+#![warn(missing_docs)]
+
+use rand::{Rng, RngCore};
+
+/// Types that can draw samples of `T` from an [`Rng`].
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, std_dev²)`. Fails if `std_dev` is negative or
+    /// non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error("Normal: std_dev must be finite and >= 0"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// One standard-normal draw via Box–Muller (the cosine branch only, so one
+/// draw consumes exactly two uniforms — keeps replay alignment simple).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = unit_open(rng);
+    let u2: f64 = crate::unit(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[inline]
+fn unit<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform in (0, 1]: avoids ln(0).
+#[inline]
+fn unit_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The gamma distribution with shape `k` and scale `θ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates `Gamma(shape, scale)`. Fails unless both are positive and
+    /// finite.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, Error> {
+        if !(shape.is_finite() && shape > 0.0) {
+            return Err(Error("Gamma: shape must be finite and > 0"));
+        }
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(Error("Gamma: scale must be finite and > 0"));
+        }
+        Ok(Gamma { shape, scale })
+    }
+}
+
+impl Distribution<f64> for Gamma {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Marsaglia–Tsang squeeze method; shape < 1 is boosted via the
+        // standard U^(1/k) trick.
+        let (k, boost) = if self.shape < 1.0 {
+            let u: f64 = unit_open(rng);
+            (self.shape + 1.0, u.powf(1.0 / self.shape))
+        } else {
+            (self.shape, 1.0)
+        };
+        let d = k - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = standard_normal(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u: f64 = unit_open(rng);
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v * boost * self.scale;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let n = Normal::new(5.0, 2.0).unwrap();
+        let draws: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / draws.len() as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn gamma_mean_roughly_matches() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        // Mean of Gamma(k, θ) is kθ; alpha=0.1 mirrors the Dirichlet use.
+        let g = Gamma::new(0.1, 1.0).unwrap();
+        let draws: Vec<f64> = (0..20_000).map(|_| g.sample(&mut rng)).collect();
+        assert!(draws.iter().all(|&x| x >= 0.0));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 0.1).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn invalid_parameters_error() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let n = Normal::new(0.0, 1.0).unwrap();
+        let a: Vec<f64> = {
+            let mut rng = SmallRng::seed_from_u64(99);
+            (0..32).map(|_| n.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = SmallRng::seed_from_u64(99);
+            (0..32).map(|_| n.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,88 @@
+//! Derive-macro half of the in-tree `serde` shim.
+//!
+//! The real `serde_derive` generates (de)serialization impls; nothing in
+//! this workspace serializes yet, so these derives only have to make
+//! `#[derive(Serialize, Deserialize)]` compile. They parse the item just
+//! far enough to find its name and emit a marker-trait impl, so code can
+//! still take `T: serde::Serialize` bounds.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
+
+/// Emits `impl serde::<Trait> for <Name><generic params>` with the type's
+/// own generics echoed verbatim. Gives up (emits nothing) on shapes it
+/// doesn't recognise rather than erroring, since the marker impl is
+/// best-effort.
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip attributes (`#[...]`) and visibility / qualifier keywords until
+    // the `struct` / `enum` / `union` keyword.
+    let mut name: Option<String> = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(ref p) if p.as_char() == '#' => {
+                // Consume the following [...] group.
+                tokens.next();
+            }
+            TokenTree::Ident(ref id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" || s == "union" {
+                    if let Some(TokenTree::Ident(n)) = tokens.next() {
+                        name = Some(n.to_string());
+                    }
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(name) = name else {
+        return TokenStream::new();
+    };
+
+    // Collect generic parameters, if any: everything between the top-level
+    // `<` and its matching `>` right after the name.
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            for tt in tokens.by_ref() {
+                if let TokenTree::Punct(ref p) = tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                generics.push_str(&tt.to_string());
+                generics.push(' ');
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Lifetimes/const params make a blind `impl<G> Trait for Name<G>`
+    // fragile; bail to the no-impl fallback for anything generic. Every
+    // derive in this workspace is on a plain type today.
+    if !generics.is_empty() {
+        return TokenStream::new();
+    }
+    // Skip any `where` clause or body — not needed for a marker impl.
+    let _ = tokens.last();
+
+    format!("impl serde::{trait_name} for {name} {{}}")
+        .parse()
+        .unwrap_or_else(|_| TokenStream::new())
+}

@@ -22,6 +22,12 @@ use std::time::Instant;
 pub struct AutoFlConfig {
     /// Exploration probability ε of the epsilon-greedy policy.
     pub epsilon: f64,
+    /// Multiplicative per-round decay applied to ε for both exploration
+    /// coins (whole-cohort and per-device action). The paper uses constant
+    /// ε (`1.0`, the default); values below 1 anneal all exploration away
+    /// once the controller's reward has converged (Figure 15 territory)
+    /// and are exposed for ablation.
+    pub epsilon_decay: f64,
     /// Q-learning learning rate γ.
     pub learning_rate: f64,
     /// Q-learning discount factor µ.
@@ -41,6 +47,7 @@ impl Default for AutoFlConfig {
     fn default() -> Self {
         AutoFlConfig {
             epsilon: 0.1,
+            epsilon_decay: 1.0,
             learning_rate: 0.9,
             discount: 0.1,
             reward: RewardConfig::default(),
@@ -167,12 +174,7 @@ impl AutoFl {
     /// the straggler (and stretch everyone's idle energy) is upgraded to
     /// the fastest setting of its chosen target, falling back to CPU-max
     /// if the target cannot meet the pace at all.
-    fn clamp_to_pace(
-        ctx: &RoundContext<'_>,
-        id: DeviceId,
-        action: Action,
-        pace_s: f64,
-    ) -> Action {
+    fn clamp_to_pace(ctx: &RoundContext<'_>, id: DeviceId, action: Action, pace_s: f64) -> Action {
         let Action::Train { target, dvfs_level } = action else {
             return action;
         };
@@ -235,8 +237,7 @@ impl Selector for AutoFl {
             .max(1e-6);
             let mut reward = self.config.reward;
             reward.local_energy_scale_j = nominal_j / 25.0;
-            reward.global_energy_scale_j =
-                nominal_j * ctx.params.num_participants as f64 / 7.0;
+            reward.global_energy_scale_j = nominal_j * ctx.params.num_participants as f64 / 7.0;
             self.resolved_reward = Some(reward);
         }
         let global_state = self.space.global_state(ctx);
@@ -256,7 +257,8 @@ impl Selector for AutoFl {
         let candidates = self.candidate_actions();
         let tables = self.tables.as_mut().expect("tables built above");
         let k = ctx.params.num_participants;
-        let explore = self.rng.gen::<f64>() < self.config.epsilon;
+        let eps = self.config.epsilon * self.config.epsilon_decay.powi(ctx.round as i32);
+        let explore = self.rng.gen::<f64>() < eps;
         let mut actions: Vec<Action> = vec![Action::Idle; ctx.fleet.len()];
         let participants: Vec<DeviceId> = if explore {
             let mut ids = ctx.fleet.ids();
@@ -284,7 +286,23 @@ impl Selector for AutoFl {
             scored.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite Q-values"));
             scored.truncate(k);
             for (id, a, _) in &scored {
-                actions[id.0] = *a;
+                // Per-device ε-greedy over the second-level action: each
+                // selected device's agent occasionally tries a different
+                // execution target / DVFS step. Whole-cohort exploration
+                // above cannot cover the per-device action space at fleet
+                // scale — K random devices per explored round leave most
+                // (device, action) cells unvisited — so without this the
+                // greedy policy locks into whichever action the Q-table's
+                // random initialisation happened to rank first.
+                // Annealed by the same decayed ε as the cohort coin, so
+                // `epsilon_decay < 1` removes *all* exploration over time.
+                actions[id.0] = if eps > 0.0 && self.rng.gen::<f64>() < eps {
+                    *candidates
+                        .choose(&mut self.rng)
+                        .expect("non-empty candidates")
+                } else {
+                    *a
+                };
             }
             scored.into_iter().map(|(id, _, _)| id).collect()
         };
@@ -311,7 +329,8 @@ impl Selector for AutoFl {
             .map(|id| actions[id.0].plan_for(ctx.fleet.device(*id).tier()))
             .collect();
         let select_elapsed = t_select.elapsed();
-        self.overhead.record_decision(observe_elapsed, select_elapsed);
+        self.overhead
+            .record_decision(observe_elapsed, select_elapsed);
 
         self.pending = Some(PendingRound {
             global_state,
@@ -366,12 +385,9 @@ impl Selector for AutoFl {
         let all_actions = Action::all();
         let gamma = self.config.learning_rate;
         let mu = self.config.discount;
-        for (d, ((local_state, action), r)) in
-            pending.per_device.iter().zip(&rewards).enumerate()
-        {
+        for (d, ((local_state, action), r)) in pending.per_device.iter().zip(&rewards).enumerate() {
             let table = tables.table_mut(DeviceId(d));
-            let (_, max_next) =
-                table.best_action(pending.global_state, *local_state, &all_actions);
+            let (_, max_next) = table.best_action(pending.global_state, *local_state, &all_actions);
             let q = table.value(pending.global_state, *local_state, *action);
             table.set(
                 pending.global_state,
@@ -381,7 +397,8 @@ impl Selector for AutoFl {
             );
         }
         let update_elapsed = t_update.elapsed();
-        self.overhead.record_learning(reward_elapsed, update_elapsed);
+        self.overhead
+            .record_learning(reward_elapsed, update_elapsed);
 
         self.reward_history
             .push(rewards.iter().sum::<f64>() / rewards.len().max(1) as f64);
@@ -429,9 +446,10 @@ mod tests {
         // With epsilon = 0 every selection is greedy, so two identical
         // agents on identical contexts pick identical participants.
         let mk = || {
-            let mut c = AutoFlConfig::default();
-            c.epsilon = 0.0;
-            AutoFl::new(c)
+            AutoFl::new(AutoFlConfig {
+                epsilon: 0.0,
+                ..Default::default()
+            })
         };
         let mut sim_a = Simulation::new(SimConfig::tiny_test(5));
         let mut sim_b = Simulation::new(SimConfig::tiny_test(5));
@@ -455,9 +473,10 @@ mod tests {
 
     #[test]
     fn dvfs_ablation_restricts_actions() {
-        let mut c = AutoFlConfig::default();
-        c.dvfs_enabled = false;
-        let agent = AutoFl::new(c);
+        let agent = AutoFl::new(AutoFlConfig {
+            dvfs_enabled: false,
+            ..Default::default()
+        });
         let actions = agent.candidate_actions();
         assert_eq!(actions.len(), 2); // CPU-max and GPU-max only
     }

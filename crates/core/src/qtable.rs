@@ -229,7 +229,10 @@ mod tests {
         let mut set = QTableSet::new(&fleet, QSharing::SharedPerTier, 3);
         let high_ids = fleet.ids_of_tier(DeviceTier::High);
         set.table_mut(high_ids[0]).set(g(), l(), Action::Idle, 9.0);
-        assert_eq!(set.table_mut(high_ids[1]).value(g(), l(), Action::Idle), 9.0);
+        assert_eq!(
+            set.table_mut(high_ids[1]).value(g(), l(), Action::Idle),
+            9.0
+        );
     }
 
     #[test]

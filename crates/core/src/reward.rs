@@ -93,7 +93,7 @@ mod tests {
         let cfg = RewardConfig::default();
         let r = reward(&cfg, &base_inputs());
         // -2000/150 - 50/2 + 1*82 + 5*2 = -13.33 - 25 + 82 + 10 = 53.67
-        assert!((r - (-2000.0/150.0 - 25.0 + 82.0 + 10.0)).abs() < 1e-9);
+        assert!((r - (-2000.0 / 150.0 - 25.0 + 82.0 + 10.0)).abs() < 1e-9);
     }
 
     #[test]

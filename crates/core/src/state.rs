@@ -127,11 +127,7 @@ impl StateSpace {
     ///
     /// `class_fraction` is the share of label classes present on the
     /// device (`S_Data`).
-    pub fn local_state(
-        &self,
-        conditions: &DeviceConditions,
-        class_fraction: f64,
-    ) -> LocalState {
+    pub fn local_state(&self, conditions: &DeviceConditions, class_fraction: f64) -> LocalState {
         // Table 1 gives CPU/MEM a dedicated "none" bin at exactly 0%.
         let cpu_bin = if conditions.interference.co_cpu == 0.0 {
             0
@@ -188,13 +184,31 @@ mod tests {
     fn local_state_bins_match_table1() {
         let space = StateSpace::paper_bins();
         // None / small / medium / large CPU bins.
-        assert_eq!(space.local_state(&conditions(0.0, 0.0, 80.0), 1.0).co_cpu, 0);
-        assert_eq!(space.local_state(&conditions(0.1, 0.0, 80.0), 1.0).co_cpu, 1);
-        assert_eq!(space.local_state(&conditions(0.5, 0.0, 80.0), 1.0).co_cpu, 2);
-        assert_eq!(space.local_state(&conditions(0.9, 0.0, 80.0), 1.0).co_cpu, 3);
+        assert_eq!(
+            space.local_state(&conditions(0.0, 0.0, 80.0), 1.0).co_cpu,
+            0
+        );
+        assert_eq!(
+            space.local_state(&conditions(0.1, 0.0, 80.0), 1.0).co_cpu,
+            1
+        );
+        assert_eq!(
+            space.local_state(&conditions(0.5, 0.0, 80.0), 1.0).co_cpu,
+            2
+        );
+        assert_eq!(
+            space.local_state(&conditions(0.9, 0.0, 80.0), 1.0).co_cpu,
+            3
+        );
         // Network threshold at 40 Mbps.
-        assert_eq!(space.local_state(&conditions(0.0, 0.0, 80.0), 1.0).network, 0);
-        assert_eq!(space.local_state(&conditions(0.0, 0.0, 30.0), 1.0).network, 1);
+        assert_eq!(
+            space.local_state(&conditions(0.0, 0.0, 80.0), 1.0).network,
+            0
+        );
+        assert_eq!(
+            space.local_state(&conditions(0.0, 0.0, 30.0), 1.0).network,
+            1
+        );
         // Data classes: small / medium / large.
         assert_eq!(space.local_state(&conditions(0.0, 0.0, 80.0), 0.2).data, 0);
         assert_eq!(space.local_state(&conditions(0.0, 0.0, 80.0), 0.7).data, 1);

@@ -23,9 +23,18 @@ impl Dataset {
     ///
     /// Panics if `xs.len()` is not `labels.len() * product(sample_shape)`,
     /// or any label is `>= num_classes`.
-    pub fn new(xs: Vec<f32>, labels: Vec<usize>, sample_shape: Vec<usize>, num_classes: usize) -> Self {
+    pub fn new(
+        xs: Vec<f32>,
+        labels: Vec<usize>,
+        sample_shape: Vec<usize>,
+        num_classes: usize,
+    ) -> Self {
         let per: usize = sample_shape.iter().product();
-        assert_eq!(xs.len(), labels.len() * per, "sample buffer length mismatch");
+        assert_eq!(
+            xs.len(),
+            labels.len() * per,
+            "sample buffer length mismatch"
+        );
         assert!(
             labels.iter().all(|&l| l < num_classes),
             "label out of range"

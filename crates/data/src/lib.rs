@@ -78,28 +78,14 @@ mod tests {
 
     #[test]
     fn generate_wires_partition_to_train_set() {
-        let fl = FlData::generate(
-            Workload::TinyTest,
-            5,
-            20,
-            40,
-            DataDistribution::IidIdeal,
-            1,
-        );
+        let fl = FlData::generate(Workload::TinyTest, 5, 20, 40, DataDistribution::IidIdeal, 1);
         let total: usize = (0..5).map(|d| fl.partition.device_indices(d).len()).sum();
         assert_eq!(total, fl.train.len());
     }
 
     #[test]
     fn train_and_test_differ() {
-        let fl = FlData::generate(
-            Workload::TinyTest,
-            2,
-            10,
-            20,
-            DataDistribution::IidIdeal,
-            2,
-        );
+        let fl = FlData::generate(Workload::TinyTest, 2, 10, 20, DataDistribution::IidIdeal, 2);
         let (xtr, _) = fl.train.batch(&[0]);
         let (xte, _) = fl.test.batch(&[0]);
         assert_ne!(xtr.data(), xte.data());

@@ -109,8 +109,7 @@ impl Partition {
             non_iid_devices[d] = true;
         }
         let iid_devices: Vec<usize> = (0..num_devices).filter(|&d| !non_iid_devices[d]).collect();
-        let noniid_devices: Vec<usize> =
-            (0..num_devices).filter(|&d| non_iid_devices[d]).collect();
+        let noniid_devices: Vec<usize> = (0..num_devices).filter(|&d| non_iid_devices[d]).collect();
 
         // Every device receives the same number of samples; what differs is
         // the *label mix*. IID devices draw their quota stratified across

@@ -1,8 +1,8 @@
 //! The per-round time/energy cost model (Eqs. 1–4 of the paper).
 //!
-//! Given a training task (FLOPs + upload bytes), an execution plan (target
-//! + DVFS step) and the device's runtime conditions, [`execute`] returns
-//! the compute/communication time and energy. The paper validates its
+//! Given a training task (FLOPs and upload bytes), an execution plan
+//! (target and DVFS step) and the device's runtime conditions, [`execute`]
+//! returns the compute/communication time and energy. The paper validates its
 //! latency-based energy estimation at 7.3% MAPE; ours is exact by
 //! construction since the same model produces both "measured" and
 //! "estimated" values — the RL reward uses these estimates just as the
@@ -119,8 +119,18 @@ mod tests {
     #[test]
     fn high_end_is_faster_than_low_end() {
         let c = DeviceConditions::ideal();
-        let h = execute(DeviceTier::High, ExecutionPlan::cpu_max(DeviceTier::High), task(), &c);
-        let l = execute(DeviceTier::Low, ExecutionPlan::cpu_max(DeviceTier::Low), task(), &c);
+        let h = execute(
+            DeviceTier::High,
+            ExecutionPlan::cpu_max(DeviceTier::High),
+            task(),
+            &c,
+        );
+        let l = execute(
+            DeviceTier::Low,
+            ExecutionPlan::cpu_max(DeviceTier::Low),
+            task(),
+            &c,
+        );
         let ratio = l.compute_time_s / h.compute_time_s;
         assert!(
             (2.5..3.5).contains(&ratio),

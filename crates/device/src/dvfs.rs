@@ -100,7 +100,11 @@ impl DvfsTable {
     ///
     /// Panics if `step` is 0 or greater than [`DvfsTable::num_steps`].
     pub fn freq_ghz(&self, step: usize) -> f64 {
-        assert!(step >= 1 && step <= self.steps, "invalid DVFS step {}", step);
+        assert!(
+            step >= 1 && step <= self.steps,
+            "invalid DVFS step {}",
+            step
+        );
         self.max_freq_ghz * step as f64 / self.steps as f64
     }
 

@@ -6,9 +6,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a device within a [`Fleet`] (dense, 0-based).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct DeviceId(pub usize);
 
 /// One emulated smartphone.
@@ -175,10 +173,7 @@ mod tests {
         let a = Fleet::paper_fleet(4);
         let b = Fleet::paper_fleet(4);
         for (da, db) in a.iter().zip(b.iter()) {
-            assert_eq!(
-                da.interference_propensity(),
-                db.interference_propensity()
-            );
+            assert_eq!(da.interference_propensity(), db.interference_propensity());
         }
     }
 }

@@ -63,11 +63,8 @@ pub struct NetworkObservation {
 impl NetworkObservation {
     /// Samples a per-round observation for the given signal regime.
     pub fn sample(signal: SignalStrength, rng: &mut impl Rng) -> Self {
-        let normal = Normal::new(
-            signal.mean_bandwidth_mbps(),
-            signal.bandwidth_std_mbps(),
-        )
-        .expect("finite bandwidth parameters");
+        let normal = Normal::new(signal.mean_bandwidth_mbps(), signal.bandwidth_std_mbps())
+            .expect("finite bandwidth parameters");
         let bandwidth_mbps = normal.sample(rng).max(1.0);
         NetworkObservation {
             signal,
@@ -136,9 +133,7 @@ mod tests {
     fn weak_draws_mostly_fall_below_threshold() {
         let mut rng = SmallRng::seed_from_u64(6);
         let below = (0..500)
-            .filter(|_| {
-                !NetworkObservation::sample(SignalStrength::Weak, &mut rng).is_regular()
-            })
+            .filter(|_| !NetworkObservation::sample(SignalStrength::Weak, &mut rng).is_regular())
             .count();
         assert!(below > 450, "only {}/500 weak draws below 40 Mbps", below);
     }

@@ -155,7 +155,10 @@ mod tests {
 
     #[test]
     fn paper_fleet_totals_200() {
-        let total: usize = DeviceTier::all().iter().map(|t| t.paper_fleet_count()).sum();
+        let total: usize = DeviceTier::all()
+            .iter()
+            .map(|t| t.paper_fleet_count())
+            .sum();
         assert_eq!(total, 200);
     }
 

@@ -62,6 +62,12 @@ pub trait AccuracyEngine: Send {
     fn name(&self) -> &'static str;
 }
 
+/// Cohort drift below this level is benign: oppositely-skewed updates
+/// average out and the aggregation neither regresses nor caps convergence.
+/// Shared by the surrogate's penalty and the oracle's composition score so
+/// the oracle optimises the same landscape the surrogate simulates.
+pub const DRIFT_KNEE: f64 = 0.40;
+
 /// Workload-specific convergence constants shared by both engines.
 #[derive(Debug, Clone, Copy)]
 pub struct ConvergenceProfile {
@@ -195,18 +201,16 @@ impl AccuracyEngine for SurrogateEngine {
         let member_div = stats.mean_member_divergence.clamp(0.0, 2.0);
         let balance = 1.0 - divergence / 2.0;
         let drift = (member_div / 2.0) * (1.0 - 0.35 * balance);
-        let drift_excess = (drift - 0.38).max(0.0);
-        let drift_penalty = 0.9 * exposure * drift_excess / 0.62;
+        let drift_excess = (drift - DRIFT_KNEE).max(0.0);
+        let drift_penalty = 0.9 * exposure * drift_excess / (1.0 - DRIFT_KNEE);
         let ceiling = self.profile.max_accuracy
             * (0.25 + 0.75 * eff_coverage)
             * (1.0 - drift_penalty).max(0.2);
         // Drifted aggregations actively regress the model (local epochs on
         // 1–2 classes corrupt shared features), so heavily-skewed cohorts
         // equilibrate *below* the target instead of ratcheting toward it.
-        let regression = rate
-            * exposure
-            * self.acc
-            * (0.5 * (divergence - 1.0).max(0.0) + 6.0 * drift_excess);
+        let regression =
+            rate * exposure * self.acc * (0.5 * (divergence - 1.0).max(0.0) + 6.0 * drift_excess);
         let noise = self.rng.gen_range(-0.0008..0.0008);
         self.acc = (self.acc + rate * quality * (ceiling - self.acc) - regression + noise)
             .clamp(0.0, self.profile.max_accuracy);
@@ -522,14 +526,7 @@ mod tests {
 
     #[test]
     fn real_training_improves_accuracy_on_tiny_workload() {
-        let data = FlData::generate(
-            Workload::TinyTest,
-            4,
-            24,
-            64,
-            DataDistribution::IidIdeal,
-            5,
-        );
+        let data = FlData::generate(Workload::TinyTest, 4, 24, 64, DataDistribution::IidIdeal, 5);
         let mut e = RealTrainingEngine::new(
             Workload::TinyTest,
             data,

@@ -84,11 +84,7 @@ impl AggregationAlgorithm {
             return;
         }
         for u in updates {
-            assert_eq!(
-                u.delta.len(),
-                global.len(),
-                "client delta length mismatch"
-            );
+            assert_eq!(u.delta.len(), global.len(), "client delta length mismatch");
         }
         match self {
             AggregationAlgorithm::FedAvg
@@ -113,8 +109,8 @@ impl AggregationAlgorithm {
                     .map(|u| u.num_samples as f64 / total * u.local_steps.max(1) as f64)
                     .sum();
                 for u in updates {
-                    let w = (u.num_samples as f64 / total * tau_eff
-                        / u.local_steps.max(1) as f64) as f32;
+                    let w = (u.num_samples as f64 / total * tau_eff / u.local_steps.max(1) as f64)
+                        as f32;
                     for (g, d) in global.iter_mut().zip(u.delta.iter()) {
                         *g += w * d;
                     }

@@ -1,7 +1,9 @@
 //! The FL simulation engine: rounds, straggler handling, energy accounting
 //! and convergence metrics.
 
-use crate::accuracy::{AccuracyEngine, CohortStats, ConvergenceProfile, RealTrainingEngine, SurrogateEngine};
+use crate::accuracy::{
+    AccuracyEngine, CohortStats, ConvergenceProfile, RealTrainingEngine, SurrogateEngine,
+};
 use crate::algorithms::AggregationAlgorithm;
 use crate::estimate::estimate_round;
 use crate::global::GlobalParams;
@@ -104,6 +106,21 @@ impl SimConfig {
         }
     }
 
+    /// A reduced smoke profile: paper-shaped behaviour (same 15/35/50%
+    /// tier mix, S3 parameters, surrogate accuracy, CNN-MNIST) at a
+    /// fraction of the fleet and horizon, so end-to-end checks finish in
+    /// well under a second. Deterministic in `seed`.
+    pub fn smoke(seed: u64) -> Self {
+        SimConfig {
+            num_devices: 40,
+            samples_per_device: 120,
+            test_samples: 256,
+            max_rounds: 250,
+            seed,
+            ..Self::paper_default(Workload::CnnMnist)
+        }
+    }
+
     /// The effective convergence target.
     pub fn target(&self) -> f64 {
         self.target_accuracy
@@ -169,19 +186,31 @@ impl SimResult {
     /// Simulated seconds until convergence (or the whole run if it never
     /// converged).
     pub fn time_to_target_s(&self) -> f64 {
-        let upto = self.converged_round().map(|r| r + 1).unwrap_or(self.records.len());
+        let upto = self
+            .converged_round()
+            .map(|r| r + 1)
+            .unwrap_or(self.records.len());
         self.records[..upto].iter().map(|r| r.round_time_s).sum()
     }
 
     /// Total energy in joules until convergence (or the whole run).
     pub fn energy_to_target_j(&self) -> f64 {
-        let upto = self.converged_round().map(|r| r + 1).unwrap_or(self.records.len());
-        self.records[..upto].iter().map(|r| r.total_energy_j()).sum()
+        let upto = self
+            .converged_round()
+            .map(|r| r + 1)
+            .unwrap_or(self.records.len());
+        self.records[..upto]
+            .iter()
+            .map(|r| r.total_energy_j())
+            .sum()
     }
 
     /// Active (participant-side) energy until convergence.
     pub fn local_energy_to_target_j(&self) -> f64 {
-        let upto = self.converged_round().map(|r| r + 1).unwrap_or(self.records.len());
+        let upto = self
+            .converged_round()
+            .map(|r| r + 1)
+            .unwrap_or(self.records.len());
         self.records[..upto].iter().map(|r| r.active_energy_j).sum()
     }
 
@@ -219,8 +248,15 @@ impl SimResult {
         if self.records.is_empty() {
             return 0.0;
         }
-        let upto = self.converged_round().map(|r| r + 1).unwrap_or(self.records.len());
-        self.records[..upto].iter().map(|r| r.round_time_s).sum::<f64>() / upto as f64
+        let upto = self
+            .converged_round()
+            .map(|r| r + 1)
+            .unwrap_or(self.records.len());
+        self.records[..upto]
+            .iter()
+            .map(|r| r.round_time_s)
+            .sum::<f64>()
+            / upto as f64
     }
 }
 
@@ -426,8 +462,7 @@ impl Simulation {
             .filter(|(_, &f)| f > 0.0)
             .map(|(id, _)| *id)
             .collect();
-        let survivor_fractions: Vec<f64> =
-            fractions.iter().copied().filter(|&f| f > 0.0).collect();
+        let survivor_fractions: Vec<f64> = fractions.iter().copied().filter(|&f| f > 0.0).collect();
         let effective_samples: f64 = survivors
             .iter()
             .zip(&survivor_fractions)
@@ -553,6 +588,24 @@ mod tests {
             assert_eq!(ra.accuracy, rb.accuracy);
             assert_eq!(ra.total_energy_j(), rb.total_energy_j());
         }
+    }
+
+    #[test]
+    fn smoke_profile_converges_quickly() {
+        let mut sim = Simulation::new(SimConfig::smoke(1));
+        let result = sim.run(&mut RandomSelector::new());
+        assert!(
+            result.converged(),
+            "smoke run stalled at {}",
+            result.final_accuracy()
+        );
+        // Pin the fast-smoke contract: convergence must land well inside
+        // the 250-round horizon, not scrape against it.
+        assert!(
+            result.records.len() < 200,
+            "smoke profile slowed down: {} rounds",
+            result.records.len()
+        );
     }
 
     #[test]

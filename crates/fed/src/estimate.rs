@@ -93,9 +93,7 @@ mod tests {
         ];
         let est = estimate_round(&fleet, &ids, &plans, &[task(), task()], &conditions);
         // The low-end device is the straggler.
-        assert!(
-            (est.round_time_s - est.per_participant[1].total_time_s()).abs() < 1e-12
-        );
+        assert!((est.round_time_s - est.per_participant[1].total_time_s()).abs() < 1e-12);
         assert!(est.per_participant[0].total_time_s() < est.round_time_s);
     }
 

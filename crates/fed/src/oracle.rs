@@ -98,7 +98,12 @@ impl OracleSelector {
         if best_energy.is_infinite() {
             // Nothing meets the deadline; run as fast as possible on the
             // least-bad target.
-            let cpu = execute(tier, ExecutionPlan::cpu_max(tier), task, &ctx.conditions[id.0]);
+            let cpu = execute(
+                tier,
+                ExecutionPlan::cpu_max(tier),
+                task,
+                &ctx.conditions[id.0],
+            );
             let gpu_table = DvfsTable::for_tier(tier, ExecutionTarget::Gpu);
             let gpu_plan = ExecutionPlan {
                 target: ExecutionTarget::Gpu,
@@ -164,9 +169,10 @@ impl Selector for OracleSelector {
             let drift = (member_div / 2.0) * (1.0 - 0.35 * (1.0 - divergence / 2.0));
             // Steep: a composition that stalls convergence is useless no
             // matter how little energy its rounds draw.
-            let drift_factor = (1.0 - 20.0 * (drift - 0.38).max(0.0)).max(0.05);
-            let quality = (coverage * coverage * (1.0 - divergence / 2.0).max(0.05) * drift_factor)
-                .max(0.01);
+            let drift_factor =
+                (1.0 - 20.0 * (drift - crate::accuracy::DRIFT_KNEE).max(0.0)).max(0.05);
+            let quality =
+                (coverage * coverage * (1.0 - divergence / 2.0).max(0.05) * drift_factor).max(0.01);
             // Energy to converge ∝ per-round energy / convergence quality.
             let score = est.global_energy_j() / quality;
             if best.as_ref().map(|(s, _)| score < *s).unwrap_or(true) {
@@ -220,8 +226,8 @@ mod tests {
     use crate::engine::{SimConfig, Simulation};
     use crate::selection::RandomSelector;
     use autofl_data::partition::DataDistribution;
-    use autofl_nn::zoo::Workload;
     use autofl_device::scenario::VarianceScenario;
+    use autofl_nn::zoo::Workload;
 
     fn short_cfg() -> SimConfig {
         let mut cfg = SimConfig::paper_default(Workload::CnnMnist);

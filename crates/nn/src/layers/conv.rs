@@ -198,10 +198,10 @@ impl Layer for Conv2d {
             }
         }
         let g2 = Tensor::from_vec(vec![batch * oh * ow, self.out_c], g2);
-        self.gw.add_assign(&g2.matmul_tn(&cache.cols).reshape(vec![
-            self.out_c,
-            self.in_c * self.k * self.k,
-        ]));
+        self.gw.add_assign(
+            &g2.matmul_tn(&cache.cols)
+                .reshape(vec![self.out_c, self.in_c * self.k * self.k]),
+        );
         for r in 0..g2.rows() {
             for oc in 0..self.out_c {
                 self.gb.data_mut()[oc] += g2.at2(r, oc);

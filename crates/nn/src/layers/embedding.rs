@@ -43,7 +43,12 @@ impl Layer for Embedding {
             .iter()
             .map(|&x| {
                 let id = x as usize;
-                assert!(id < self.vocab, "token id {} out of vocab {}", id, self.vocab);
+                assert!(
+                    id < self.vocab,
+                    "token id {} out of vocab {}",
+                    id,
+                    self.vocab
+                );
                 id
             })
             .collect();

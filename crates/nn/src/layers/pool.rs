@@ -50,9 +50,8 @@ impl Layer for MaxPool2d {
                         let o = ((b * c + ch) * oh + oy) * ow + ox;
                         for ky in 0..self.k {
                             for kx in 0..self.k {
-                                let i = ((b * c + ch) * h + oy * self.k + ky) * w
-                                    + ox * self.k
-                                    + kx;
+                                let i =
+                                    ((b * c + ch) * h + oy * self.k + ky) * w + ox * self.k + kx;
                                 if data[i] > out[o] {
                                     out[o] = data[i];
                                     arg[o] = i;

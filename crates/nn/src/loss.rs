@@ -30,15 +30,19 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
     assert_eq!(batch, labels.len(), "label count must match batch size");
     let mut grad = Tensor::zeros(vec![batch, classes]);
     let mut loss = 0.0f64;
-    for bi in 0..batch {
-        let label = labels[bi];
-        assert!(label < classes, "label {} out of {} classes", label, classes);
+    for (bi, &label) in labels.iter().enumerate() {
+        assert!(
+            label < classes,
+            "label {} out of {} classes",
+            label,
+            classes
+        );
         let row: Vec<f32> = (0..classes).map(|c| logits.at2(bi, c)).collect();
         let maxv = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
         let exps: Vec<f32> = row.iter().map(|&x| (x - maxv).exp()).collect();
         let z: f32 = exps.iter().sum();
-        for c in 0..classes {
-            let p = exps[c] / z;
+        for (c, &e) in exps.iter().enumerate() {
+            let p = e / z;
             let target = if c == label { 1.0 } else { 0.0 };
             *grad.at2_mut(bi, c) = (p - target) / batch as f32;
             if c == label {
@@ -54,14 +58,14 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
     let (batch, classes) = (logits.rows(), logits.cols());
     assert_eq!(batch, labels.len(), "label count must match batch size");
     let mut correct = 0usize;
-    for bi in 0..batch {
+    for (bi, &label) in labels.iter().enumerate() {
         let mut best = 0usize;
         for c in 1..classes {
             if logits.at2(bi, c) > logits.at2(bi, best) {
                 best = c;
             }
         }
-        if best == labels[bi] {
+        if best == label {
             correct += 1;
         }
     }

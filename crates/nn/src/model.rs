@@ -289,7 +289,12 @@ mod tests {
             let _ = m.train_batch(&x, &labels, &mut sgd);
         }
         let (loss1, acc1) = m.evaluate(&x, &labels);
-        assert!(loss1 < loss0, "loss did not improve: {} -> {}", loss0, loss1);
+        assert!(
+            loss1 < loss0,
+            "loss did not improve: {} -> {}",
+            loss0,
+            loss1
+        );
         assert!(acc1 > 0.9, "accuracy too low: {}", acc1);
     }
 }

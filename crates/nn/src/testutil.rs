@@ -73,10 +73,8 @@ pub fn check_layer_gradients<L: Layer>(
     // Parameter gradients. Collect analytic copies first, then perturb.
     let mut analytic_grads: Vec<Vec<f32>> = Vec::new();
     layer.visit_params(&mut |_, g| analytic_grads.push(g.data().to_vec()));
-    let num_params = analytic_grads.len();
-    for pi in 0..num_params {
-        let plen = analytic_grads[pi].len();
-        for i in 0..plen {
+    for (pi, agrad) in analytic_grads.iter().enumerate() {
+        for (i, &analytic) in agrad.iter().enumerate() {
             // Perturb parameter (pi, i) in both directions.
             let mut lp = 0.0f64;
             let mut lm = 0.0f64;
@@ -99,11 +97,11 @@ pub fn check_layer_gradients<L: Layer>(
             }
             let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
             assert!(
-                agree(analytic_grads[pi][i], fd),
+                agree(analytic, fd),
                 "param {} grad [{}]: analytic {} vs numeric {}",
                 pi,
                 i,
-                analytic_grads[pi][i],
+                analytic,
                 fd
             );
         }

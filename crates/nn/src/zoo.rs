@@ -140,12 +140,28 @@ impl Workload {
     pub fn reference_layer_counts(&self) -> LayerCounts {
         match self {
             // McMahan's FedAvg CNN: 2 conv + 2 fc.
-            Workload::CnnMnist => LayerCounts { conv: 2, fc: 2, rc: 0 },
+            Workload::CnnMnist => LayerCounts {
+                conv: 2,
+                fc: 2,
+                rc: 0,
+            },
             // 2-layer LSTM + output projection.
-            Workload::LstmShakespeare => LayerCounts { conv: 0, fc: 1, rc: 2 },
+            Workload::LstmShakespeare => LayerCounts {
+                conv: 0,
+                fc: 1,
+                rc: 2,
+            },
             // MobileNetV1: 13 depthwise + 13 pointwise + 1 stem = 27 conv.
-            Workload::MobileNetImageNet => LayerCounts { conv: 27, fc: 1, rc: 0 },
-            Workload::TinyTest => LayerCounts { conv: 1, fc: 1, rc: 0 },
+            Workload::MobileNetImageNet => LayerCounts {
+                conv: 27,
+                fc: 1,
+                rc: 0,
+            },
+            Workload::TinyTest => LayerCounts {
+                conv: 1,
+                fc: 1,
+                rc: 0,
+            },
         }
     }
 

@@ -15,7 +15,10 @@ use autofl_nn::zoo::Workload;
 
 fn main() {
     println!("== Optimal cluster vs global parameters (CNN-MNIST) ==");
-    println!("{:<8} {:>10} {:>12} {:>12}", "setting", "best", "best PPWx", "AutoFL PPWx");
+    println!(
+        "{:<8} {:>10} {:>12} {:>12}",
+        "setting", "best", "best PPWx", "AutoFL PPWx"
+    );
     for (label, params) in GlobalParams::paper_settings() {
         let mut config = SimConfig::paper_default(Workload::CnnMnist);
         config.params = params;
@@ -27,8 +30,7 @@ fn main() {
         // Characterize every fixed Table 4 composition.
         let mut best = ("C0", 1.0);
         for cluster in CharacterizationCluster::fixed() {
-            let result = Simulation::new(config.clone())
-                .run(&mut ClusterSelector::new(cluster));
+            let result = Simulation::new(config.clone()).run(&mut ClusterSelector::new(cluster));
             let gain = result.ppw_global() / base_ppw;
             if gain > best.1 {
                 best = (cluster.name(), gain);
@@ -44,5 +46,7 @@ fn main() {
             learned.ppw_global() / base_ppw
         );
     }
-    println!("\nThe best fixed composition depends on (B, E, K); AutoFL tracks it without being told.");
+    println!(
+        "\nThe best fixed composition depends on (B, E, K); AutoFL tracks it without being told."
+    );
 }

@@ -32,8 +32,11 @@ fn main() {
 
         let fmt = |r: &autofl_fed::engine::SimResult| -> String {
             match r.converged_round() {
-                Some(round) => format!("round {:>4}, {:>7.0} J/k", round,
-                    r.energy_to_target_j() / 1000.0),
+                Some(round) => format!(
+                    "round {:>4}, {:>7.0} J/k",
+                    round,
+                    r.energy_to_target_j() / 1000.0
+                ),
                 None => format!("stalled @ {:.1}%", r.final_accuracy() * 100.0),
             }
         };

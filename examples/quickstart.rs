@@ -4,6 +4,9 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Pass `--smoke` for the reduced CI profile (40 devices, 250 rounds),
+//! which finishes in well under a second.
 
 use autofl_core::AutoFl;
 use autofl_fed::engine::{SimConfig, Simulation};
@@ -11,10 +14,17 @@ use autofl_fed::selection::RandomSelector;
 use autofl_nn::zoo::Workload;
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     // A paper-shaped deployment: 200 devices (30 high / 70 mid / 100
     // low-end), S3 global parameters (B=16, E=5, K=20), surrogate accuracy.
-    let mut config = SimConfig::paper_default(Workload::CnnMnist);
-    config.max_rounds = 400;
+    let mut config = if smoke {
+        SimConfig::smoke(42)
+    } else {
+        SimConfig::paper_default(Workload::CnnMnist)
+    };
+    if !smoke {
+        config.max_rounds = 400;
+    }
 
     println!("== AutoFL quickstart: {} ==", config.workload.name());
     println!(

@@ -27,8 +27,10 @@ fn main() {
     config.max_rounds = 25;
     config.target_accuracy = Some(0.90);
 
-    println!("== Real federated training ({} devices, CNN on synthetic digits) ==",
-        config.num_devices);
+    println!(
+        "== Real federated training ({} devices, CNN on synthetic digits) ==",
+        config.num_devices
+    );
     let mut sim = Simulation::new(config);
     let mut agent = AutoFl::paper_default();
     for round in 0..25 {

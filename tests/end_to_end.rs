@@ -1,7 +1,7 @@
 //! End-to-end integration tests spanning all crates: data generation →
 //! partitioning → device models → round engine → AutoFL learning.
 
-use autofl_core::{AutoFl, AutoFlConfig};
+use autofl_core::AutoFl;
 use autofl_data::partition::DataDistribution;
 use autofl_device::scenario::VarianceScenario;
 use autofl_fed::engine::{SimConfig, Simulation};
