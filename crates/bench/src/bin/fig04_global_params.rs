@@ -9,6 +9,7 @@ use autofl_fed::engine::{SimConfig, Simulation};
 use autofl_fed::selection::ClusterSelector;
 use autofl_fed::GlobalParams;
 use autofl_nn::zoo::Workload;
+use rayon::prelude::*;
 
 fn main() {
     for workload in [Workload::CnnMnist, Workload::LstmShakespeare] {
@@ -25,12 +26,27 @@ fn main() {
             let mut cfg = SimConfig::paper_default(workload);
             cfg.params = params;
             cfg.max_rounds = 400;
-            let base = run_policy(&cfg, Policy::Random).ppw_global().max(1e-300);
+            // The baseline and every cluster run are independent
+            // simulations: fan the whole row out across the pool and
+            // reduce in cluster order afterwards.
+            let clusters = CharacterizationCluster::fixed();
+            let base_and_gains: Vec<f64> = (0..clusters.len() + 1)
+                .into_par_iter()
+                .map(|i| {
+                    if i == 0 {
+                        run_policy(&cfg, Policy::Random).ppw_global().max(1e-300)
+                    } else {
+                        Simulation::new(cfg.clone())
+                            .run(&mut ClusterSelector::new(clusters[i - 1]))
+                            .ppw_global()
+                    }
+                })
+                .collect();
+            let base = base_and_gains[0];
             let mut line = format!("{:<8}", label);
             let mut best = ("C?", 0.0f64);
-            for cluster in CharacterizationCluster::fixed() {
-                let r = Simulation::new(cfg.clone()).run(&mut ClusterSelector::new(cluster));
-                let gain = r.ppw_global() / base;
+            for (cluster, ppw) in clusters.iter().zip(&base_and_gains[1..]) {
+                let gain = ppw / base;
                 if gain > best.1 {
                     best = (cluster.name(), gain);
                 }

@@ -8,6 +8,7 @@ use autofl_fed::clusters::CharacterizationCluster;
 use autofl_fed::engine::{SimConfig, Simulation};
 use autofl_fed::selection::ClusterSelector;
 use autofl_nn::zoo::Workload;
+use rayon::prelude::*;
 
 fn main() {
     let regimes = [
@@ -27,12 +28,26 @@ fn main() {
         let mut cfg = SimConfig::paper_default(Workload::CnnMnist);
         cfg.scenario = scenario;
         cfg.max_rounds = 400;
-        let base = run_policy(&cfg, Policy::Random).ppw_global().max(1e-300);
+        // Baseline + all clusters are independent runs: fan the row out
+        // across the pool and reduce in cluster order.
+        let clusters = CharacterizationCluster::fixed();
+        let ppws: Vec<f64> = (0..clusters.len() + 1)
+            .into_par_iter()
+            .map(|i| {
+                if i == 0 {
+                    run_policy(&cfg, Policy::Random).ppw_global().max(1e-300)
+                } else {
+                    Simulation::new(cfg.clone())
+                        .run(&mut ClusterSelector::new(clusters[i - 1]))
+                        .ppw_global()
+                }
+            })
+            .collect();
+        let base = ppws[0];
         let mut line = format!("{:<18}", label);
         let mut best = ("C?", 0.0f64);
-        for cluster in CharacterizationCluster::fixed() {
-            let r = Simulation::new(cfg.clone()).run(&mut ClusterSelector::new(cluster));
-            let gain = r.ppw_global() / base;
+        for (cluster, ppw) in clusters.iter().zip(&ppws[1..]) {
+            let gain = ppw / base;
             if gain > best.1 {
                 best = (cluster.name(), gain);
             }

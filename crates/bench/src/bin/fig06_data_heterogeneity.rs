@@ -2,7 +2,7 @@
 //! (b) the >85% energy-efficiency gap between ideal and data-blind
 //! selection under non-IID data.
 
-use autofl_bench::{run_policy, Policy};
+use autofl_bench::{par_sweep, Policy};
 use autofl_data::partition::DataDistribution;
 use autofl_fed::engine::SimConfig;
 use autofl_nn::zoo::Workload;
@@ -14,6 +14,23 @@ fn main() {
         DataDistribution::non_iid_percent(75),
         DataDistribution::non_iid_percent(100),
     ];
+    // Three independent runs per regime (full curve, random PPW, oracle
+    // PPW): build the whole sweep up front and fan it out across the
+    // pool; results come back in input order.
+    let mut runs = Vec::new();
+    for dist in regimes {
+        let mut cfg = SimConfig::paper_default(Workload::CnnMnist);
+        cfg.distribution = dist;
+        cfg.max_rounds = 600;
+        cfg.target_accuracy = Some(1.1); // never stop early: record full curve
+        let mut cfg_b = cfg.clone();
+        cfg_b.target_accuracy = None;
+        runs.push((cfg, Policy::Random));
+        runs.push((cfg_b.clone(), Policy::Random));
+        runs.push((cfg_b, Policy::OracleFull));
+    }
+    let results = par_sweep(&runs);
+
     println!("=== Figure 6(a): accuracy over rounds, FedAvg-Random ===");
     println!(
         "{:<16} {}",
@@ -23,23 +40,15 @@ fn main() {
             .collect::<String>()
     );
     let mut ppw = Vec::new();
-    for dist in regimes {
-        let mut cfg = SimConfig::paper_default(Workload::CnnMnist);
-        cfg.distribution = dist;
-        cfg.max_rounds = 600;
-        cfg.target_accuracy = Some(1.1); // never stop early: record full curve
-        let r = run_policy(&cfg, Policy::Random);
+    for (dist, chunk) in regimes.iter().zip(results.chunks(3)) {
+        let (curve, rand, oracle) = (&chunk[0], &chunk[1], &chunk[2]);
         let mut line = format!("{:<16}", dist.label());
         for i in 0..=6 {
-            let round = (i * 100).min(r.records.len() - 1);
-            line += &format!("{:>5.1}% ", r.records[round].accuracy * 100.0);
+            let round = (i * 100).min(curve.records.len() - 1);
+            line += &format!("{:>5.1}% ", curve.records[round].accuracy * 100.0);
         }
         println!("{line}");
         // (b): PPW of random vs oracle selection under this distribution.
-        let mut cfg_b = cfg.clone();
-        cfg_b.target_accuracy = None;
-        let rand = run_policy(&cfg_b, Policy::Random);
-        let oracle = run_policy(&cfg_b, Policy::OracleFull);
         ppw.push((
             dist.label(),
             rand.ppw_global() / oracle.ppw_global().max(1e-300),

@@ -10,6 +10,7 @@ use autofl_core::{AutoFl, AutoFlConfig};
 use autofl_fed::engine::{SimConfig, SimResult, Simulation};
 use autofl_fed::oracle::OracleSelector;
 use autofl_fed::selection::{ClusterSelector, RandomSelector, Selector};
+use rayon::prelude::*;
 
 /// The policies the paper compares (Section 5.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,11 +99,26 @@ pub struct Row {
     pub accuracy: f64,
 }
 
+/// Runs every `(config, policy)` pair of a sweep in parallel across the
+/// pool and returns the results in input order.
+///
+/// Each run owns its `Simulation` and its seeds, so results are identical
+/// to running the pairs sequentially — config-level fan-out is the
+/// outermost (and best-scaling) parallelism the fig binaries have.
+pub fn par_sweep(runs: &[(SimConfig, Policy)]) -> Vec<SimResult> {
+    runs.par_iter()
+        .map(|(config, policy)| run_policy(config, *policy))
+        .collect()
+}
+
 /// Runs a set of policies and normalises PPW / convergence time to the
 /// first policy in the list (conventionally [`Policy::Random`]).
+///
+/// The policy runs are independent simulations and execute in parallel;
+/// normalisation happens afterwards in input order.
 pub fn comparison(config: &SimConfig, policies: &[Policy]) -> Vec<Row> {
     let results: Vec<(Policy, SimResult)> = policies
-        .iter()
+        .par_iter()
         .map(|p| (*p, run_policy(config, *p)))
         .collect();
     let base_ppw = results[0].1.ppw_global().max(1e-300);

@@ -1,0 +1,261 @@
+//! The parallel-iterator subset: `par_iter().map(..).collect()`,
+//! `into_par_iter()` over index ranges, and `par_chunks_mut`.
+//!
+//! Unlike real rayon, every combinator here is *eager and ordered*: `map`
+//! fans the index space out in contiguous chunks and `collect` stitches
+//! the chunk results back together in index order, so the collected `Vec`
+//! is byte-for-byte the one the sequential path produces. There are
+//! deliberately no unordered reductions (`sum`, first-come `reduce`):
+//! callers collect and fold in index order, which is the workspace's
+//! determinism contract.
+
+use crate::pool::{current_num_threads, in_worker, run_batch, ScopedJob};
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// How many threads an operation over `len` items with the given minimum
+/// chunk length may use (1 means: run inline).
+fn effective_parallelism(len: usize, min_len: usize) -> usize {
+    if in_worker() || len <= min_len.max(1) {
+        return 1;
+    }
+    current_num_threads().min(len.div_ceil(min_len.max(1)))
+}
+
+/// Executes `f` for every index in `0..len` and returns the results in
+/// index order. The chunked fan-out never reorders or regroups results,
+/// so the output is identical at any thread count.
+fn par_map_collect<U, F>(len: usize, min_len: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = effective_parallelism(len, min_len);
+    if threads <= 1 {
+        return (0..len).map(f).collect();
+    }
+    // 2 chunks per thread keeps stragglers short without letting the
+    // per-chunk bookkeeping dominate.
+    let chunk_len = len.div_ceil(threads * 2).max(min_len.max(1));
+    let num_chunks = len.div_ceil(chunk_len);
+    let slots: Mutex<Vec<Option<Vec<U>>>> = Mutex::new((0..num_chunks).map(|_| None).collect());
+    {
+        let f = &f;
+        let slots = &slots;
+        let jobs: Vec<ScopedJob<'_>> = (0..num_chunks)
+            .map(|ci| {
+                Box::new(move || {
+                    let start = ci * chunk_len;
+                    let end = ((ci + 1) * chunk_len).min(len);
+                    let v: Vec<U> = (start..end).map(f).collect();
+                    slots.lock().expect("collect slots")[ci] = Some(v);
+                }) as ScopedJob<'_>
+            })
+            .collect();
+        run_batch(threads, jobs);
+    }
+    let mut out = Vec::with_capacity(len);
+    for slot in slots.into_inner().expect("collect slots") {
+        out.extend(slot.expect("every chunk completes"));
+    }
+    out
+}
+
+/// Types convertible into a parallel iterator (consuming `self`).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            range: self,
+            min_len: 1,
+        }
+    }
+}
+
+/// Types whose references yield a parallel iterator.
+pub trait IntoParallelRefIterator<'data> {
+    /// The item reference type.
+    type Item: 'data;
+    /// The parallel iterator type.
+    type Iter;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParSlice<'data, T>;
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice {
+            slice: self,
+            min_len: 1,
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParSlice<'data, T>;
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// Parallel iterator over an index range.
+pub struct ParRange {
+    range: Range<usize>,
+    min_len: usize,
+}
+
+impl ParRange {
+    /// Sets the minimum number of items a chunk may hold; operations over
+    /// fewer total items than this run inline on the calling thread.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    /// Maps every index through `f`.
+    pub fn map<U, F>(self, f: F) -> ParMap<F>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        assert_eq!(self.range.start, 0, "shim supports 0-based ranges only");
+        ParMap {
+            len: self.range.end,
+            min_len: self.min_len,
+            f,
+        }
+    }
+}
+
+/// Parallel iterator over a shared slice.
+pub struct ParSlice<'data, T> {
+    slice: &'data [T],
+    min_len: usize,
+}
+
+impl<'data, T: Sync> ParSlice<'data, T> {
+    /// See [`ParRange::with_min_len`].
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    /// Maps every element reference through `f`.
+    pub fn map<U, G>(self, g: G) -> ParMap<impl Fn(usize) -> U + Sync + 'data>
+    where
+        U: Send,
+        G: Fn(&'data T) -> U + Sync + 'data,
+    {
+        let slice = self.slice;
+        ParMap {
+            len: slice.len(),
+            min_len: self.min_len,
+            f: move |i: usize| g(&slice[i]),
+        }
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<F> {
+    len: usize,
+    min_len: usize,
+    f: F,
+}
+
+impl<U, F> ParMap<F>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    /// See [`ParRange::with_min_len`].
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    /// Collects the mapped values in index order (bit-identical at any
+    /// thread count).
+    pub fn collect<C: From<Vec<U>>>(self) -> C {
+        C::from(par_map_collect(self.len, self.min_len, self.f))
+    }
+}
+
+/// Mutable-slice extension: parallel iteration over disjoint chunks.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into chunks of `chunk_size` (the last may be
+    /// shorter) for parallel mutation.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel iterator over disjoint mutable chunks of a slice.
+pub struct ParChunksMut<'data, T> {
+    chunks: Vec<&'data mut [T]>,
+}
+
+impl<'data, T: Send> ParChunksMut<'data, T> {
+    /// Pairs every chunk with its index.
+    pub fn enumerate(self) -> ParEnumChunksMut<'data, T> {
+        ParEnumChunksMut {
+            chunks: self.chunks,
+        }
+    }
+}
+
+/// Enumerated disjoint mutable chunks.
+pub struct ParEnumChunksMut<'data, T> {
+    chunks: Vec<&'data mut [T]>,
+}
+
+impl<'data, T: Send> ParEnumChunksMut<'data, T> {
+    /// Runs `f` on every `(index, chunk)` pair. Each chunk is visited by
+    /// exactly one thread, so writes into a chunk depend only on its
+    /// index — never on scheduling.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'data mut [T])) + Sync,
+    {
+        let n = self.chunks.len();
+        let threads = effective_parallelism(n, 1);
+        if threads <= 1 {
+            for pair in self.chunks.into_iter().enumerate() {
+                f(pair);
+            }
+            return;
+        }
+        let group = n.div_ceil(threads * 2).max(1);
+        let f = &f;
+        let mut jobs: Vec<ScopedJob<'_>> = Vec::with_capacity(n.div_ceil(group));
+        let mut items = self.chunks.into_iter().enumerate();
+        loop {
+            let batch: Vec<(usize, &'data mut [T])> = items.by_ref().take(group).collect();
+            if batch.is_empty() {
+                break;
+            }
+            jobs.push(Box::new(move || {
+                for pair in batch {
+                    f(pair);
+                }
+            }));
+        }
+        run_batch(threads, jobs);
+    }
+}

@@ -1,0 +1,169 @@
+//! Minimal, dependency-free, *deterministic* stand-in for the `rayon`
+//! crate (API subset).
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so the simulation links against this in-tree implementation instead.
+//! Only the surface the AutoFL crates actually use is provided:
+//!
+//! * [`join`] — scoped two-way fork/join,
+//! * [`iter::IntoParallelIterator`] / [`iter::IntoParallelRefIterator`] —
+//!   `into_par_iter()` over `0..n` and `par_iter()` over slices, with
+//!   `map`, `with_min_len` and ordered `collect`,
+//! * [`iter::ParallelSliceMut`] — `par_chunks_mut(..).enumerate()
+//!   .for_each(..)` over disjoint output blocks,
+//! * [`current_num_threads`] — the effective thread count.
+//!
+//! # Determinism contract
+//!
+//! Real rayon trades ordering for throughput (work stealing, first-come
+//! reductions). This shim does not: the index space is split into
+//! contiguous chunks, every chunk's results land in a pre-assigned slot,
+//! and `collect` concatenates the slots in index order. Combined with the
+//! rule that callers reduce collected results in index order (never
+//! first-come) this makes every parallel operation produce *bit-identical*
+//! output at any thread count — `AUTOFL_THREADS=1` and `=64` walk exactly
+//! the same floating-point additions in exactly the same order. The
+//! workspace-level test `tests/determinism.rs` pins that contract
+//! end-to-end.
+//!
+//! # Thread count
+//!
+//! The pool serves `AUTOFL_THREADS` threads (default: the machine's
+//! available parallelism; `1` bypasses the pool entirely and runs the
+//! exact sequential code path). The variable is re-read on every parallel
+//! call, so it can be flipped at runtime. Parallel calls issued from
+//! inside a worker run inline — nesting never oversubscribes or
+//! deadlocks, and the outermost fan-out (policy sweeps, per-client
+//! training) keeps all the threads busy.
+
+#![warn(missing_docs)]
+
+pub mod iter;
+mod pool;
+
+pub use pool::{current_num_threads, join, MAX_WORKERS};
+
+/// One-stop imports mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Serialises the tests that assert on a specific `AUTOFL_THREADS`
+    /// value: the test harness runs tests concurrently and the variable
+    /// is process-global. (Results are thread-count invariant, so only
+    /// assertions *about the count itself* need this.)
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = std::env::var("AUTOFL_THREADS").ok();
+        std::env::set_var("AUTOFL_THREADS", n.to_string());
+        let r = f();
+        match prev {
+            Some(v) => std::env::set_var("AUTOFL_THREADS", v),
+            None => std::env::remove_var("AUTOFL_THREADS"),
+        }
+        r
+    }
+
+    #[test]
+    fn map_collect_is_ordered_at_any_thread_count() {
+        let expect: Vec<u64> = (0..10_000u64).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8] {
+            let got: Vec<u64> = with_threads(threads, || {
+                (0..10_000usize)
+                    .into_par_iter()
+                    .map(|i| (i as u64) * (i as u64))
+                    .collect()
+            });
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn slice_par_iter_maps_by_reference() {
+        let v: Vec<i64> = (0..997).collect();
+        let doubled: Vec<i64> = with_threads(4, || v.par_iter().map(|x| x * 2).collect());
+        assert_eq!(doubled.len(), 997);
+        assert!(doubled.iter().enumerate().all(|(i, &x)| x == 2 * i as i64));
+    }
+
+    #[test]
+    fn chunks_mut_visits_every_chunk_once() {
+        let mut data = vec![0usize; 1000];
+        let visits = AtomicUsize::new(0);
+        with_threads(4, || {
+            data.par_chunks_mut(64).enumerate().for_each(|(ci, chunk)| {
+                visits.fetch_add(1, Ordering::Relaxed);
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = ci * 64 + j;
+                }
+            });
+        });
+        assert_eq!(visits.load(Ordering::Relaxed), 1000usize.div_ceil(64));
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = with_threads(2, || super::join(|| 1 + 1, || "two"));
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn nested_parallelism_stays_correct() {
+        let out: Vec<Vec<usize>> = with_threads(4, || {
+            (0..16usize)
+                .into_par_iter()
+                .map(|i| {
+                    (0..8usize)
+                        .into_par_iter()
+                        .map(move |j| i * 8 + j)
+                        .collect()
+                })
+                .collect()
+        });
+        for (i, inner) in out.iter().enumerate() {
+            assert!(inner.iter().enumerate().all(|(j, &x)| x == i * 8 + j));
+        }
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                let _: Vec<usize> = (0..64usize)
+                    .into_par_iter()
+                    .map(|i| {
+                        if i == 33 {
+                            panic!("boom");
+                        }
+                        i
+                    })
+                    .collect();
+            })
+        });
+        assert!(result.is_err());
+        // The pool must remain usable after a panicking batch.
+        let v: Vec<usize> = with_threads(4, || (0..64usize).into_par_iter().map(|i| i).collect());
+        assert_eq!(v.len(), 64);
+    }
+
+    #[test]
+    fn thread_count_env_parsing() {
+        assert!(with_threads(3, super::current_num_threads) == 3);
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = std::env::var("AUTOFL_THREADS").ok();
+        std::env::set_var("AUTOFL_THREADS", "not-a-number");
+        assert!(super::current_num_threads() >= 1);
+        match prev {
+            Some(v) => std::env::set_var("AUTOFL_THREADS", v),
+            None => std::env::remove_var("AUTOFL_THREADS"),
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! The fixed worker pool and the scoped batch executor built on it.
+//!
+//! Workers are plain OS threads parked on a condvar; they are spawned
+//! lazily (up to [`MAX_WORKERS`]) the first time a parallel operation asks
+//! for them and then live for the remainder of the process. A parallel
+//! operation never *requires* the workers to make progress: the submitting
+//! thread always drains its own batch, so a fully-busy (or one-thread)
+//! pool degrades to sequential execution instead of deadlocking, and a
+//! parallel call issued from *inside* a worker runs inline.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Upper bound on pool workers, regardless of `AUTOFL_THREADS`.
+pub const MAX_WORKERS: usize = 64;
+
+type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    queue: Mutex<VecDeque<PoolJob>>,
+    available: Condvar,
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        spawned: Mutex::new(0),
+    })
+}
+
+/// Whether the current thread is a pool worker. Parallel operations called
+/// from a worker run sequentially, which both avoids pool starvation and
+/// keeps nested parallelism deterministic.
+pub(crate) fn in_worker() -> bool {
+    IN_WORKER.with(|f| f.get())
+}
+
+fn worker_loop() {
+    IN_WORKER.with(|f| f.set(true));
+    let p = pool();
+    loop {
+        let job = {
+            let mut q = p.queue.lock().expect("pool queue");
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = p.available.wait(q).expect("pool queue");
+            }
+        };
+        job();
+    }
+}
+
+/// Spawns workers until at least `n` exist (capped at [`MAX_WORKERS`]).
+fn ensure_workers(n: usize) {
+    let p = pool();
+    let mut spawned = p.spawned.lock().expect("pool size");
+    let target = n.min(MAX_WORKERS);
+    while *spawned < target {
+        *spawned += 1;
+        std::thread::Builder::new()
+            .name(format!("autofl-par-{}", *spawned))
+            .spawn(worker_loop)
+            .expect("spawn pool worker");
+    }
+}
+
+/// The number of threads a parallel operation submitted *now* may use,
+/// including the submitting thread itself.
+///
+/// Reads `AUTOFL_THREADS` on every call (so tests and benches can change
+/// it at runtime); unset, empty, unparseable or `0` values fall back to
+/// the machine's available parallelism. Thread count never affects
+/// results — only wall-clock time — so this is a pure tuning knob.
+pub fn current_num_threads() -> usize {
+    let configured = std::env::var("AUTOFL_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1);
+    configured
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .min(MAX_WORKERS)
+}
+
+/// One unit of work inside a batch; may borrow the caller's stack.
+pub(crate) type ScopedJob<'scope> = Box<dyn FnOnce() + Send + 'scope>;
+
+/// Aborts the process if dropped during unwinding; armed while
+/// lifetime-erased jobs may still be queued (see `run_batch`).
+struct AbortOnUnwind;
+
+impl Drop for AbortOnUnwind {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            std::process::abort();
+        }
+    }
+}
+
+struct Batch<'scope> {
+    pending: Mutex<Vec<ScopedJob<'scope>>>,
+    remaining: Mutex<usize>,
+    finished: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+fn drain(batch: &Batch<'_>) {
+    loop {
+        let job = {
+            let mut p = batch.pending.lock().expect("batch pending");
+            p.pop()
+        };
+        let Some(job) = job else { break };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+            let mut slot = batch.panic.lock().expect("batch panic slot");
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        let mut rem = batch.remaining.lock().expect("batch remaining");
+        *rem -= 1;
+        if *rem == 0 {
+            batch.finished.notify_all();
+        }
+    }
+}
+
+/// Runs every job in `jobs` to completion on up to `threads` OS threads
+/// (the calling thread included) and returns once all have finished.
+///
+/// Jobs may borrow from the caller's stack: the function blocks until the
+/// whole batch is done, so no borrow escapes. Execution *order* is
+/// unspecified — callers must make each job independent (e.g. write to a
+/// disjoint, pre-assigned output slot) and perform any reduction over the
+/// collected results in index order themselves; that is what keeps every
+/// parallel operation bit-identical at any thread count. A panicking job
+/// does not poison the pool: the first panic payload is re-raised on the
+/// calling thread after the batch completes.
+pub(crate) fn run_batch<'scope>(threads: usize, jobs: Vec<ScopedJob<'scope>>) {
+    let total = jobs.len();
+    if total == 0 {
+        return;
+    }
+    if threads <= 1 || total == 1 || in_worker() {
+        for job in jobs {
+            job();
+        }
+        return;
+    }
+
+    let batch = Arc::new(Batch {
+        pending: Mutex::new(jobs),
+        remaining: Mutex::new(total),
+        finished: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+    // Helpers are ordinary pool jobs and therefore need `'static`. The
+    // lifetime is erased, which is sound because (a) this function blocks
+    // until `remaining == 0`, after which `pending` is empty, and (b) a
+    // late-running helper then finds no job and exits without touching
+    // any `'scope` data.
+    let eternal: Arc<Batch<'static>> = unsafe {
+        std::mem::transmute::<Arc<Batch<'scope>>, Arc<Batch<'static>>>(Arc::clone(&batch))
+    };
+    let helpers = (threads - 1).min(total - 1);
+    ensure_workers(helpers);
+    // From the moment helper jobs are queued until the batch fully
+    // completes, this frame MUST NOT unwind: queued helpers hold the
+    // lifetime-erased batch, and unwinding would free the stack the
+    // pending jobs borrow. Job panics are caught inside `drain`; this
+    // guard turns any *other* escape path into an abort instead of a
+    // use-after-free.
+    let guard = AbortOnUnwind;
+    {
+        let p = pool();
+        let mut q = p.queue.lock().expect("pool queue");
+        for _ in 0..helpers {
+            let b = Arc::clone(&eternal);
+            q.push_back(Box::new(move || drain(&b)));
+        }
+        drop(q);
+        p.available.notify_all();
+    }
+    drop(eternal);
+
+    drain(&batch);
+    let mut rem = batch.remaining.lock().expect("batch remaining");
+    while *rem > 0 {
+        rem = batch.finished.wait(rem).expect("batch remaining");
+    }
+    drop(rem);
+    std::mem::forget(guard);
+    let payload = batch.panic.lock().expect("batch panic slot").take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+/// Runs the two closures, potentially in parallel, and returns both
+/// results. The deterministic analogue of `rayon::join`.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 || in_worker() {
+        return (oper_a(), oper_b());
+    }
+    let mut ra = None;
+    let mut rb = None;
+    {
+        let slot_a = &mut ra;
+        let slot_b = &mut rb;
+        run_batch(
+            2,
+            vec![
+                Box::new(move || *slot_a = Some(oper_a())),
+                Box::new(move || *slot_b = Some(oper_b())),
+            ],
+        );
+    }
+    (ra.expect("join lhs ran"), rb.expect("join rhs ran"))
+}

@@ -342,7 +342,7 @@ impl Selector for AutoFl {
         }
     }
 
-    fn observe(&mut self, feedback: &RoundFeedback) {
+    fn observe(&mut self, feedback: &RoundFeedback<'_>) {
         let Some(pending) = self.pending.take() else {
             return;
         };
@@ -357,7 +357,7 @@ impl Selector for AutoFl {
         for (id, e) in feedback
             .participants
             .iter()
-            .zip(&feedback.per_participant_energy_j)
+            .zip(feedback.per_participant_energy_j)
         {
             local_energy[id.0] = *e;
         }

@@ -1,10 +1,12 @@
 //! Runtime-variance scenarios: which devices see interference and weak
 //! networks in a given round (Section 5.2 / Figures 5 and 10).
 
-use crate::fleet::Device;
+use crate::fleet::{Device, Fleet};
 use crate::interference::Interference;
 use crate::network::{NetworkObservation, SignalStrength};
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Probabilities of per-round runtime variance across the fleet.
@@ -72,6 +74,32 @@ impl VarianceScenario {
             network: NetworkObservation::sample(signal, rng),
         }
     }
+
+    /// Samples the whole fleet's conditions for one round into `out`
+    /// (cleared first), in parallel.
+    ///
+    /// Every device draws from its own RNG stream derived from
+    /// `round_seed` and its raw id, so the result is a pure function of
+    /// `(scenario, fleet, round_seed)` — independent of thread count and
+    /// of execution schedule. This is the per-device-stream rule the
+    /// workspace's determinism contract relies on (see DESIGN.md,
+    /// "Parallel runtime & determinism contract").
+    pub fn sample_fleet(&self, fleet: &Fleet, round_seed: u64, out: &mut Vec<DeviceConditions>) {
+        out.clear();
+        out.resize(fleet.len(), DeviceConditions::ideal());
+        // Written in place over disjoint chunks: no per-round allocation
+        // once the buffer is warm, and each slot depends only on its own
+        // device stream.
+        out.par_chunks_mut(64).enumerate().for_each(|(ci, chunk)| {
+            for (j, slot) in chunk.iter_mut().enumerate() {
+                let i = ci * 64 + j;
+                let mut rng = SmallRng::seed_from_u64(
+                    round_seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                *slot = self.sample(fleet.device(crate::fleet::DeviceId(i)), &mut rng);
+            }
+        });
+    }
 }
 
 /// The runtime conditions one device observes during one round — the
@@ -131,6 +159,28 @@ mod tests {
             "{} of 200 devices interfered",
             active
         );
+    }
+
+    #[test]
+    fn sample_fleet_is_schedule_independent() {
+        let fleet = Fleet::paper_fleet(4);
+        let sc = VarianceScenario::realistic();
+        let mut seq = Vec::new();
+        let mut par = Vec::new();
+        let prev = std::env::var("AUTOFL_THREADS").ok();
+        std::env::set_var("AUTOFL_THREADS", "1");
+        sc.sample_fleet(&fleet, 0xabcd, &mut seq);
+        std::env::set_var("AUTOFL_THREADS", "8");
+        sc.sample_fleet(&fleet, 0xabcd, &mut par);
+        match prev {
+            Some(v) => std::env::set_var("AUTOFL_THREADS", v),
+            None => std::env::remove_var("AUTOFL_THREADS"),
+        }
+        assert_eq!(seq, par);
+        // And a different round seed must change *something*.
+        let mut other = Vec::new();
+        sc.sample_fleet(&fleet, 0xabce, &mut other);
+        assert_ne!(seq, other);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use autofl_nn::optim::Sgd;
 use autofl_nn::zoo::Workload;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// Statistics of the cohort whose updates were aggregated in a round.
 #[derive(Debug, Clone)]
@@ -235,6 +236,9 @@ pub struct RealTrainingEngine {
     /// Global-gradient estimate from the previous round (FEDL's linear
     /// term); empty until the first aggregation.
     prev_global_grad: Vec<f32>,
+    /// Rounds aggregated so far; mixed into every round's client seeds so
+    /// each round draws a fresh minibatch ordering.
+    rounds_applied: u64,
 }
 
 impl std::fmt::Debug for RealTrainingEngine {
@@ -269,6 +273,7 @@ impl RealTrainingEngine {
             acc: 0.0,
             seed,
             prev_global_grad: Vec::new(),
+            rounds_applied: 0,
         };
         engine.acc = engine.evaluate();
         engine
@@ -381,18 +386,31 @@ impl AccuracyEngine for RealTrainingEngine {
     }
 
     fn apply_round(&mut self, stats: &CohortStats) -> f64 {
+        // Unique per round (not merely per cohort size): reusing a round
+        // seed would replay identical minibatch orderings every round.
         let round_seed = self
             .seed
             .wrapping_mul(0xa076_1d64_78bd_642f)
+            .wrapping_add(self.rounds_applied.wrapping_mul(0x9e37_79b9_7f4a_7c15))
             .wrapping_add(stats.participants.len() as u64);
-        // Local epochs scale the work fraction: fraction 1.0 means E epochs.
-        let mut updates = Vec::new();
-        for (device, fraction) in stats.participants.iter().zip(&stats.update_fractions) {
-            let work = fraction * stats.local_epochs as f64;
-            if let Some(u) = self.train_client(*device, work, stats.batch_size, round_seed) {
-                updates.push(u);
-            }
-        }
+        self.rounds_applied += 1;
+        // Local epochs scale the work fraction: fraction 1.0 means E
+        // epochs. Every client trains against the same frozen global
+        // snapshot with its own RNG stream (seeded from round and device
+        // id), so local training fans out across the pool and the
+        // updates — collected in participant order — are bit-identical at
+        // any thread count.
+        let this: &Self = self;
+        let updates: Vec<ClientUpdate> = (0..stats.participants.len())
+            .into_par_iter()
+            .map(|i| {
+                let work = stats.update_fractions[i] * stats.local_epochs as f64;
+                this.train_client(stats.participants[i], work, stats.batch_size, round_seed)
+            })
+            .collect::<Vec<Option<ClientUpdate>>>()
+            .into_iter()
+            .flatten()
+            .collect();
         if updates.is_empty() {
             return self.acc;
         }

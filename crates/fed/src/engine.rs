@@ -5,12 +5,12 @@ use crate::accuracy::{
     AccuracyEngine, CohortStats, ConvergenceProfile, RealTrainingEngine, SurrogateEngine,
 };
 use crate::algorithms::AggregationAlgorithm;
-use crate::estimate::estimate_round;
+use crate::estimate::participant_costs;
 use crate::global::GlobalParams;
 use crate::selection::{RoundContext, RoundFeedback, SelectionDecision, Selector};
 use autofl_data::partition::DataDistribution;
 use autofl_data::FlData;
-use autofl_device::cost::ExecutionPlan;
+use autofl_device::cost::{ExecutionPlan, TrainingTask};
 use autofl_device::fleet::{DeviceId, Fleet};
 use autofl_device::idle_energy_j;
 use autofl_device::scenario::{DeviceConditions, VarianceScenario};
@@ -260,6 +260,27 @@ impl SimResult {
     }
 }
 
+/// Reusable per-round working memory. Everything here is overwritten at
+/// the start of (or during) each round, so holding it on the
+/// [`Simulation`] turns per-round `Vec` rebuilds into amortised-free
+/// buffer reuse — the round hot loop allocates only what escapes into the
+/// returned [`RoundRecord`].
+#[derive(Debug, Default)]
+struct RoundScratch {
+    /// Per-device sampled conditions, indexed by raw device id.
+    conditions: Vec<DeviceConditions>,
+    /// Per-participant training tasks.
+    tasks: Vec<TrainingTask>,
+    /// Per-participant completion times (clamped at the deadline).
+    completion: Vec<f64>,
+    /// Per-participant active energy.
+    per_participant_energy: Vec<f64>,
+    /// Fleet-sized participant membership mask.
+    is_participant: Vec<bool>,
+    /// Sort buffer for the median.
+    median: Vec<f64>,
+}
+
 /// The simulation: owns the fleet, the data, the accuracy engine and the
 /// per-round stochastic state.
 pub struct Simulation {
@@ -268,6 +289,7 @@ pub struct Simulation {
     data: FlData,
     engine: Box<dyn AccuracyEngine>,
     rng: SmallRng,
+    scratch: RoundScratch,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -331,6 +353,7 @@ impl Simulation {
             data,
             engine,
             rng,
+            scratch: RoundScratch::default(),
         }
     }
 
@@ -369,19 +392,21 @@ impl Simulation {
         round: usize,
         mut shadow: Option<&mut dyn Selector>,
     ) -> (RoundRecord, Option<SelectionDecision>) {
-        // 1. Sample per-device runtime conditions.
-        let conditions: Vec<DeviceConditions> = self
-            .fleet
-            .iter()
-            .map(|d| self.config.scenario.sample(d, &mut self.rng))
-            .collect();
+        // 1. Sample per-device runtime conditions — in parallel, each
+        // device on its own RNG stream derived from (seed, round, id), so
+        // the sample is independent of both thread count and fleet
+        // iteration order.
+        let cond_seed = round_stream_seed(self.config.seed, round);
+        self.config
+            .scenario
+            .sample_fleet(&self.fleet, cond_seed, &mut self.scratch.conditions);
 
         // 2. Ask the policy for participants + execution plans.
         let prev_accuracy = self.engine.accuracy();
         let ctx = RoundContext {
             round,
             fleet: &self.fleet,
-            conditions: &conditions,
+            conditions: &self.scratch.conditions,
             partition: &self.data.partition,
             params: &self.config.params,
             workload: self.config.workload,
@@ -401,20 +426,34 @@ impl Simulation {
             );
             s.select(&ctx, &mut shadow_rng)
         });
-        let tasks: Vec<_> = participants.iter().map(|id| ctx.task_for(*id)).collect();
+        // Task construction is two field reads per participant; the heavy
+        // per-device work (cost execution) fans out inside estimate_round.
+        self.scratch.tasks.clear();
+        self.scratch
+            .tasks
+            .extend(participants.iter().map(|id| ctx.task_for(*id)));
 
-        // 3. Execute: per-device costs, straggler deadline, drops/partials.
-        let est = estimate_round(&self.fleet, &participants, &plans, &tasks, &conditions);
-        let mut completion: Vec<f64> = est
-            .per_participant
-            .iter()
-            .map(|c| c.total_time_s())
-            .collect();
-        let deadline = median(&completion) * self.config.straggler_deadline_factor;
+        // 3. Execute: per-device costs (parallel fan-out), straggler
+        // deadline, drops/partials. The engine reduces times and energies
+        // itself with deadline clamping, so it asks only for the
+        // per-participant costs — not estimate_round's idle sweep.
+        let costs = participant_costs(
+            &self.fleet,
+            &participants,
+            &plans,
+            &self.scratch.tasks,
+            &self.scratch.conditions,
+        );
+        let completion = &mut self.scratch.completion;
+        completion.clear();
+        completion.extend(costs.iter().map(|c| c.total_time_s()));
+        let deadline = median_into(&mut self.scratch.median, completion)
+            * self.config.straggler_deadline_factor;
         let accepts_partial = self.config.algorithm.accepts_partial_updates();
         let mut dropped = Vec::new();
         let mut fractions = vec![1.0f64; participants.len()];
-        for (i, &t) in completion.clone().iter().enumerate() {
+        for i in 0..completion.len() {
+            let t = completion[i];
             if t > deadline {
                 if accepts_partial {
                     // Straggler submits whatever fraction of local steps it
@@ -433,9 +472,12 @@ impl Simulation {
 
         // 4. Energy accounting: participants pay active energy scaled by
         // the share of work they performed; non-participants idle (Eq. 5).
+        // Summed in participant order (never first-come) so the totals are
+        // bit-identical at any thread count upstream.
+        let per_participant_energy = &mut self.scratch.per_participant_energy;
+        per_participant_energy.clear();
         let mut active_energy_j = 0.0;
-        let mut per_participant_energy = Vec::with_capacity(participants.len());
-        for (i, cost) in est.per_participant.iter().enumerate() {
+        for (i, cost) in costs.iter().enumerate() {
             let full = cost.total_energy_j();
             let share = if fractions[i] > 0.0 {
                 fractions[i]
@@ -448,9 +490,15 @@ impl Simulation {
             active_energy_j += e;
             per_participant_energy.push(e);
         }
+        let is_participant = &mut self.scratch.is_participant;
+        is_participant.clear();
+        is_participant.resize(self.fleet.len(), false);
+        for id in &participants {
+            is_participant[id.0] = true;
+        }
         let mut idle_energy = 0.0;
         for device in self.fleet.iter() {
-            if !participants.contains(&device.id()) {
+            if !is_participant[device.id().0] {
                 idle_energy += idle_energy_j(device.tier(), round_time_s);
             }
         }
@@ -501,16 +549,18 @@ impl Simulation {
             0.0
         };
         selector.observe(&RoundFeedback {
-            participants: participants.clone(),
-            per_participant_energy_j: per_participant_energy,
+            participants: &participants,
+            per_participant_energy_j: &self.scratch.per_participant_energy,
             idle_energy_per_device_j: idle_per_device,
             global_energy_j: active_energy_j + idle_energy,
             round_time_s,
             accuracy,
             prev_accuracy,
-            dropped: dropped.clone(),
+            dropped: &dropped,
         });
 
+        // The feedback borrowed these buffers; the record takes ownership
+        // of whatever escapes the round — no clones.
         let record = RoundRecord {
             round,
             participants,
@@ -546,17 +596,31 @@ impl Simulation {
     }
 }
 
-fn median(values: &[f64]) -> f64 {
+/// Mixes the master seed and the round index into the seed of the round's
+/// per-device condition streams (SplitMix64 finalizer, so neighbouring
+/// rounds land far apart in seed space).
+fn round_stream_seed(seed: u64, round: usize) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x001c_0d17_1015_u64)
+        .wrapping_add((round as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Median via a caller-provided sort buffer (no per-call allocation).
+fn median_into(scratch: &mut Vec<f64>, values: &[f64]) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
-    let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-    let mid = v.len() / 2;
-    if v.len() % 2 == 1 {
-        v[mid]
+    scratch.clear();
+    scratch.extend_from_slice(values);
+    scratch.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let mid = scratch.len() / 2;
+    if scratch.len() % 2 == 1 {
+        scratch[mid]
     } else {
-        (v[mid - 1] + v[mid]) / 2.0
+        (scratch[mid - 1] + scratch[mid]) / 2.0
     }
 }
 

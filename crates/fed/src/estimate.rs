@@ -4,6 +4,7 @@
 use autofl_device::cost::{execute, idle_energy_j, ExecutionPlan, RoundCost, TrainingTask};
 use autofl_device::fleet::{DeviceId, Fleet};
 use autofl_device::scenario::DeviceConditions;
+use rayon::prelude::*;
 
 /// Cost breakdown of a whole aggregation round across the fleet.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -25,6 +26,43 @@ impl RoundEstimate {
     }
 }
 
+/// The per-participant execution costs of a round, aligned with the
+/// input order — the fan-out half of [`estimate_round`], for callers
+/// (like the simulation engine) that do their own straggler-aware
+/// time/energy reductions.
+///
+/// Costs are independent per participant and execute in parallel across
+/// the pool; the returned order is the input order regardless of thread
+/// count.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree.
+pub fn participant_costs(
+    fleet: &Fleet,
+    participants: &[DeviceId],
+    plans: &[ExecutionPlan],
+    tasks: &[TrainingTask],
+    conditions: &[DeviceConditions],
+) -> Vec<RoundCost> {
+    assert_eq!(participants.len(), plans.len(), "plan per participant");
+    assert_eq!(participants.len(), tasks.len(), "task per participant");
+    assert_eq!(conditions.len(), fleet.len(), "conditions cover the fleet");
+    (0..participants.len())
+        .into_par_iter()
+        .with_min_len(64)
+        .map(|i| {
+            let id = participants[i];
+            execute(
+                fleet.device(id).tier(),
+                plans[i],
+                tasks[i],
+                &conditions[id.0],
+            )
+        })
+        .collect()
+}
+
 /// Estimates the cost of a round in which `participants[i]` executes
 /// `tasks[i]` under `plans[i]`, with every other fleet device idle.
 ///
@@ -40,21 +78,21 @@ pub fn estimate_round(
     tasks: &[TrainingTask],
     conditions: &[DeviceConditions],
 ) -> RoundEstimate {
-    assert_eq!(participants.len(), plans.len(), "plan per participant");
-    assert_eq!(participants.len(), tasks.len(), "task per participant");
-    assert_eq!(conditions.len(), fleet.len(), "conditions cover the fleet");
-    let mut per_participant = Vec::with_capacity(participants.len());
+    let per_participant = participant_costs(fleet, participants, plans, tasks, conditions);
     let mut round_time_s: f64 = 0.0;
     let mut active_energy_j = 0.0;
-    for ((id, plan), task) in participants.iter().zip(plans).zip(tasks) {
-        let cost = execute(fleet.device(*id).tier(), *plan, *task, &conditions[id.0]);
+    for cost in &per_participant {
         round_time_s = round_time_s.max(cost.total_time_s());
         active_energy_j += cost.total_energy_j();
-        per_participant.push(cost);
+    }
+    // O(N + K) membership mask instead of an O(N·K) `contains` scan.
+    let mut is_participant = vec![false; fleet.len()];
+    for id in participants {
+        is_participant[id.0] = true;
     }
     let mut idle = 0.0;
     for device in fleet.iter() {
-        if !participants.contains(&device.id()) {
+        if !is_participant[device.id().0] {
             idle += idle_energy_j(device.tier(), round_time_s);
         }
     }

@@ -80,12 +80,18 @@ impl SelectionDecision {
 }
 
 /// Feedback a learning selector receives after the round completes.
-#[derive(Debug, Clone)]
-pub struct RoundFeedback {
+///
+/// Borrows the engine's round buffers rather than owning copies: the
+/// round hot loop hands the same scratch slices to every observer without
+/// cloning per round. Observers that need to retain data copy exactly
+/// what they keep.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundFeedback<'a> {
     /// The decision that was executed.
-    pub participants: Vec<DeviceId>,
-    /// Per-participant active energy in joules (Eq. 5 selected branch).
-    pub per_participant_energy_j: Vec<f64>,
+    pub participants: &'a [DeviceId],
+    /// Per-participant active energy in joules (Eq. 5 selected branch),
+    /// aligned with `participants`.
+    pub per_participant_energy_j: &'a [f64],
     /// Idle energy per non-participant in joules (Eq. 5 else branch).
     pub idle_energy_per_device_j: f64,
     /// Global energy of the round (Eq. 6).
@@ -97,7 +103,7 @@ pub struct RoundFeedback {
     /// Test accuracy before this round, in `[0, 1]`.
     pub prev_accuracy: f64,
     /// Participants dropped as stragglers this round.
-    pub dropped: Vec<DeviceId>,
+    pub dropped: &'a [DeviceId],
 }
 
 /// A participant-selection (and execution-target) policy.
@@ -109,7 +115,7 @@ pub trait Selector {
 
     /// Receives the measured outcome of the round (learning selectors
     /// update their policy here).
-    fn observe(&mut self, feedback: &RoundFeedback) {
+    fn observe(&mut self, feedback: &RoundFeedback<'_>) {
         let _ = feedback;
     }
 

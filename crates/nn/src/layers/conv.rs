@@ -23,11 +23,20 @@ pub struct Conv2d {
     gw: Tensor,
     gb: Tensor,
     cache: Option<ConvCache>,
+    /// im2col matrix of the last forward, `[batch*oh*ow, in_c*k*k]`.
+    /// Persistent scratch: reused (not reallocated) across calls.
+    cols: Tensor,
+    /// Scratch for the forward product, backward grad permutation,
+    /// weight-gradient product and column gradient, all reused across
+    /// calls so steady-state training allocates only layer outputs.
+    y2: Tensor,
+    g2: Tensor,
+    gw_acc: Tensor,
+    gcols: Tensor,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct ConvCache {
-    cols: Tensor,
     in_shape: [usize; 4],
     out_hw: (usize, usize),
 }
@@ -59,6 +68,11 @@ impl Conv2d {
             gw: Tensor::zeros(vec![out_c, fan_in]),
             gb: Tensor::zeros(vec![out_c]),
             cache: None,
+            cols: Tensor::zeros(vec![0]),
+            y2: Tensor::zeros(vec![0]),
+            g2: Tensor::zeros(vec![0]),
+            gw_acc: Tensor::zeros(vec![0]),
+            gcols: Tensor::zeros(vec![0]),
         }
     }
 
@@ -70,13 +84,17 @@ impl Conv2d {
         )
     }
 
-    fn im2col(&self, input: &Tensor) -> (Tensor, (usize, usize)) {
+    /// Expands `input` into `self.cols` (reusing its allocation).
+    fn im2col(&mut self, input: &Tensor) -> (usize, usize) {
         let s = input.shape();
         let (batch, in_c, h, w) = (s[0], s[1], s[2], s[3]);
         let (oh, ow) = self.out_hw(h, w);
         let kk = self.k;
+        let stride = self.stride;
+        let pad = self.pad;
         let fan_in = in_c * kk * kk;
-        let mut cols = vec![0.0f32; batch * oh * ow * fan_in];
+        self.cols.reset(vec![batch * oh * ow, fan_in]);
+        let cols = self.cols.data_mut();
         let data = input.data();
         for b in 0..batch {
             for oy in 0..oh {
@@ -84,14 +102,14 @@ impl Conv2d {
                     let row = ((b * oh + oy) * ow + ox) * fan_in;
                     for c in 0..in_c {
                         for ky in 0..kk {
-                            let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                            let iy = (oy * stride + ky) as isize - pad as isize;
                             if iy < 0 || iy >= h as isize {
                                 continue;
                             }
                             let src = ((b * in_c + c) * h + iy as usize) * w;
                             let dst = row + (c * kk + ky) * kk;
                             for kx in 0..kk {
-                                let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                                let ix = (ox * stride + kx) as isize - pad as isize;
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
@@ -102,20 +120,18 @@ impl Conv2d {
                 }
             }
         }
-        (
-            Tensor::from_vec(vec![batch * oh * ow, fan_in], cols),
-            (oh, ow),
-        )
+        (oh, ow)
     }
 
-    fn col2im(&self, gcols: &Tensor, in_shape: [usize; 4], out_hw: (usize, usize)) -> Tensor {
+    /// Scatters `self.gcols` back into an input-shaped gradient.
+    fn col2im(&self, in_shape: [usize; 4], out_hw: (usize, usize)) -> Tensor {
         let [batch, in_c, h, w] = in_shape;
         let (oh, ow) = out_hw;
         let kk = self.k;
         let fan_in = in_c * kk * kk;
         let mut gx = Tensor::zeros(vec![batch, in_c, h, w]);
         let gdata = gx.data_mut();
-        let cols = gcols.data();
+        let cols = self.gcols.data();
         for b in 0..batch {
             for oy in 0..oh {
                 for ox in 0..ow {
@@ -150,9 +166,10 @@ impl Layer for Conv2d {
         assert_eq!(s.len(), 4, "conv input must be [batch, c, h, w]");
         assert_eq!(s[1], self.in_c, "conv input channel mismatch");
         let (batch, h, w) = (s[0], s[2], s[3]);
-        let (cols, (oh, ow)) = self.im2col(input);
+        let (oh, ow) = self.im2col(input);
         // [batch*oh*ow, fan_in] x [fan_in, out_c] -> rows are positions.
-        let y2 = cols.matmul_nt(&self.w);
+        self.cols.matmul_nt_into(&self.w, &mut self.y2);
+        let y2 = &self.y2;
         // Permute rows (b, oy, ox) x out_c into [batch, out_c, oh, ow].
         let mut out = vec![0.0f32; batch * self.out_c * oh * ow];
         let bias = self.b.data();
@@ -167,13 +184,13 @@ impl Layer for Conv2d {
                 }
             }
         }
-        if train {
-            self.cache = Some(ConvCache {
-                cols,
-                in_shape: [batch, self.in_c, h, w],
-                out_hw: (oh, ow),
-            });
-        }
+        // `self.cols` is shared scratch: any forward overwrites it, so a
+        // non-training forward must invalidate the cache — backward after
+        // it would otherwise silently use the wrong columns.
+        self.cache = train.then_some(ConvCache {
+            in_shape: [batch, self.in_c, h, w],
+            out_hw: (oh, ow),
+        });
         Tensor::from_vec(vec![batch, self.out_c, oh, ow], out)
     }
 
@@ -184,31 +201,30 @@ impl Layer for Conv2d {
             .expect("Conv2d::backward called without training forward");
         let [batch, _, _, _] = cache.in_shape;
         let (oh, ow) = cache.out_hw;
-        // Permute grad back to [batch*oh*ow, out_c].
-        let mut g2 = vec![0.0f32; batch * oh * ow * self.out_c];
+        let out_c = self.out_c;
+        // Permute grad back to [batch*oh*ow, out_c] (reused scratch).
+        self.g2.reset(vec![batch * oh * ow, out_c]);
+        let g2 = self.g2.data_mut();
         let g = grad_out.data();
         for b in 0..batch {
-            for oc in 0..self.out_c {
+            for oc in 0..out_c {
                 for oy in 0..oh {
                     for ox in 0..ow {
-                        g2[((b * oh + oy) * ow + ox) * self.out_c + oc] =
-                            g[((b * self.out_c + oc) * oh + oy) * ow + ox];
+                        g2[((b * oh + oy) * ow + ox) * out_c + oc] =
+                            g[((b * out_c + oc) * oh + oy) * ow + ox];
                     }
                 }
             }
         }
-        let g2 = Tensor::from_vec(vec![batch * oh * ow, self.out_c], g2);
-        self.gw.add_assign(
-            &g2.matmul_tn(&cache.cols)
-                .reshape(vec![self.out_c, self.in_c * self.k * self.k]),
-        );
-        for r in 0..g2.rows() {
-            for oc in 0..self.out_c {
-                self.gb.data_mut()[oc] += g2.at2(r, oc);
+        self.g2.matmul_tn_into(&self.cols, &mut self.gw_acc);
+        self.gw.add_assign(&self.gw_acc);
+        for r in 0..self.g2.rows() {
+            for oc in 0..out_c {
+                self.gb.data_mut()[oc] += self.g2.at2(r, oc);
             }
         }
-        let gcols = g2.matmul(&self.w);
-        self.col2im(&gcols, cache.in_shape, cache.out_hw)
+        self.g2.matmul_into(&self.w, &mut self.gcols);
+        self.col2im(cache.in_shape, cache.out_hw)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
@@ -281,6 +297,19 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(4);
         let layer = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
         check_layer_gradients(layer, &[2, 2, 4, 4], 2e-2, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "without training forward")]
+    fn inference_forward_invalidates_training_cache() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, &mut rng);
+        let x = Tensor::zeros(vec![1, 1, 4, 4]);
+        let y = conv.forward(&x, true);
+        // The inference forward reuses the im2col scratch, so the pending
+        // backward must refuse rather than use the wrong columns.
+        let _ = conv.forward(&x, false);
+        let _ = conv.backward(&y);
     }
 
     #[test]

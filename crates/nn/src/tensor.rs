@@ -16,7 +16,114 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
+use rayon::prelude::*;
 use std::fmt;
+
+/// Column-panel width of the cache-blocked kernels: a `k × NC` panel of
+/// the right-hand operand stays resident in L1/L2 while a row sweeps it.
+const NC: usize = 256;
+/// Rows per parallel band. Bands are fixed-size and each output element is
+/// produced entirely inside one band, so banding never changes results.
+const MC: usize = 64;
+/// Below this many FLOPs a matmul runs single-threaded: the fan-out
+/// bookkeeping would cost more than the arithmetic.
+const PAR_FLOPS: usize = 1 << 21;
+
+/// Runs `kernel(first_row, band)` over fixed-size row bands of `out`
+/// (`m` rows of `n` columns), in parallel when the problem is large
+/// enough. Each band is written by exactly one thread and the band
+/// boundaries depend only on `MC`, so the output is bit-identical to the
+/// single-band sequential sweep at any thread count.
+fn run_banded(
+    m: usize,
+    n: usize,
+    flops: usize,
+    out: &mut [f32],
+    kernel: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if flops < PAR_FLOPS || m <= MC || rayon::current_num_threads() <= 1 {
+        kernel(0, out);
+        return;
+    }
+    out.par_chunks_mut(MC * n)
+        .enumerate()
+        .for_each(|(band, chunk)| kernel(band * MC, chunk));
+}
+
+/// `out_band[r][jb..] += Σ_k a[row0+r][k] · b[k][jb..]` — the `self · rhs`
+/// kernel, j-panelled for cache reuse, accumulating in ascending-`k` order
+/// per output element (the bit-determinism contract).
+fn mm_nn(a: &[f32], b: &[f32], out_band: &mut [f32], row0: usize, k: usize, n: usize) {
+    let rows = out_band.len() / n;
+    let mut jb = 0;
+    while jb < n {
+        let je = (jb + NC).min(n);
+        for r in 0..rows {
+            let arow = &a[(row0 + r) * k..(row0 + r + 1) * k];
+            let orow = &mut out_band[r * n + jb..r * n + je];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n + jb..kk * n + je];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        jb = je;
+    }
+}
+
+/// The `self · rhsᵀ` kernel: row-by-row dot products, j-panelled so a
+/// panel of `rhs` rows stays cached across the band.
+fn mm_nt(a: &[f32], b: &[f32], out_band: &mut [f32], row0: usize, k: usize, n: usize) {
+    let rows = out_band.len() / n;
+    let mut jb = 0;
+    while jb < n {
+        let je = (jb + NC).min(n);
+        for r in 0..rows {
+            let arow = &a[(row0 + r) * k..(row0 + r + 1) * k];
+            for j in jb..je {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                out_band[r * n + j] = acc;
+            }
+        }
+        jb = je;
+    }
+}
+
+/// The `selfᵀ · rhs` kernel (`a` is `[k, m]`): ascending-`k` rank-1
+/// updates into the band, j-panelled.
+fn mm_tn(a: &[f32], b: &[f32], out_band: &mut [f32], row0: usize, k: usize, m: usize, n: usize) {
+    let rows = out_band.len() / n;
+    let mut jb = 0;
+    while jb < n {
+        let je = (jb + NC).min(n);
+        for kk in 0..k {
+            let arow = &a[kk * m..(kk + 1) * m];
+            let brow = &b[kk * n + jb..kk * n + je];
+            for r in 0..rows {
+                let av = arow[row0 + r];
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out_band[r * n + jb..r * n + je];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        jb = je;
+    }
+}
 
 /// A dense, row-major tensor of `f32` values.
 ///
@@ -169,80 +276,85 @@ impl Tensor {
         &mut self.data[r * cols + c]
     }
 
+    /// Re-shapes this tensor into a zeroed buffer of the given shape,
+    /// reusing the existing allocation when its capacity suffices. The
+    /// scratch-buffer primitive behind the `*_into` kernels.
+    pub(crate) fn reset(&mut self, shape: Vec<usize>) {
+        let n: usize = shape.iter().product();
+        self.data.clear();
+        self.data.resize(n, 0.0);
+        self.shape = shape;
+    }
+
     /// Matrix multiplication `self · rhs` for 2-D tensors.
+    ///
+    /// Cache-blocked and (for large products) parallel across fixed row
+    /// bands; bit-identical to the naive ikj loop at any thread count.
     ///
     /// # Panics
     ///
     /// Panics if the inner dimensions disagree or either tensor is not 2-D.
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(vec![0]);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul`] into a caller-held output tensor, reusing its
+    /// allocation (the hot-loop variant: no allocation once warm).
+    pub fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) {
         assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D");
         assert_eq!(rhs.shape.len(), 2, "matmul rhs must be 2-D");
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (rhs.shape[0], rhs.shape[1]);
         assert_eq!(k, k2, "matmul inner dims: {} vs {}", k, k2);
-        let mut out = vec![0.0f32; m * n];
-        // ikj loop order keeps the inner loop contiguous in both `rhs` and
-        // `out`, which matters for the naive kernel's throughput.
-        for i in 0..m {
-            let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &rhs.data[kk * n..(kk + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        Tensor::from_vec(vec![m, n], out)
+        out.reset(vec![m, n]);
+        let (a, b) = (self.data.as_slice(), rhs.data.as_slice());
+        run_banded(m, n, 2 * m * n * k, &mut out.data, |row0, band| {
+            mm_nn(a, b, band, row0, k, n)
+        });
     }
 
     /// Matrix multiplication `selfᵀ · rhs` without materialising the transpose.
     pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(vec![0]);
+        self.matmul_tn_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_tn`] into a caller-held output tensor.
+    pub fn matmul_tn_into(&self, rhs: &Tensor, out: &mut Tensor) {
         assert_eq!(self.shape.len(), 2);
         assert_eq!(rhs.shape.len(), 2);
         let (k, m) = (self.shape[0], self.shape[1]);
         let (k2, n) = (rhs.shape[0], rhs.shape[1]);
         assert_eq!(k, k2, "matmul_tn inner dims: {} vs {}", k, k2);
-        let mut out = vec![0.0f32; m * n];
-        for kk in 0..k {
-            let arow = &self.data[kk * m..(kk + 1) * m];
-            let brow = &rhs.data[kk * n..(kk + 1) * n];
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        Tensor::from_vec(vec![m, n], out)
+        out.reset(vec![m, n]);
+        let (a, b) = (self.data.as_slice(), rhs.data.as_slice());
+        run_banded(m, n, 2 * m * n * k, &mut out.data, |row0, band| {
+            mm_tn(a, b, band, row0, k, m, n)
+        });
     }
 
     /// Matrix multiplication `self · rhsᵀ` without materialising the transpose.
     pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(vec![0]);
+        self.matmul_nt_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_nt`] into a caller-held output tensor.
+    pub fn matmul_nt_into(&self, rhs: &Tensor, out: &mut Tensor) {
         assert_eq!(self.shape.len(), 2);
         assert_eq!(rhs.shape.len(), 2);
         let (m, k) = (self.shape[0], self.shape[1]);
         let (n, k2) = (rhs.shape[0], rhs.shape[1]);
         assert_eq!(k, k2, "matmul_nt inner dims: {} vs {}", k, k2);
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &rhs.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in arow.iter().zip(brow.iter()) {
-                    acc += a * b;
-                }
-                out[i * n + j] = acc;
-            }
-        }
-        Tensor::from_vec(vec![m, n], out)
+        out.reset(vec![m, n]);
+        let (a, b) = (self.data.as_slice(), rhs.data.as_slice());
+        run_banded(m, n, 2 * m * n * k, &mut out.data, |row0, band| {
+            mm_nt(a, b, band, row0, k, n)
+        });
     }
 
     /// Returns the transpose of a 2-D tensor.
@@ -369,5 +481,106 @@ mod tests {
     fn max_abs_finds_largest_magnitude() {
         let a = Tensor::from_vec(vec![3], vec![-5.0, 2.0, 4.0]);
         assert_eq!(a.max_abs(), 5.0);
+    }
+
+    /// Deterministic pseudo-random matrix (xorshift-free, no rand dep in
+    /// unit scope) whose sizes force multiple `MC` bands and `NC` panels.
+    fn pseudo(shape: Vec<usize>, seed: u64) -> Tensor {
+        let n: usize = shape.iter().product();
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let data: Vec<f32> = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                // Include exact zeros so the sparse-skip path is exercised.
+                if state % 17 == 0 {
+                    0.0
+                } else {
+                    ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+                }
+            })
+            .collect();
+        Tensor::from_vec(shape, data)
+    }
+
+    /// Reference ikj product with ascending-k accumulation and the same
+    /// sparse-skip rule — the exact FP addition order the blocked kernels
+    /// must reproduce bit for bit.
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a.data()[i * k + kk];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[i * n + j] += av * b.data()[kk * n + j];
+                }
+            }
+        }
+        Tensor::from_vec(vec![m, n], out)
+    }
+
+    fn assert_bits_equal(a: &Tensor, b: &Tensor) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_naive() {
+        // 130 rows > 2 bands of MC=64; 300 cols > 1 panel of NC=256.
+        let a = pseudo(vec![130, 70], 1);
+        let b = pseudo(vec![70, 300], 2);
+        assert_bits_equal(&a.matmul(&b), &naive_matmul(&a, &b));
+    }
+
+    #[test]
+    fn blocked_matmul_tn_is_bit_identical_to_naive() {
+        let a = pseudo(vec![70, 130], 3);
+        let b = pseudo(vec![70, 300], 4);
+        let t = a.transpose();
+        assert_bits_equal(&a.matmul_tn(&b), &naive_matmul(&t, &b));
+    }
+
+    #[test]
+    fn blocked_matmul_nt_is_bit_identical_to_naive() {
+        let a = pseudo(vec![130, 70], 5);
+        let b = pseudo(vec![300, 70], 6);
+        let t = b.transpose();
+        assert_bits_equal(&a.matmul_nt(&b), &naive_matmul(&a, &t));
+    }
+
+    #[test]
+    fn matmul_bits_are_thread_count_invariant() {
+        // Big enough to clear PAR_FLOPS so the banded parallel path runs.
+        let a = pseudo(vec![256, 96], 7);
+        let b = pseudo(vec![96, 128], 8);
+        let prev = std::env::var("AUTOFL_THREADS").ok();
+        std::env::set_var("AUTOFL_THREADS", "1");
+        let seq = a.matmul(&b);
+        std::env::set_var("AUTOFL_THREADS", "8");
+        let par = a.matmul(&b);
+        match prev {
+            Some(v) => std::env::set_var("AUTOFL_THREADS", v),
+            None => std::env::remove_var("AUTOFL_THREADS"),
+        }
+        assert_bits_equal(&seq, &par);
+    }
+
+    #[test]
+    fn matmul_into_reuses_the_output_allocation() {
+        let a = pseudo(vec![8, 8], 9);
+        let b = pseudo(vec![8, 8], 10);
+        let mut out = Tensor::zeros(vec![8, 8]);
+        let cap_ptr = out.data().as_ptr();
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data().as_ptr(), cap_ptr, "no realloc for same size");
+        assert_bits_equal(&out, &naive_matmul(&a, &b));
     }
 }

@@ -28,9 +28,10 @@ fn main() {
 
     println!("== AutoFL quickstart: {} ==", config.workload.name());
     println!(
-        "fleet: {} devices, target accuracy {:.0}%",
+        "fleet: {} devices, target accuracy {:.0}%, {} worker threads (AUTOFL_THREADS)",
         config.num_devices,
-        config.target() * 100.0
+        config.target() * 100.0,
+        rayon::current_num_threads()
     );
 
     let mut autofl = AutoFl::paper_default();

@@ -8,9 +8,24 @@
 //! actually change the simulation.
 
 use autofl_core::AutoFl;
-use autofl_fed::engine::{SimConfig, SimResult, Simulation};
+use autofl_fed::engine::{Fidelity, SimConfig, SimResult, Simulation};
 use autofl_fed::oracle::OracleSelector;
 use autofl_fed::selection::{RandomSelector, Selector};
+
+/// Runs `f` with `AUTOFL_THREADS` pinned to `threads`, restoring the
+/// previous value afterwards. Concurrently-running tests may observe the
+/// temporary value, but thread count never affects results (that is
+/// exactly the contract under test), only scheduling.
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let prev = std::env::var("AUTOFL_THREADS").ok();
+    std::env::set_var("AUTOFL_THREADS", threads.to_string());
+    let result = f();
+    match prev {
+        Some(v) => std::env::set_var("AUTOFL_THREADS", v),
+        None => std::env::remove_var("AUTOFL_THREADS"),
+    }
+    result
+}
 
 fn run_with(seed: u64, make: &dyn Fn() -> Box<dyn Selector>) -> SimResult {
     let mut selector = make();
@@ -55,6 +70,52 @@ fn same_seed_reproduces_every_policy_bit_for_bit() {
         let b = run_with(7, make.as_ref());
         assert_eq!(a.records.len(), b.records.len(), "{name}");
         assert_bit_identical(&a, &b);
+    }
+}
+
+#[test]
+fn thread_count_never_changes_surrogate_results() {
+    // The parallel-runtime contract: AUTOFL_THREADS tunes wall-clock
+    // only. Same seed ⇒ bit-identical rounds, energies, PPW and final
+    // accuracy at 1, 2 and 8 threads, for every policy.
+    for (name, make) in policies() {
+        let base = with_threads(1, || run_with(11, make.as_ref()));
+        for threads in [2, 8] {
+            let other = with_threads(threads, || run_with(11, make.as_ref()));
+            assert_eq!(
+                base.final_accuracy().to_bits(),
+                other.final_accuracy().to_bits(),
+                "{name} at {threads} threads"
+            );
+            assert_bit_identical(&base, &other);
+        }
+    }
+}
+
+fn real_training_run() -> SimResult {
+    let mut cfg = SimConfig::tiny_test(5);
+    cfg.fidelity = Fidelity::RealTraining {
+        lr: 0.08,
+        eval_samples: 48,
+    };
+    cfg.max_rounds = 6;
+    Simulation::new(cfg).run(&mut RandomSelector::new())
+}
+
+#[test]
+fn thread_count_never_changes_real_training_results() {
+    // Real federated SGD fans each client out across the pool; per-device
+    // RNG streams and participant-order aggregation keep the global model
+    // (and hence accuracy, energy, PPW) bit-identical at any thread count.
+    let base = with_threads(1, real_training_run);
+    for threads in [2, 8] {
+        let other = with_threads(threads, real_training_run);
+        assert_eq!(
+            base.final_accuracy().to_bits(),
+            other.final_accuracy().to_bits(),
+            "real training diverged at {threads} threads"
+        );
+        assert_bit_identical(&base, &other);
     }
 }
 
