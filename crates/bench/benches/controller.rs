@@ -2,7 +2,7 @@
 //! cost of AutoFL's observe/select/reward/update pipeline at fleet scale.
 
 use autofl_core::AutoFl;
-use autofl_fed::engine::{SimConfig, Simulation};
+use autofl_fed::engine::Simulation;
 use autofl_fed::selection::RandomSelector;
 use autofl_nn::zoo::Workload;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -13,8 +13,9 @@ fn autofl_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("controller");
     group.sample_size(20);
     group.bench_function("autofl_round_200_devices", |b| {
-        let cfg = SimConfig::paper_default(Workload::CnnMnist);
-        let mut sim = Simulation::new(cfg);
+        let mut sim = Simulation::builder(Workload::CnnMnist)
+            .build()
+            .expect("paper defaults are valid");
         let mut agent = AutoFl::paper_default();
         let mut round = 0usize;
         b.iter(|| {
@@ -24,8 +25,9 @@ fn autofl_round(c: &mut Criterion) {
         });
     });
     group.bench_function("random_round_200_devices", |b| {
-        let cfg = SimConfig::paper_default(Workload::CnnMnist);
-        let mut sim = Simulation::new(cfg);
+        let mut sim = Simulation::builder(Workload::CnnMnist)
+            .build()
+            .expect("paper defaults are valid");
         let mut selector = RandomSelector::new();
         let mut round = 0usize;
         b.iter(|| {

@@ -4,7 +4,7 @@
 use autofl_device::cost::{ExecutionPlan, TrainingTask};
 use autofl_device::fleet::{DeviceId, Fleet};
 use autofl_device::scenario::DeviceConditions;
-use autofl_fed::engine::{SimConfig, Simulation};
+use autofl_fed::engine::Simulation;
 use autofl_fed::estimate::estimate_round;
 use autofl_fed::oracle::OracleSelector;
 use autofl_nn::zoo::Workload;
@@ -32,8 +32,9 @@ fn estimate(c: &mut Criterion) {
     let mut group = c.benchmark_group("oracle");
     group.sample_size(20);
     group.bench_function("ofl_round_200_devices", |b| {
-        let cfg = SimConfig::paper_default(Workload::CnnMnist);
-        let mut sim = Simulation::new(cfg);
+        let mut sim = Simulation::builder(Workload::CnnMnist)
+            .build()
+            .expect("paper defaults are valid");
         let mut oracle = OracleSelector::full();
         let mut round = 0usize;
         b.iter(|| {

@@ -1,23 +1,23 @@
 //! Figure 1: judicious participant/target selection improves PPW by up to
 //! ~5x over random selection (CNN-MNIST, S3, realistic edge conditions).
 
-use autofl_bench::{comparison, print_rows, Policy};
+use autofl_bench::{comparison, print_rows, standard_registry};
 use autofl_data::partition::DataDistribution;
 use autofl_device::scenario::VarianceScenario;
-use autofl_fed::engine::SimConfig;
+use autofl_fed::engine::Simulation;
 use autofl_nn::zoo::Workload;
 
 fn main() {
-    let mut cfg = SimConfig::paper_default(Workload::CnnMnist);
     // The motivation figure measures an in-the-field deployment: mixed
     // interference/network variance and partially non-IID data.
-    cfg.scenario = VarianceScenario::realistic();
-    cfg.distribution = DataDistribution::non_iid_percent(50);
-    cfg.max_rounds = 700;
-    let rows = comparison(
-        &cfg,
-        &[Policy::Random, Policy::Performance, Policy::OracleFull],
-    );
+    let cfg = Simulation::builder(Workload::CnnMnist)
+        .scenario(VarianceScenario::realistic())
+        .distribution(DataDistribution::non_iid_percent(50))
+        .max_rounds(700)
+        .build_config()
+        .expect("valid figure configuration");
+    let registry = standard_registry();
+    let rows = comparison(&cfg, &registry, &["FedAvg-Random", "Performance", "O_FL"]);
     print_rows(
         "Figure 1: PPW of judicious selection vs FedAvg-Random",
         &rows,

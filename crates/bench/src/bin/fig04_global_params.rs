@@ -1,51 +1,49 @@
 //! Figure 4: the optimal cluster of participants (Table 4's C1–C7) shifts
 //! with the FL global parameters S1–S4, and differs between CNN-MNIST and
 //! LSTM-Shakespeare.
+//!
+//! The whole figure is also expressible as spec files (one per S-setting)
+//! listing `["FedAvg-Random", "C1", …, "C7"]` — see
+//! `tests/specs/fig04_s3_cnn.json` and the `spec_run` binary.
 
-use autofl_bench::run_policy;
-use autofl_bench::Policy;
+use autofl_bench::{par_sweep, standard_registry, Policy};
 use autofl_fed::clusters::CharacterizationCluster;
 use autofl_fed::engine::{SimConfig, Simulation};
-use autofl_fed::selection::ClusterSelector;
 use autofl_fed::GlobalParams;
 use autofl_nn::zoo::Workload;
-use rayon::prelude::*;
 
 fn main() {
+    let registry = standard_registry();
+    let clusters = CharacterizationCluster::fixed();
     for workload in [Workload::CnnMnist, Workload::LstmShakespeare] {
         println!("\n=== Figure 4: {} ===", workload.name());
         println!(
             "{:<8} {}",
             "setting",
-            CharacterizationCluster::fixed()
+            clusters
                 .iter()
                 .map(|c| format!("{:>7}", c.name()))
                 .collect::<String>()
         );
         for (label, params) in GlobalParams::paper_settings() {
-            let mut cfg = SimConfig::paper_default(workload);
-            cfg.params = params;
-            cfg.max_rounds = 400;
+            let cfg = Simulation::builder(workload)
+                .params(params)
+                .max_rounds(400)
+                .build_config()
+                .expect("valid figure configuration");
             // The baseline and every cluster run are independent
             // simulations: fan the whole row out across the pool and
             // reduce in cluster order afterwards.
-            let clusters = CharacterizationCluster::fixed();
-            let base_and_gains: Vec<f64> = (0..clusters.len() + 1)
-                .into_par_iter()
-                .map(|i| {
-                    if i == 0 {
-                        run_policy(&cfg, Policy::Random).ppw_global().max(1e-300)
-                    } else {
-                        Simulation::new(cfg.clone())
-                            .run(&mut ClusterSelector::new(clusters[i - 1]))
-                            .ppw_global()
-                    }
-                })
-                .collect();
-            let base = base_and_gains[0];
+            let runs: Vec<(SimConfig, &dyn Policy)> =
+                std::iter::once(registry.expect("FedAvg-Random"))
+                    .chain(clusters.iter().map(|c| registry.expect(c.name())))
+                    .map(|p| (cfg.clone(), p))
+                    .collect();
+            let ppws: Vec<f64> = par_sweep(&runs).iter().map(|r| r.ppw_global()).collect();
+            let base = ppws[0].max(1e-300);
             let mut line = format!("{:<8}", label);
             let mut best = ("C?", 0.0f64);
-            for (cluster, ppw) in clusters.iter().zip(&base_and_gains[1..]) {
+            for (cluster, ppw) in clusters.iter().zip(&ppws[1..]) {
                 let gain = ppw / base;
                 if gain > best.1 {
                     best = (cluster.name(), gain);

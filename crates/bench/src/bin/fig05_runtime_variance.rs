@@ -2,13 +2,11 @@
 //! calm, toward high-end (C1) under interference, toward low-power (C5)
 //! under weak network signal.
 
-use autofl_bench::{run_policy, Policy};
+use autofl_bench::{par_sweep, standard_registry, Policy};
 use autofl_device::scenario::VarianceScenario;
 use autofl_fed::clusters::CharacterizationCluster;
 use autofl_fed::engine::{SimConfig, Simulation};
-use autofl_fed::selection::ClusterSelector;
 use autofl_nn::zoo::Workload;
-use rayon::prelude::*;
 
 fn main() {
     let regimes = [
@@ -16,34 +14,30 @@ fn main() {
         ("(b) interference", VarianceScenario::with_interference()),
         ("(c) weak network", VarianceScenario::weak_network()),
     ];
+    let registry = standard_registry();
+    let clusters = CharacterizationCluster::fixed();
     println!(
         "{:<18} {}",
         "regime",
-        CharacterizationCluster::fixed()
+        clusters
             .iter()
             .map(|c| format!("{:>7}", c.name()))
             .collect::<String>()
     );
     for (label, scenario) in regimes {
-        let mut cfg = SimConfig::paper_default(Workload::CnnMnist);
-        cfg.scenario = scenario;
-        cfg.max_rounds = 400;
+        let cfg = Simulation::builder(Workload::CnnMnist)
+            .scenario(scenario)
+            .max_rounds(400)
+            .build_config()
+            .expect("valid figure configuration");
         // Baseline + all clusters are independent runs: fan the row out
         // across the pool and reduce in cluster order.
-        let clusters = CharacterizationCluster::fixed();
-        let ppws: Vec<f64> = (0..clusters.len() + 1)
-            .into_par_iter()
-            .map(|i| {
-                if i == 0 {
-                    run_policy(&cfg, Policy::Random).ppw_global().max(1e-300)
-                } else {
-                    Simulation::new(cfg.clone())
-                        .run(&mut ClusterSelector::new(clusters[i - 1]))
-                        .ppw_global()
-                }
-            })
+        let runs: Vec<(SimConfig, &dyn Policy)> = std::iter::once(registry.expect("FedAvg-Random"))
+            .chain(clusters.iter().map(|c| registry.expect(c.name())))
+            .map(|p| (cfg.clone(), p))
             .collect();
-        let base = ppws[0];
+        let ppws: Vec<f64> = par_sweep(&runs).iter().map(|r| r.ppw_global()).collect();
+        let base = ppws[0].max(1e-300);
         let mut line = format!("{:<18}", label);
         let mut best = ("C?", 0.0f64);
         for (cluster, ppw) in clusters.iter().zip(&ppws[1..]) {

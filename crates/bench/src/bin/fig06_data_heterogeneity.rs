@@ -2,9 +2,9 @@
 //! (b) the >85% energy-efficiency gap between ideal and data-blind
 //! selection under non-IID data.
 
-use autofl_bench::{par_sweep, Policy};
+use autofl_bench::{par_sweep, standard_registry, Policy};
 use autofl_data::partition::DataDistribution;
-use autofl_fed::engine::SimConfig;
+use autofl_fed::engine::{SimConfig, Simulation};
 use autofl_nn::zoo::Workload;
 
 fn main() {
@@ -14,20 +14,26 @@ fn main() {
         DataDistribution::non_iid_percent(75),
         DataDistribution::non_iid_percent(100),
     ];
+    let registry = standard_registry();
+    let random = registry.expect("FedAvg-Random");
+    let oracle = registry.expect("O_FL");
     // Three independent runs per regime (full curve, random PPW, oracle
     // PPW): build the whole sweep up front and fan it out across the
     // pool; results come back in input order.
-    let mut runs = Vec::new();
+    let mut runs: Vec<(SimConfig, &dyn Policy)> = Vec::new();
     for dist in regimes {
-        let mut cfg = SimConfig::paper_default(Workload::CnnMnist);
-        cfg.distribution = dist;
-        cfg.max_rounds = 600;
-        cfg.target_accuracy = Some(1.1); // never stop early: record full curve
-        let mut cfg_b = cfg.clone();
-        cfg_b.target_accuracy = None;
-        runs.push((cfg, Policy::Random));
-        runs.push((cfg_b.clone(), Policy::Random));
-        runs.push((cfg_b, Policy::OracleFull));
+        let base = Simulation::builder(Workload::CnnMnist)
+            .distribution(dist)
+            .max_rounds(600);
+        let curve_cfg = base
+            .clone()
+            .target_accuracy(1.1) // never stop early: record full curve
+            .build_config()
+            .expect("valid figure configuration");
+        let cfg = base.build_config().expect("valid figure configuration");
+        runs.push((curve_cfg, random));
+        runs.push((cfg.clone(), random));
+        runs.push((cfg, oracle));
     }
     let results = par_sweep(&runs);
 

@@ -2,19 +2,22 @@
 //! AutoFL vs all baselines on the three FL use cases, in a realistic
 //! edge environment (mixed runtime variance, Non-IID(50%) data).
 
-use autofl_bench::{comparison, print_rows, Policy};
+use autofl_bench::{comparison, print_rows, standard_registry, PAPER_POLICIES};
 use autofl_data::partition::DataDistribution;
 use autofl_device::scenario::VarianceScenario;
-use autofl_fed::engine::SimConfig;
+use autofl_fed::engine::Simulation;
 use autofl_nn::zoo::Workload;
 
 fn main() {
+    let registry = standard_registry();
     for workload in Workload::paper_workloads() {
-        let mut cfg = SimConfig::paper_default(workload);
-        cfg.scenario = VarianceScenario::realistic();
-        cfg.distribution = DataDistribution::non_iid_percent(50);
-        cfg.max_rounds = 800;
-        let rows = comparison(&cfg, &Policy::all());
+        let cfg = Simulation::builder(workload)
+            .scenario(VarianceScenario::realistic())
+            .distribution(DataDistribution::non_iid_percent(50))
+            .max_rounds(800)
+            .build_config()
+            .expect("valid figure configuration");
+        let rows = comparison(&cfg, &registry, &PAPER_POLICIES);
         print_rows(&format!("Figure 8: {}", workload.name()), &rows);
     }
     println!("\npaper: AutoFL reaches 4.0x / 3.7x / 5.1x PPW over FedAvg-Random on");

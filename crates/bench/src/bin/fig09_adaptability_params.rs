@@ -1,17 +1,20 @@
 //! Figure 9: AutoFL adapts to every (B, E, K) setting S1–S4, beating the
 //! fixed baselines and approaching O_participant/O_FL.
 
-use autofl_bench::{comparison, print_rows, Policy};
-use autofl_fed::engine::SimConfig;
+use autofl_bench::{comparison, print_rows, standard_registry, PAPER_POLICIES};
+use autofl_fed::engine::Simulation;
 use autofl_fed::GlobalParams;
 use autofl_nn::zoo::Workload;
 
 fn main() {
+    let registry = standard_registry();
     for (label, params) in GlobalParams::paper_settings() {
-        let mut cfg = SimConfig::paper_default(Workload::CnnMnist);
-        cfg.params = params;
-        cfg.max_rounds = 500;
-        let rows = comparison(&cfg, &Policy::all());
+        let cfg = Simulation::builder(Workload::CnnMnist)
+            .params(params)
+            .max_rounds(500)
+            .build_config()
+            .expect("valid figure configuration");
+        let rows = comparison(&cfg, &registry, &PAPER_POLICIES);
         print_rows(&format!("Figure 9: CNN-MNIST, setting {label}"), &rows);
     }
     println!("\npaper: AutoFL wins under every setting and lands ~15.9% above O_participant");

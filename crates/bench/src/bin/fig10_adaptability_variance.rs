@@ -1,9 +1,9 @@
 //! Figure 10: AutoFL under runtime variance — no variance, co-running
 //! app interference, and network variance.
 
-use autofl_bench::{comparison, print_rows, Policy};
+use autofl_bench::{comparison, print_rows, standard_registry, PAPER_POLICIES};
 use autofl_device::scenario::VarianceScenario;
-use autofl_fed::engine::SimConfig;
+use autofl_fed::engine::Simulation;
 use autofl_nn::zoo::Workload;
 
 fn main() {
@@ -15,11 +15,14 @@ fn main() {
         ),
         ("(c) network variance", VarianceScenario::weak_network()),
     ];
+    let registry = standard_registry();
     for (label, scenario) in regimes {
-        let mut cfg = SimConfig::paper_default(Workload::CnnMnist);
-        cfg.scenario = scenario;
-        cfg.max_rounds = 500;
-        let rows = comparison(&cfg, &Policy::all());
+        let cfg = Simulation::builder(Workload::CnnMnist)
+            .scenario(scenario)
+            .max_rounds(500)
+            .build_config()
+            .expect("valid figure configuration");
+        let rows = comparison(&cfg, &registry, &PAPER_POLICIES);
         print_rows(&format!("Figure 10 {label}"), &rows);
     }
     println!("\npaper: under variance AutoFL improves PPW 5.1x/6.9x/2.6x over");

@@ -2,9 +2,9 @@
 //! Non-IID(100%). Data-blind baselines degrade or stall; AutoFL composes
 //! balanced cohorts.
 
-use autofl_bench::{comparison, print_rows, Policy};
+use autofl_bench::{comparison, print_rows, standard_registry, PAPER_POLICIES};
 use autofl_data::partition::DataDistribution;
-use autofl_fed::engine::SimConfig;
+use autofl_fed::engine::Simulation;
 use autofl_nn::zoo::Workload;
 
 fn main() {
@@ -14,11 +14,14 @@ fn main() {
         ("(c) Non-IID (75%)", DataDistribution::non_iid_percent(75)),
         ("(d) Non-IID (100%)", DataDistribution::non_iid_percent(100)),
     ];
+    let registry = standard_registry();
     for (label, dist) in regimes {
-        let mut cfg = SimConfig::paper_default(Workload::CnnMnist);
-        cfg.distribution = dist;
-        cfg.max_rounds = 1000;
-        let rows = comparison(&cfg, &Policy::all());
+        let cfg = Simulation::builder(Workload::CnnMnist)
+            .distribution(dist)
+            .max_rounds(1000)
+            .build_config()
+            .expect("valid figure configuration");
+        let rows = comparison(&cfg, &registry, &PAPER_POLICIES);
         print_rows(&format!("Figure 11 {label}"), &rows);
     }
     println!("\npaper: AutoFL achieves 4.0x/5.5x/9.3x/7.3x PPW over FedAvg-Random across");

@@ -55,8 +55,10 @@ fn prediction_accuracy(cfg: &SimConfig, warmup: usize, rounds: usize) -> (f64, f
 fn main() {
     println!("=== Figure 12(a): per-workload tracking of O_FL ===");
     for workload in Workload::paper_workloads() {
-        let mut cfg = SimConfig::paper_default(workload);
-        cfg.max_rounds = 300;
+        let cfg = Simulation::builder(workload)
+            .max_rounds(300)
+            .build_config()
+            .expect("valid figure configuration");
         let (sel, tgt) = prediction_accuracy(&cfg, 100, 300);
         println!(
             "{:<20} participant overlap {:>5.1}%  target agreement {:>5.1}%",
@@ -66,13 +68,17 @@ fn main() {
         );
     }
     println!("\n=== Figure 12(b): tracking under variance / data heterogeneity ===");
-    let mut interference = SimConfig::paper_default(Workload::CnnMnist);
-    interference.scenario = VarianceScenario::with_interference();
-    let mut noniid = SimConfig::paper_default(Workload::CnnMnist);
-    noniid.distribution = DataDistribution::non_iid_percent(50);
+    let interference = Simulation::builder(Workload::CnnMnist)
+        .scenario(VarianceScenario::with_interference())
+        .max_rounds(300)
+        .build_config()
+        .expect("valid figure configuration");
+    let noniid = Simulation::builder(Workload::CnnMnist)
+        .distribution(DataDistribution::non_iid_percent(50))
+        .max_rounds(300)
+        .build_config()
+        .expect("valid figure configuration");
     for (label, cfg) in [("interference", interference), ("non-IID 50%", noniid)] {
-        let mut cfg = cfg;
-        cfg.max_rounds = 300;
         let (sel, tgt) = prediction_accuracy(&cfg, 100, 300);
         println!(
             "{:<20} participant overlap {:>5.1}%  target agreement {:>5.1}%",

@@ -1,32 +1,44 @@
 //! Figure 13: AutoFL vs the prior-work comparators FedNova and FEDL
 //! (random selection, partial straggler updates) on the three workloads.
 
-use autofl_bench::{run_policy, Policy};
+use autofl_bench::{run_policy, standard_registry};
 use autofl_data::partition::DataDistribution;
 use autofl_device::scenario::VarianceScenario;
 use autofl_fed::algorithms::AggregationAlgorithm;
-use autofl_fed::engine::SimConfig;
+use autofl_fed::engine::Simulation;
 use autofl_nn::zoo::Workload;
 
 fn main() {
+    let registry = standard_registry();
+    let random = registry.expect("FedAvg-Random");
+    let autofl_policy = registry.expect("AutoFL");
     println!(
         "{:<22} {:>10} {:>10} {:>10}",
         "workload", "FedNova", "FEDL", "AutoFL"
     );
     for workload in Workload::paper_workloads() {
-        let mut cfg = SimConfig::paper_default(workload);
-        cfg.scenario = VarianceScenario::realistic();
-        cfg.distribution = DataDistribution::non_iid_percent(50);
-        cfg.max_rounds = 800;
+        let builder = Simulation::builder(workload)
+            .scenario(VarianceScenario::realistic())
+            .distribution(DataDistribution::non_iid_percent(50))
+            .max_rounds(800);
+        let cfg = builder
+            .clone()
+            .build_config()
+            .expect("valid figure configuration");
         // FedAvg-Random is the common denominator.
-        let base = run_policy(&cfg, Policy::Random).ppw_global().max(1e-300);
-        let mut nova_cfg = cfg.clone();
-        nova_cfg.algorithm = AggregationAlgorithm::FedNova;
-        let nova = run_policy(&nova_cfg, Policy::Random).ppw_global() / base;
-        let mut fedl_cfg = cfg.clone();
-        fedl_cfg.algorithm = AggregationAlgorithm::Fedl { eta: 0.1 };
-        let fedl = run_policy(&fedl_cfg, Policy::Random).ppw_global() / base;
-        let autofl = run_policy(&cfg, Policy::AutoFl).ppw_global() / base;
+        let base = run_policy(&cfg, random).ppw_global().max(1e-300);
+        let nova_cfg = builder
+            .clone()
+            .algorithm(AggregationAlgorithm::FedNova)
+            .build_config()
+            .expect("valid figure configuration");
+        let nova = run_policy(&nova_cfg, random).ppw_global() / base;
+        let fedl_cfg = builder
+            .algorithm(AggregationAlgorithm::Fedl { eta: 0.1 })
+            .build_config()
+            .expect("valid figure configuration");
+        let fedl = run_policy(&fedl_cfg, random).ppw_global() / base;
+        let autofl = run_policy(&cfg, autofl_policy).ppw_global() / base;
         println!(
             "{:<22} {:>9.2}x {:>9.2}x {:>9.2}x",
             workload.name(),

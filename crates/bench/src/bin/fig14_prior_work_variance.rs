@@ -1,11 +1,11 @@
 //! Figure 14: AutoFL vs FedNova/FEDL under (a) interference, (b) network
 //! variance and (c) data heterogeneity.
 
-use autofl_bench::{run_policy, Policy};
+use autofl_bench::{run_policy, standard_registry};
 use autofl_data::partition::DataDistribution;
 use autofl_device::scenario::VarianceScenario;
 use autofl_fed::algorithms::AggregationAlgorithm;
-use autofl_fed::engine::SimConfig;
+use autofl_fed::engine::Simulation;
 use autofl_nn::zoo::Workload;
 
 fn main() {
@@ -26,23 +26,35 @@ fn main() {
             DataDistribution::non_iid_percent(75),
         ),
     ];
+    let registry = standard_registry();
+    let random = registry.expect("FedAvg-Random");
+    let autofl_policy = registry.expect("AutoFL");
     println!(
         "{:<22} {:>10} {:>10} {:>10}",
         "regime", "FedNova", "FEDL", "AutoFL"
     );
     for (label, scenario, dist) in regimes {
-        let mut cfg = SimConfig::paper_default(Workload::CnnMnist);
-        cfg.scenario = scenario;
-        cfg.distribution = dist;
-        cfg.max_rounds = 800;
-        let base = run_policy(&cfg, Policy::Random).ppw_global().max(1e-300);
-        let mut nova_cfg = cfg.clone();
-        nova_cfg.algorithm = AggregationAlgorithm::FedNova;
-        let nova = run_policy(&nova_cfg, Policy::Random).ppw_global() / base;
-        let mut fedl_cfg = cfg.clone();
-        fedl_cfg.algorithm = AggregationAlgorithm::Fedl { eta: 0.1 };
-        let fedl = run_policy(&fedl_cfg, Policy::Random).ppw_global() / base;
-        let autofl = run_policy(&cfg, Policy::AutoFl).ppw_global() / base;
+        let builder = Simulation::builder(Workload::CnnMnist)
+            .scenario(scenario)
+            .distribution(dist)
+            .max_rounds(800);
+        let cfg = builder
+            .clone()
+            .build_config()
+            .expect("valid figure configuration");
+        let base = run_policy(&cfg, random).ppw_global().max(1e-300);
+        let nova_cfg = builder
+            .clone()
+            .algorithm(AggregationAlgorithm::FedNova)
+            .build_config()
+            .expect("valid figure configuration");
+        let nova = run_policy(&nova_cfg, random).ppw_global() / base;
+        let fedl_cfg = builder
+            .algorithm(AggregationAlgorithm::Fedl { eta: 0.1 })
+            .build_config()
+            .expect("valid figure configuration");
+        let fedl = run_policy(&fedl_cfg, random).ppw_global() / base;
+        let autofl = run_policy(&cfg, autofl_policy).ppw_global() / base;
         println!(
             "{:<22} {:>9.2}x {:>9.2}x {:>9.2}x",
             label, nova, fedl, autofl

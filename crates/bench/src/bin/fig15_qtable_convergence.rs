@@ -2,18 +2,20 @@
 //! shared per-tier tables) and the gamma/mu hyper-parameter sensitivity.
 
 use autofl_core::{AutoFl, AutoFlConfig, QSharing};
-use autofl_fed::engine::{SimConfig, Simulation};
+use autofl_fed::engine::Simulation;
 use autofl_nn::zoo::Workload;
 
 fn reward_trace(sharing: QSharing) -> (Vec<f64>, Option<usize>) {
-    let mut cfg = SimConfig::paper_default(Workload::CnnMnist);
-    cfg.max_rounds = 200;
-    cfg.target_accuracy = Some(1.1); // run the full horizon
+    let mut sim = Simulation::builder(Workload::CnnMnist)
+        .max_rounds(200)
+        .target_accuracy(1.1) // run the full horizon
+        .build()
+        .expect("valid figure configuration");
     let mut agent = AutoFl::new(AutoFlConfig {
         sharing,
         ..Default::default()
     });
-    let _ = Simulation::new(cfg).run(&mut agent);
+    let _ = sim.run(&mut agent);
     let converged = agent.reward_converged_round(20, 12.0);
     (agent.reward_history().to_vec(), converged)
 }
@@ -32,8 +34,10 @@ fn main() {
     );
 
     println!("\n=== Section 5.3: hyper-parameter sensitivity (final PPW, normalised) ===");
-    let mut cfg = SimConfig::paper_default(Workload::CnnMnist);
-    cfg.max_rounds = 400;
+    let cfg = Simulation::builder(Workload::CnnMnist)
+        .max_rounds(400)
+        .build_config()
+        .expect("valid figure configuration");
     let mut results = Vec::new();
     for gamma in [0.1, 0.5, 0.9] {
         for mu in [0.1, 0.5, 0.9] {

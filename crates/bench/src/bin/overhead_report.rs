@@ -2,14 +2,16 @@
 //! round, Q-table memory for 200 devices, and the misprediction overhead
 //! relative to the oracle after reward convergence.
 
-use autofl_bench::{run_policy, Policy};
+use autofl_bench::{run_policy, standard_registry};
 use autofl_core::AutoFl;
-use autofl_fed::engine::{SimConfig, Simulation};
+use autofl_fed::engine::Simulation;
 use autofl_nn::zoo::Workload;
 
 fn main() {
-    let mut cfg = SimConfig::paper_default(Workload::CnnMnist);
-    cfg.max_rounds = 300;
+    let cfg = Simulation::builder(Workload::CnnMnist)
+        .max_rounds(300)
+        .build_config()
+        .expect("valid configuration");
     let mut agent = AutoFl::paper_default();
     let result = Simulation::new(cfg.clone()).run(&mut agent);
 
@@ -29,7 +31,7 @@ fn main() {
     );
 
     // Misprediction overhead: AutoFL vs O_FL on time and energy.
-    let oracle = run_policy(&cfg, Policy::OracleFull);
+    let oracle = run_policy(&cfg, standard_registry().expect("O_FL"));
     let time_over = result.time_to_target_s() / oracle.time_to_target_s() - 1.0;
     let energy_over = result.energy_to_target_j() / oracle.energy_to_target_j() - 1.0;
     println!(

@@ -14,16 +14,19 @@
 //! settings time *identical* computations: `speedup` is a pure scheduling
 //! ratio, `wall_ms(threads=1) / wall_ms(threads=N)`.
 
-use autofl_bench::{par_sweep, Policy};
+use autofl_bench::{par_sweep, standard_registry, Policy};
 use autofl_fed::engine::{Fidelity, SimConfig, Simulation};
 use autofl_fed::selection::RandomSelector;
 use autofl_nn::layers::{Conv2d, Layer};
 use autofl_nn::tensor::Tensor;
-use autofl_nn::zoo::Workload;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use serde::Serialize;
 use std::time::Instant;
 
+/// One `BENCH_autofl.json` row; the schema is pinned by CI
+/// (`perf_report --smoke` runs on every push).
+#[derive(Serialize)]
 struct BenchRow {
     bench: &'static str,
     threads: usize,
@@ -114,15 +117,15 @@ fn bench_sweep(smoke: bool) -> f64 {
     } else {
         &[1, 2, 3, 4, 5, 6, 7, 8]
     };
-    let mut runs = Vec::new();
+    let registry = standard_registry();
+    let mut runs: Vec<(SimConfig, &dyn Policy)> = Vec::new();
     for &seed in seeds {
         let mut cfg = SimConfig::smoke(seed);
-        cfg.workload = Workload::CnnMnist;
         if smoke {
             cfg.max_rounds = 120;
         }
-        runs.push((cfg.clone(), Policy::Random));
-        runs.push((cfg, Policy::Performance));
+        runs.push((cfg.clone(), registry.expect("FedAvg-Random")));
+        runs.push((cfg, registry.expect("Performance")));
     }
     time_ms(|| {
         let results = par_sweep(&runs);
@@ -199,20 +202,7 @@ fn main() {
         None => std::env::remove_var("AUTOFL_THREADS"),
     }
 
-    // The serde shim is a no-op, so the JSON is assembled by hand; the
-    // schema is pinned by CI (`perf_report --smoke` runs on every push).
-    let mut json = String::from("[\n");
-    for (i, r) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "  {{\"bench\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}, \"speedup\": {:.3}}}{}\n",
-            r.bench,
-            r.threads,
-            r.wall_ms,
-            r.speedup,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("]\n");
-    std::fs::write(&out_path, json).expect("write bench json");
+    let json = serde_json::to_string_pretty(&rows).expect("bench rows serialize");
+    std::fs::write(&out_path, json + "\n").expect("write bench json");
     println!("\nwrote {out_path}");
 }

@@ -1,87 +1,40 @@
 //! Shared harness for the figure-regeneration binaries.
 //!
 //! Every `fig*` binary in `src/bin/` reproduces one table or figure of the
-//! paper: it builds the matching [`SimConfig`], runs each policy, and
-//! prints the same rows/series the paper reports (PPW normalised to
-//! FedAvg-Random, convergence time, accuracy). See EXPERIMENTS.md for the
-//! paper-vs-measured record.
+//! paper: it builds the matching configuration through
+//! [`Simulation::builder`], resolves its policies from the
+//! [`standard_registry`], and prints the same rows/series the paper
+//! reports (PPW normalised to FedAvg-Random, convergence time, accuracy).
+//! The `spec_run` binary executes checked-in
+//! [`autofl_fed::spec::ExperimentSpec`] files through the same registry,
+//! so every figure is reproducible from a declarative JSON file. See
+//! EXPERIMENTS.md for the paper-vs-measured record.
 
-use autofl_core::{AutoFl, AutoFlConfig};
-use autofl_fed::engine::{SimConfig, SimResult, Simulation};
-use autofl_fed::oracle::OracleSelector;
-use autofl_fed::selection::{ClusterSelector, RandomSelector, Selector};
+use autofl_fed::engine::{SimConfig, SimResult};
+pub use autofl_fed::policy::{run_policy, Policy, PolicyRegistry};
 use rayon::prelude::*;
 
-/// The policies the paper compares (Section 5.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Policy {
-    /// FedAvg with uniform random selection (the baseline, cluster C0).
-    Random,
-    /// All low-end devices (cluster C7).
-    Power,
-    /// All high-end devices (cluster C1).
-    Performance,
-    /// Oracle participant selection at CPU-max.
-    OracleParticipant,
-    /// Oracle participants + execution targets + DVFS.
-    OracleFull,
-    /// The learned controller.
-    AutoFl,
-}
+pub use autofl_core::policy::{standard_registry, PAPER_POLICIES};
 
-impl Policy {
-    /// The six evaluation policies in the paper's reporting order.
-    pub fn all() -> [Policy; 6] {
-        [
-            Policy::Random,
-            Policy::Power,
-            Policy::Performance,
-            Policy::OracleParticipant,
-            Policy::OracleFull,
-            Policy::AutoFl,
-        ]
-    }
+/// Baselines only (everything except AutoFL), in reporting order.
+pub const BASELINE_POLICIES: [&str; 5] = [
+    "FedAvg-Random",
+    "Power",
+    "Performance",
+    "O_participant",
+    "O_FL",
+];
 
-    /// Baselines only (everything except AutoFL).
-    pub fn baselines() -> [Policy; 5] {
-        [
-            Policy::Random,
-            Policy::Power,
-            Policy::Performance,
-            Policy::OracleParticipant,
-            Policy::OracleFull,
-        ]
-    }
-
-    /// Display name used in tables.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Policy::Random => "FedAvg-Random",
-            Policy::Power => "Power",
-            Policy::Performance => "Performance",
-            Policy::OracleParticipant => "O_participant",
-            Policy::OracleFull => "O_FL",
-            Policy::AutoFl => "AutoFL",
-        }
-    }
-
-    /// Instantiates the selector.
-    pub fn build(&self) -> Box<dyn Selector> {
-        match self {
-            Policy::Random => Box::new(RandomSelector::new()),
-            Policy::Power => Box::new(ClusterSelector::power()),
-            Policy::Performance => Box::new(ClusterSelector::performance()),
-            Policy::OracleParticipant => Box::new(OracleSelector::participant()),
-            Policy::OracleFull => Box::new(OracleSelector::full()),
-            Policy::AutoFl => Box::new(AutoFl::new(AutoFlConfig::default())),
-        }
-    }
-}
-
-/// Runs one policy on one configuration.
-pub fn run_policy(config: &SimConfig, policy: Policy) -> SimResult {
-    let mut selector = policy.build();
-    Simulation::new(config.clone()).run(selector.as_mut())
+/// Runs every `(config, policy)` pair of a sweep in parallel across the
+/// pool and returns the results in input order.
+///
+/// Each run owns its `Simulation` and its seeds, so results are identical
+/// to running the pairs sequentially — config-level fan-out is the
+/// outermost (and best-scaling) parallelism the fig binaries have.
+pub fn par_sweep(runs: &[(SimConfig, &dyn Policy)]) -> Vec<SimResult> {
+    runs.par_iter()
+        .map(|(config, policy)| run_policy(config, *policy))
+        .collect()
 }
 
 /// One row of a normalised comparison table.
@@ -99,40 +52,43 @@ pub struct Row {
     pub accuracy: f64,
 }
 
-/// Runs every `(config, policy)` pair of a sweep in parallel across the
-/// pool and returns the results in input order.
-///
-/// Each run owns its `Simulation` and its seeds, so results are identical
-/// to running the pairs sequentially — config-level fan-out is the
-/// outermost (and best-scaling) parallelism the fig binaries have.
-pub fn par_sweep(runs: &[(SimConfig, Policy)]) -> Vec<SimResult> {
-    runs.par_iter()
-        .map(|(config, policy)| run_policy(config, *policy))
-        .collect()
+impl Row {
+    /// Normalises a set of borrowed results against the first one
+    /// (conventionally FedAvg-Random).
+    pub fn normalised(results: &[&SimResult]) -> Vec<Row> {
+        let base_ppw = results[0].ppw_global().max(1e-300);
+        let base_time = results[0].time_to_target_s().max(1e-300);
+        results
+            .iter()
+            .map(|r| Row {
+                label: r.policy.clone(),
+                ppw_norm: r.ppw_global() / base_ppw,
+                conv_speedup: base_time / r.time_to_target_s().max(1e-300),
+                converged_round: r.converged_round(),
+                accuracy: r.final_accuracy(),
+            })
+            .collect()
+    }
 }
 
-/// Runs a set of policies and normalises PPW / convergence time to the
-/// first policy in the list (conventionally [`Policy::Random`]).
+/// Runs a set of policies (resolved from `registry` by name) on one
+/// configuration and normalises PPW / convergence time to the first name
+/// in the list (conventionally `"FedAvg-Random"`).
 ///
 /// The policy runs are independent simulations and execute in parallel;
 /// normalisation happens afterwards in input order.
-pub fn comparison(config: &SimConfig, policies: &[Policy]) -> Vec<Row> {
-    let results: Vec<(Policy, SimResult)> = policies
+///
+/// # Panics
+///
+/// Panics if a name is not registered (runner binaries hold their policy
+/// lists as compile-time constants).
+pub fn comparison(config: &SimConfig, registry: &PolicyRegistry, names: &[&str]) -> Vec<Row> {
+    let policies: Vec<&dyn Policy> = names.iter().map(|n| registry.expect(n)).collect();
+    let results: Vec<SimResult> = policies
         .par_iter()
-        .map(|p| (*p, run_policy(config, *p)))
+        .map(|p| run_policy(config, *p))
         .collect();
-    let base_ppw = results[0].1.ppw_global().max(1e-300);
-    let base_time = results[0].1.time_to_target_s().max(1e-300);
-    results
-        .into_iter()
-        .map(|(p, r)| Row {
-            label: p.name().to_string(),
-            ppw_norm: r.ppw_global() / base_ppw,
-            conv_speedup: base_time / r.time_to_target_s().max(1e-300),
-            converged_round: r.converged_round(),
-            accuracy: r.final_accuracy(),
-        })
-        .collect()
+    Row::normalised(&results.iter().collect::<Vec<_>>())
 }
 
 /// Prints a comparison table with a title.
@@ -159,22 +115,32 @@ pub fn print_rows(title: &str, rows: &[Row]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use autofl_nn::zoo::Workload;
 
     #[test]
     fn comparison_normalises_to_first_policy() {
-        let mut cfg = SimConfig::tiny_test(1);
-        cfg.workload = Workload::TinyTest;
-        let rows = comparison(&cfg, &[Policy::Random, Policy::Performance]);
+        let cfg = SimConfig::tiny_test(1);
+        let reg = standard_registry();
+        let rows = comparison(&cfg, &reg, &["FedAvg-Random", "Performance"]);
         assert_eq!(rows[0].ppw_norm, 1.0);
+        assert_eq!(rows[0].label, "FedAvg-Random");
         assert_eq!(rows.len(), 2);
     }
 
     #[test]
-    fn every_policy_builds_and_names() {
-        for p in Policy::all() {
-            let s = p.build();
-            assert_eq!(s.name(), p.name());
+    fn every_paper_policy_resolves_and_names() {
+        let reg = standard_registry();
+        for name in PAPER_POLICIES {
+            let p = reg.expect(name);
+            assert_eq!(p.name(), name);
+            assert_eq!(p.make_selector().name(), name);
         }
+        assert_eq!(&PAPER_POLICIES[..5], &BASELINE_POLICIES[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown policy")]
+    fn unknown_names_panic_with_the_registry_contents() {
+        let reg = standard_registry();
+        let _ = reg.expect("NotARealPolicy");
     }
 }

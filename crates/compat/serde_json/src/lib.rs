@@ -1,0 +1,441 @@
+//! JSON text half of the in-tree serde shim: renders [`serde::Value`]
+//! trees to JSON and parses JSON back, exposing the `to_string` /
+//! `to_string_pretty` / `from_str` entry points of the real `serde_json`
+//! so call sites survive a swap to the crates.io package unchanged.
+//!
+//! Output is deterministic: struct fields keep declaration order and
+//! floats print via Rust's shortest round-trip formatting, so serialize →
+//! parse → serialize is a fixed point (used by the spec round-trip tests).
+
+#![warn(missing_docs)]
+
+pub use serde::{Error, Value};
+
+/// Serializes any [`serde::Serialize`] type to its [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstructs a [`serde::Deserialize`] type from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+/// Serializes to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes to human-editable JSON (two-space indentation).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any [`serde::Deserialize`] type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    T::from_value(&parse(text)?)
+}
+
+/// Parses JSON text into a raw [`Value`] tree.
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // `{:?}` is Rust's shortest representation that parses
+                // back to the same bits.
+                out.push_str(&format!("{f:?}"));
+            } else {
+                // JSON has no Inf/NaN; mirror serde_json's `null`.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline(out, indent, level);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline(out, indent, level + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            newline(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(width * level));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+/// Maximum container nesting the parser accepts (matches the real
+/// serde_json's default recursion limit); deeper input is a parse error
+/// rather than a stack overflow.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error::custom(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null").map(|()| Value::Null),
+            Some(b't') => self.eat_keyword("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.nested(Self::seq),
+            Some(b'{') => self.nested(Self::map),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(&format!("unexpected byte `{}`", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn nested(&mut self, parse: fn(&mut Self) -> Result<Value, Error>) -> Result<Value, Error> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("recursion limit exceeded"));
+        }
+        self.depth += 1;
+        let result = parse(self);
+        self.depth -= 1;
+        result
+    }
+
+    fn seq(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain UTF-8 up to the next quote/escape.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let code = self.hex4()?;
+                            // Surrogate pairs are not needed by any spec
+                            // file; reject rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("unsupported \\u escape"))?;
+                            s.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number characters");
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(i) = stripped.parse::<i64>() {
+                    return Ok(Value::Int(-i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_through_text() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-42),
+            Value::UInt(u64::MAX),
+            Value::Float(0.1),
+            Value::Float(2.0),
+            Value::Str("he\"llo\n".into()),
+        ] {
+            let text = to_string(&v).unwrap();
+            assert_eq!(parse(&text).unwrap(), v, "text was {text}");
+        }
+    }
+
+    #[test]
+    fn nested_structure_roundtrips_pretty_and_compact() {
+        let v = Value::Map(vec![
+            ("name".into(), Value::Str("fig04".into())),
+            (
+                "seeds".into(),
+                Value::Seq(vec![Value::UInt(1), Value::UInt(2)]),
+            ),
+            ("nested".into(), Value::Map(vec![("x".into(), Value::Null)])),
+            ("empty".into(), Value::Seq(vec![])),
+        ]);
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(parse(&text).unwrap(), v, "text was {text}");
+        }
+    }
+
+    #[test]
+    fn serialize_parse_serialize_is_a_fixed_point() {
+        let v = Value::Map(vec![
+            ("f".into(), Value::Float(0.30000000000000004)),
+            ("g".into(), Value::Float(1e300)),
+        ]);
+        let a = to_string_pretty(&v).unwrap();
+        let b = to_string_pretty(&parse(&a).unwrap()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_a_parse_error_not_a_stack_overflow() {
+        let deep = "[".repeat(100_000);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.to_string().contains("recursion"), "{err}");
+        // Nesting inside the limit still parses.
+        let ok = format!("{}{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn integers_keep_64_bit_precision() {
+        let text = format!("{}", u64::MAX);
+        assert_eq!(parse(&text).unwrap(), Value::UInt(u64::MAX));
+        assert_eq!(
+            parse("-9007199254740993").unwrap(),
+            Value::Int(-9007199254740993)
+        );
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        assert_eq!(parse("\"\\u00e9\"").unwrap(), Value::Str("é".into()));
+    }
+}

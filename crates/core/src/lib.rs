@@ -37,6 +37,7 @@
 pub mod action;
 pub mod controller;
 pub mod overhead;
+pub mod policy;
 pub mod qtable;
 pub mod reward;
 pub mod state;
@@ -44,6 +45,7 @@ pub mod state;
 pub use action::Action;
 pub use controller::{AutoFl, AutoFlConfig};
 pub use overhead::Overhead;
+pub use policy::{standard_registry, AutoFlPolicy, PAPER_POLICIES};
 pub use qtable::{QSharing, QTable, QTableSet};
 pub use reward::{reward, RewardConfig, RewardInputs};
 pub use state::{GlobalState, LocalState, StateSpace};

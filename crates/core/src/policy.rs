@@ -1,0 +1,97 @@
+//! The AutoFL controller as a pluggable [`Policy`], and the standard
+//! six-policy registry the paper's evaluation compares.
+
+use crate::controller::{AutoFl, AutoFlConfig};
+use autofl_fed::policy::{baseline_registry, Policy, PolicyRegistry};
+use autofl_fed::selection::Selector;
+
+/// The six evaluation policies in the paper's reporting order
+/// (Section 5.1) — the names [`standard_registry`] serves them under.
+pub const PAPER_POLICIES: [&str; 6] = [
+    "FedAvg-Random",
+    "Power",
+    "Performance",
+    "O_participant",
+    "O_FL",
+    "AutoFL",
+];
+
+/// The learned AutoFL controller as a registry policy: every run gets a
+/// fresh agent built from the held hyper-parameters.
+#[derive(Debug, Clone, Default)]
+pub struct AutoFlPolicy {
+    config: AutoFlConfig,
+}
+
+impl AutoFlPolicy {
+    /// The paper's hyper-parameters.
+    pub fn paper_default() -> Self {
+        AutoFlPolicy::default()
+    }
+
+    /// A policy minting agents from explicit hyper-parameters (for
+    /// ablations: ε-decay, Q-sharing, DVFS off, …).
+    pub fn with_config(config: AutoFlConfig) -> Self {
+        AutoFlPolicy { config }
+    }
+
+    /// The held hyper-parameters.
+    pub fn config(&self) -> &AutoFlConfig {
+        &self.config
+    }
+}
+
+impl Policy for AutoFlPolicy {
+    fn name(&self) -> &str {
+        "AutoFL"
+    }
+
+    fn make_selector(&self) -> Box<dyn Selector> {
+        Box::new(AutoFl::new(self.config.clone()))
+    }
+}
+
+/// The full evaluation registry: the `autofl-fed` baselines (including
+/// the fixed clusters C1–C7) plus the AutoFL controller.
+///
+/// New baselines extend this by registering into the returned value — no
+/// runner binary needs to change, and spec files can name the new policy
+/// immediately.
+pub fn standard_registry() -> PolicyRegistry {
+    let mut registry = baseline_registry();
+    registry.register(Box::new(AutoFlPolicy::paper_default()));
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofl_fed::engine::SimConfig;
+    use autofl_fed::policy::run_policy;
+
+    #[test]
+    fn standard_registry_serves_all_paper_policies() {
+        let reg = standard_registry();
+        for name in PAPER_POLICIES {
+            let policy = reg.get(name).expect(name);
+            assert_eq!(policy.name(), name);
+            assert_eq!(policy.make_selector().name(), name);
+        }
+    }
+
+    #[test]
+    fn registry_autofl_matches_direct_construction() {
+        let mut cfg = SimConfig::tiny_test(5);
+        cfg.max_rounds = 10;
+        cfg.target_accuracy = Some(1.1);
+        let via_registry = run_policy(&cfg, standard_registry().expect("AutoFL"));
+        let mut direct_sim = autofl_fed::engine::Simulation::new(cfg);
+        let direct = direct_sim.run(&mut AutoFl::paper_default());
+        assert_eq!(via_registry.records.len(), direct.records.len());
+        for (a, b) in via_registry.records.iter().zip(&direct.records) {
+            assert_eq!(a.participants, b.participants);
+            assert_eq!(a.plans, b.plans);
+            assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+        }
+    }
+}

@@ -10,12 +10,13 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Gamma};
+use serde::{Deserialize, Serialize};
 
 /// The paper's Dirichlet concentration parameter for non-IID devices.
 pub const PAPER_DIRICHLET_ALPHA: f64 = 0.1;
 
 /// How training data is spread across the device fleet.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum DataDistribution {
     /// All classes evenly distributed to every device.
     IidIdeal,

@@ -17,10 +17,11 @@ pub struct ClientUpdate {
 
 /// The server-side aggregation rule (plus the client-side objective it
 /// implies).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum AggregationAlgorithm {
     /// FedAvg (McMahan et al.): sample-weighted averaging of deltas.
     /// Stragglers past the round deadline are dropped.
+    #[default]
     FedAvg,
     /// FedProx (Li et al.): FedAvg aggregation plus a client-side proximal
     /// term `µ/2‖w − w_global‖²`; accepts partial updates from stragglers.

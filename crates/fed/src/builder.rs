@@ -1,0 +1,428 @@
+//! Fluent construction and validation of simulations.
+//!
+//! [`SimBuilder`] is the supported way to configure an experiment:
+//!
+//! ```
+//! use autofl_fed::engine::Simulation;
+//! use autofl_fed::global::GlobalParams;
+//! use autofl_fed::selection::RandomSelector;
+//! use autofl_nn::zoo::Workload;
+//!
+//! let mut sim = Simulation::builder(Workload::TinyTest)
+//!     .devices(12)
+//!     .params(GlobalParams::new(8, 1, 4))
+//!     .samples_per_device(24)
+//!     .test_samples(48)
+//!     .max_rounds(60)
+//!     .seed(1)
+//!     .build()
+//!     .expect("valid configuration");
+//! let result = sim.run(&mut RandomSelector::new());
+//! assert!(result.final_accuracy() > 0.0);
+//! ```
+//!
+//! Every knob starts from the paper-shaped defaults of
+//! [`SimConfig::paper_default`], so a builder chain only names what an
+//! experiment changes. [`SimBuilder::build`] rejects inconsistent
+//! configurations with a typed [`ConfigError`] instead of panicking deep
+//! inside the engine; the same checks run on configurations deserialized
+//! from spec files via [`SimConfig::validate`].
+
+use crate::algorithms::AggregationAlgorithm;
+use crate::engine::{Fidelity, SimConfig, Simulation};
+use crate::global::GlobalParams;
+use autofl_data::partition::DataDistribution;
+use autofl_device::scenario::VarianceScenario;
+use autofl_nn::zoo::Workload;
+
+/// Why a configuration cannot be simulated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The fleet is empty.
+    NoDevices,
+    /// More participants per round than devices in the fleet.
+    ParticipantsExceedFleet {
+        /// Participants per round `K`.
+        participants: usize,
+        /// Fleet size `N`.
+        devices: usize,
+    },
+    /// A global parameter (`B`, `E` or `K`) is zero.
+    ZeroGlobalParam,
+    /// Devices hold no training samples.
+    NoSamples,
+    /// No held-out test samples.
+    NoTestSamples,
+    /// The horizon is zero rounds.
+    NoRounds,
+    /// The straggler deadline factor is below 1 or not finite.
+    BadDeadlineFactor(f64),
+    /// The convergence target is non-positive or not finite.
+    BadTargetAccuracy(f64),
+    /// Real-training fidelity with a non-positive learning rate.
+    BadLearningRate(f32),
+    /// Real-training fidelity with zero evaluation samples.
+    NoEvalSamples,
+    /// A non-IID fraction outside `[0, 1]` or a non-positive Dirichlet
+    /// concentration.
+    BadDistribution {
+        /// Fraction of non-IID devices.
+        fraction_non_iid: f64,
+        /// Dirichlet concentration α.
+        alpha: f64,
+    },
+    /// A variance probability outside `[0, 1]`.
+    BadVarianceProbability(f64),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoDevices => write!(f, "the fleet must contain at least one device"),
+            ConfigError::ParticipantsExceedFleet {
+                participants,
+                devices,
+            } => write!(
+                f,
+                "K = {participants} participants per round exceeds the fleet of {devices} devices"
+            ),
+            ConfigError::ZeroGlobalParam => {
+                write!(f, "global parameters (B, E, K) must all be positive")
+            }
+            ConfigError::NoSamples => write!(f, "samples_per_device must be positive"),
+            ConfigError::NoTestSamples => write!(f, "test_samples must be positive"),
+            ConfigError::NoRounds => write!(f, "max_rounds must be positive"),
+            ConfigError::BadDeadlineFactor(v) => write!(
+                f,
+                "straggler_deadline_factor must be finite and >= 1, got {v}"
+            ),
+            ConfigError::BadTargetAccuracy(v) => {
+                write!(f, "target_accuracy must be finite and positive, got {v}")
+            }
+            ConfigError::BadLearningRate(v) => {
+                write!(f, "real-training learning rate must be positive, got {v}")
+            }
+            ConfigError::NoEvalSamples => {
+                write!(f, "real-training eval_samples must be positive")
+            }
+            ConfigError::BadDistribution {
+                fraction_non_iid,
+                alpha,
+            } => write!(
+                f,
+                "non-IID distribution needs fraction in [0, 1] and alpha > 0, \
+                 got fraction {fraction_non_iid}, alpha {alpha}"
+            ),
+            ConfigError::BadVarianceProbability(v) => {
+                write!(f, "variance probabilities must lie in [0, 1], got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl SimConfig {
+    /// Checks the configuration for the inconsistencies [`ConfigError`]
+    /// enumerates. Runs automatically in [`SimBuilder::build`] and on
+    /// every spec-file load.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_devices == 0 {
+            return Err(ConfigError::NoDevices);
+        }
+        if self.params.batch_size == 0
+            || self.params.local_epochs == 0
+            || self.params.num_participants == 0
+        {
+            return Err(ConfigError::ZeroGlobalParam);
+        }
+        if self.params.num_participants > self.num_devices {
+            return Err(ConfigError::ParticipantsExceedFleet {
+                participants: self.params.num_participants,
+                devices: self.num_devices,
+            });
+        }
+        if self.samples_per_device == 0 {
+            return Err(ConfigError::NoSamples);
+        }
+        if self.test_samples == 0 {
+            return Err(ConfigError::NoTestSamples);
+        }
+        if self.max_rounds == 0 {
+            return Err(ConfigError::NoRounds);
+        }
+        if !self.straggler_deadline_factor.is_finite() || self.straggler_deadline_factor < 1.0 {
+            return Err(ConfigError::BadDeadlineFactor(
+                self.straggler_deadline_factor,
+            ));
+        }
+        if let Some(target) = self.target_accuracy {
+            // Targets above 1 are allowed on purpose: they mean "never
+            // converge", which the figure sweeps use to record the full
+            // horizon.
+            if !target.is_finite() || target <= 0.0 {
+                return Err(ConfigError::BadTargetAccuracy(target));
+            }
+        }
+        if let Fidelity::RealTraining { lr, eval_samples } = self.fidelity {
+            if !lr.is_finite() || lr <= 0.0 {
+                return Err(ConfigError::BadLearningRate(lr));
+            }
+            if eval_samples == 0 {
+                return Err(ConfigError::NoEvalSamples);
+            }
+        }
+        if let DataDistribution::NonIid {
+            fraction_non_iid,
+            alpha,
+        } = self.distribution
+        {
+            if !(0.0..=1.0).contains(&fraction_non_iid) || !alpha.is_finite() || alpha <= 0.0 {
+                return Err(ConfigError::BadDistribution {
+                    fraction_non_iid,
+                    alpha,
+                });
+            }
+        }
+        for p in [
+            self.scenario.interference_prob,
+            self.scenario.weak_network_prob,
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(ConfigError::BadVarianceProbability(p));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent, validating constructor for [`Simulation`]s — see the
+/// [module-level example](self).
+#[derive(Debug, Clone)]
+pub struct SimBuilder {
+    config: SimConfig,
+}
+
+impl SimBuilder {
+    /// Starts from the paper-shaped defaults for `workload`
+    /// ([`SimConfig::paper_default`]).
+    pub fn new(workload: Workload) -> Self {
+        SimBuilder {
+            config: SimConfig::paper_default(workload),
+        }
+    }
+
+    /// Fleet size `N` (the paper's 15/35/50% tier mix is kept at any
+    /// scale).
+    #[must_use]
+    pub fn devices(mut self, n: usize) -> Self {
+        self.config.num_devices = n;
+        self
+    }
+
+    /// The `(B, E, K)` global parameters.
+    #[must_use]
+    pub fn params(mut self, params: GlobalParams) -> Self {
+        self.config.params = params;
+        self
+    }
+
+    /// Data heterogeneity scenario.
+    #[must_use]
+    pub fn distribution(mut self, distribution: DataDistribution) -> Self {
+        self.config.distribution = distribution;
+        self
+    }
+
+    /// Runtime-variance scenario.
+    #[must_use]
+    pub fn scenario(mut self, scenario: VarianceScenario) -> Self {
+        self.config.scenario = scenario;
+        self
+    }
+
+    /// Aggregation algorithm.
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: AggregationAlgorithm) -> Self {
+        self.config.algorithm = algorithm;
+        self
+    }
+
+    /// Accuracy engine (surrogate or real training).
+    #[must_use]
+    pub fn fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.config.fidelity = fidelity;
+        self
+    }
+
+    /// Mean local training samples per device.
+    #[must_use]
+    pub fn samples_per_device(mut self, n: usize) -> Self {
+        self.config.samples_per_device = n;
+        self
+    }
+
+    /// Held-out test samples.
+    #[must_use]
+    pub fn test_samples(mut self, n: usize) -> Self {
+        self.config.test_samples = n;
+        self
+    }
+
+    /// Round deadline as a multiple of the cohort's median completion
+    /// time.
+    #[must_use]
+    pub fn straggler_deadline_factor(mut self, factor: f64) -> Self {
+        self.config.straggler_deadline_factor = factor;
+        self
+    }
+
+    /// Convergence target; values above 1 never trigger, recording the
+    /// full horizon.
+    #[must_use]
+    pub fn target_accuracy(mut self, target: f64) -> Self {
+        self.config.target_accuracy = Some(target);
+        self
+    }
+
+    /// Restores the workload profile's default convergence target.
+    #[must_use]
+    pub fn default_target(mut self) -> Self {
+        self.config.target_accuracy = None;
+        self
+    }
+
+    /// Maximum rounds to simulate.
+    #[must_use]
+    pub fn max_rounds(mut self, rounds: usize) -> Self {
+        self.config.max_rounds = rounds;
+        self
+    }
+
+    /// Master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration without building the
+    /// simulation (useful for sweeps that clone one base config).
+    pub fn build_config(self) -> Result<SimConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+
+    /// Validates the configuration and builds the simulation.
+    pub fn build(self) -> Result<Simulation, ConfigError> {
+        self.build_config().map(Simulation::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_paper_default() {
+        let built = SimBuilder::new(Workload::CnnMnist)
+            .build_config()
+            .expect("defaults are valid");
+        assert_eq!(built, SimConfig::paper_default(Workload::CnnMnist));
+    }
+
+    #[test]
+    fn builder_reproduces_hand_built_configs_exactly() {
+        let mut by_hand = SimConfig::paper_default(Workload::CnnMnist);
+        by_hand.scenario = VarianceScenario::with_interference();
+        by_hand.max_rounds = 400;
+        by_hand.seed = 9;
+        let built = Simulation::builder(Workload::CnnMnist)
+            .scenario(VarianceScenario::with_interference())
+            .max_rounds(400)
+            .seed(9)
+            .build_config()
+            .expect("valid");
+        assert_eq!(built, by_hand);
+    }
+
+    #[test]
+    fn zero_devices_is_rejected() {
+        let err = Simulation::builder(Workload::TinyTest)
+            .devices(0)
+            .build_config()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::NoDevices);
+    }
+
+    #[test]
+    fn oversubscribed_k_is_rejected() {
+        let err = Simulation::builder(Workload::TinyTest)
+            .devices(10)
+            .params(GlobalParams::new(8, 1, 20))
+            .build_config()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::ParticipantsExceedFleet { .. }));
+    }
+
+    #[test]
+    fn bad_deadline_and_target_are_rejected() {
+        assert!(matches!(
+            Simulation::builder(Workload::TinyTest)
+                .straggler_deadline_factor(0.5)
+                .build_config(),
+            Err(ConfigError::BadDeadlineFactor(_))
+        ));
+        assert!(matches!(
+            Simulation::builder(Workload::TinyTest)
+                .target_accuracy(-0.1)
+                .build_config(),
+            Err(ConfigError::BadTargetAccuracy(_))
+        ));
+        // Above-1 targets are the "record the full horizon" idiom.
+        assert!(Simulation::builder(Workload::TinyTest)
+            .target_accuracy(1.1)
+            .build_config()
+            .is_ok());
+    }
+
+    #[test]
+    fn real_training_knobs_are_checked() {
+        assert!(matches!(
+            Simulation::builder(Workload::TinyTest)
+                .fidelity(Fidelity::RealTraining {
+                    lr: 0.0,
+                    eval_samples: 16,
+                })
+                .build_config(),
+            Err(ConfigError::BadLearningRate(_))
+        ));
+        assert!(matches!(
+            Simulation::builder(Workload::TinyTest)
+                .fidelity(Fidelity::RealTraining {
+                    lr: 0.1,
+                    eval_samples: 0,
+                })
+                .build_config(),
+            Err(ConfigError::NoEvalSamples)
+        ));
+    }
+
+    #[test]
+    fn malformed_deserialized_configs_are_caught() {
+        // Bypasses GlobalParams::new, as a hand-edited spec file would.
+        let mut cfg = SimConfig::tiny_test(1);
+        cfg.params.num_participants = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroGlobalParam));
+
+        let mut cfg = SimConfig::tiny_test(1);
+        cfg.distribution = DataDistribution::NonIid {
+            fraction_non_iid: 1.5,
+            alpha: 0.1,
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadDistribution { .. })
+        ));
+    }
+}

@@ -20,9 +20,10 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// Which accuracy engine drives convergence.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum Fidelity {
     /// Calibrated learning-curve surrogate (fast; used by figure sweeps).
+    #[default]
     Surrogate,
     /// Real training of the scaled-down model (ground truth; slower).
     RealTraining {
@@ -34,7 +35,13 @@ pub enum Fidelity {
 }
 
 /// Full configuration of one simulated FL deployment.
-#[derive(Debug, Clone)]
+///
+/// Prefer building configurations through [`Simulation::builder`] (or the
+/// `tiny_test`/`smoke`/`paper_default` profiles): the builder validates
+/// before the engine runs, and spec files deserialize straight into this
+/// type. Struct-literal construction is considered an internal detail of
+/// this crate and may lose field-by-field stability in a future release.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// The FL use case.
     pub workload: Workload,
@@ -302,6 +309,13 @@ impl std::fmt::Debug for Simulation {
 }
 
 impl Simulation {
+    /// Starts a validating [`crate::builder::SimBuilder`] from the
+    /// paper-shaped defaults for `workload` — the supported way to
+    /// configure an experiment.
+    pub fn builder(workload: Workload) -> crate::builder::SimBuilder {
+        crate::builder::SimBuilder::new(workload)
+    }
+
     /// Builds a simulation from a configuration (deterministic in
     /// `config.seed`).
     pub fn new(config: SimConfig) -> Self {
@@ -578,21 +592,60 @@ impl Simulation {
     /// Runs until the target accuracy is reached (plus nothing) or
     /// `max_rounds`, whichever comes first, and returns the result.
     pub fn run(&mut self, selector: &mut dyn Selector) -> SimResult {
+        self.run_with(selector, &mut [])
+    }
+
+    /// Like [`Simulation::run`], with [`crate::observe::RoundObserver`]s
+    /// seeing every round as it completes (and the final result, if the
+    /// run converges). Observers cannot perturb the simulation: they only
+    /// borrow the records the run produces anyway.
+    pub fn run_with(
+        &mut self,
+        selector: &mut dyn Selector,
+        observers: &mut [&mut dyn crate::observe::RoundObserver],
+    ) -> SimResult {
+        let label = selector.name().to_string();
+        self.run_labeled(selector, label, observers)
+    }
+
+    /// Like [`Simulation::run_with`], labelling the result `policy`
+    /// instead of the selector's own name — so observers (and the
+    /// returned result) agree on the reporting name when a
+    /// [`crate::policy::Policy`] labels itself differently from the
+    /// selector it mints (e.g. [`crate::policy::TunedPolicy`]).
+    pub fn run_labeled(
+        &mut self,
+        selector: &mut dyn Selector,
+        policy: String,
+        observers: &mut [&mut dyn crate::observe::RoundObserver],
+    ) -> SimResult {
         let target = self.config.target();
         let mut records = Vec::new();
         for round in 0..self.config.max_rounds {
+            for obs in observers.iter_mut() {
+                obs.on_round_start(round);
+            }
             let record = self.run_round(selector, round);
+            for obs in observers.iter_mut() {
+                obs.on_round_end(&record);
+            }
             let reached = record.accuracy >= target;
             records.push(record);
             if reached {
                 break;
             }
         }
-        SimResult {
-            policy: selector.name().to_string(),
+        let result = SimResult {
+            policy,
             target_accuracy: target,
             records,
+        };
+        if result.converged() {
+            for obs in observers.iter_mut() {
+                obs.on_converged(&result);
+            }
         }
+        result
     }
 }
 

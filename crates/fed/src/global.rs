@@ -15,6 +15,13 @@ pub struct GlobalParams {
     pub num_participants: usize,
 }
 
+impl Default for GlobalParams {
+    /// The paper's most-used setting, S3 (`B=16, E=5, K=20`).
+    fn default() -> Self {
+        GlobalParams::s3()
+    }
+}
+
 impl GlobalParams {
     /// Creates a parameter set.
     ///

@@ -14,14 +14,35 @@
 //!   accounting, producing [`engine::SimResult`]s whose `ppw_*` ratios are
 //!   the paper's reported numbers.
 //!
+//! The experiment-facing API layers on top:
+//!
+//! * [`builder`] — fluent, validating [`builder::SimBuilder`]
+//!   construction (`Simulation::builder(workload)…build()`).
+//! * [`policy`] — the open [`policy::Policy`] trait and the name-addressed
+//!   [`policy::PolicyRegistry`] of baselines.
+//! * [`observe`] — [`observe::RoundObserver`] hooks with CSV/JSONL sinks
+//!   and live progress.
+//! * [`spec`] — declarative, serde-backed [`spec::ExperimentSpec`] files.
+//!
 //! # Examples
 //!
 //! ```
-//! use autofl_fed::engine::{SimConfig, Simulation};
-//! use autofl_fed::selection::RandomSelector;
+//! use autofl_fed::engine::Simulation;
+//! use autofl_fed::global::GlobalParams;
+//! use autofl_fed::policy::{baseline_registry, run_policy};
+//! use autofl_nn::zoo::Workload;
 //!
-//! let mut sim = Simulation::new(SimConfig::tiny_test(1));
-//! let result = sim.run(&mut RandomSelector::new());
+//! let config = Simulation::builder(Workload::TinyTest)
+//!     .devices(12)
+//!     .params(GlobalParams::new(8, 1, 4))
+//!     .samples_per_device(24)
+//!     .test_samples(48)
+//!     .max_rounds(60)
+//!     .seed(1)
+//!     .build_config()
+//!     .expect("valid configuration");
+//! let registry = baseline_registry();
+//! let result = run_policy(&config, registry.expect("FedAvg-Random"));
 //! assert!(result.final_accuracy() > 0.0);
 //! ```
 
@@ -30,18 +51,29 @@
 
 pub mod accuracy;
 pub mod algorithms;
+pub mod builder;
 pub mod clusters;
 pub mod engine;
 pub mod estimate;
 pub mod global;
+pub mod observe;
 pub mod oracle;
+pub mod policy;
 pub mod selection;
+pub mod spec;
 
 pub use algorithms::AggregationAlgorithm;
+pub use builder::{ConfigError, SimBuilder};
 pub use clusters::CharacterizationCluster;
 pub use engine::{Fidelity, RoundRecord, SimConfig, SimResult, Simulation};
 pub use global::GlobalParams;
+pub use observe::{CsvSink, JsonlSink, Progress, RoundObserver};
 pub use oracle::OracleSelector;
+pub use policy::{
+    baseline_registry, run_policy, run_policy_observed, ClusterPolicy, OraclePolicy, Policy,
+    PolicyRegistry, RandomPolicy, TunedPolicy,
+};
 pub use selection::{
     ClusterSelector, RandomSelector, RoundContext, RoundFeedback, SelectionDecision, Selector,
 };
+pub use spec::{ExperimentSpec, SpecError, SpecRun};

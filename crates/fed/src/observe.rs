@@ -1,0 +1,260 @@
+//! Per-round introspection: the [`RoundObserver`] trait and built-in
+//! sinks.
+//!
+//! Observers hook into [`crate::engine::Simulation::run_with`] and see
+//! every [`RoundRecord`] as it is produced, so live progress reporting and
+//! machine-readable traces no longer require re-mining the returned
+//! [`SimResult`] or sprinkling `println!` through runner binaries.
+//!
+//! ```
+//! use autofl_fed::engine::Simulation;
+//! use autofl_fed::global::GlobalParams;
+//! use autofl_fed::observe::{JsonlSink, RoundObserver};
+//! use autofl_fed::selection::RandomSelector;
+//! use autofl_nn::zoo::Workload;
+//!
+//! let mut sink = JsonlSink::new(Vec::new());
+//! let mut sim = Simulation::builder(Workload::TinyTest)
+//!     .devices(12).params(GlobalParams::new(8, 1, 4))
+//!     .samples_per_device(24).test_samples(48)
+//!     .max_rounds(5).target_accuracy(1.1).seed(1)
+//!     .build().unwrap();
+//! let result = sim.run_with(&mut RandomSelector::new(), &mut [&mut sink]);
+//! let lines = String::from_utf8(sink.into_inner()).unwrap();
+//! assert_eq!(lines.lines().count(), result.records.len());
+//! ```
+
+use crate::engine::{RoundRecord, SimResult};
+use std::io::Write;
+
+/// Observes the lifecycle of a simulation run.
+///
+/// All methods default to no-ops so observers implement only what they
+/// need.
+pub trait RoundObserver {
+    /// Called before the round's conditions are sampled.
+    fn on_round_start(&mut self, round: usize) {
+        let _ = round;
+    }
+
+    /// Called with the completed round's record.
+    fn on_round_end(&mut self, record: &RoundRecord) {
+        let _ = record;
+    }
+
+    /// Called once if (and when) the run reaches its convergence target.
+    fn on_converged(&mut self, result: &SimResult) {
+        let _ = result;
+    }
+}
+
+/// Streams one CSV row per round to any writer.
+///
+/// Columns: `round,accuracy,round_time_s,active_energy_j,idle_energy_j,`
+/// `participants,dropped` — the id lists are space-separated so the file
+/// stays quote-free.
+pub struct CsvSink<W: Write> {
+    out: W,
+    wrote_header: bool,
+}
+
+impl<W: Write> std::fmt::Debug for CsvSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CsvSink")
+            .field("wrote_header", &self.wrote_header)
+            .finish()
+    }
+}
+
+impl<W: Write> CsvSink<W> {
+    /// A sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        CsvSink {
+            out,
+            wrote_header: false,
+        }
+    }
+
+    /// Consumes the sink and returns the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+fn join_ids(ids: &[autofl_device::fleet::DeviceId]) -> String {
+    ids.iter()
+        .map(|id| id.0.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+impl<W: Write> RoundObserver for CsvSink<W> {
+    fn on_round_end(&mut self, record: &RoundRecord) {
+        if !self.wrote_header {
+            writeln!(
+                self.out,
+                "round,accuracy,round_time_s,active_energy_j,idle_energy_j,participants,dropped"
+            )
+            .expect("CSV sink write");
+            self.wrote_header = true;
+        }
+        writeln!(
+            self.out,
+            "{},{},{},{},{},{},{}",
+            record.round,
+            record.accuracy,
+            record.round_time_s,
+            record.active_energy_j,
+            record.idle_energy_j,
+            join_ids(&record.participants),
+            join_ids(&record.dropped),
+        )
+        .expect("CSV sink write");
+    }
+}
+
+/// Streams one JSON object per round (JSON Lines) to any writer — the
+/// full [`RoundRecord`], including execution plans and update fractions.
+pub struct JsonlSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> std::fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish()
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out }
+    }
+
+    /// Consumes the sink and returns the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> RoundObserver for JsonlSink<W> {
+    fn on_round_end(&mut self, record: &RoundRecord) {
+        let line = serde_json::to_string(record).expect("round record serializes");
+        writeln!(self.out, "{line}").expect("JSONL sink write");
+    }
+}
+
+/// Live progress on stderr: one line every `every` rounds plus a
+/// convergence summary.
+#[derive(Debug, Clone)]
+pub struct Progress {
+    every: usize,
+    label: String,
+}
+
+impl Progress {
+    /// Reports every `every` rounds (clamped to at least 1) under `label`.
+    pub fn new(label: impl Into<String>, every: usize) -> Self {
+        Progress {
+            every: every.max(1),
+            label: label.into(),
+        }
+    }
+}
+
+impl RoundObserver for Progress {
+    fn on_round_end(&mut self, record: &RoundRecord) {
+        if record.round % self.every == 0 {
+            eprintln!(
+                "[{}] round {:>4}  acc {:>5.1}%  {:>6.1} s/round  {:>8.0} J",
+                self.label,
+                record.round,
+                record.accuracy * 100.0,
+                record.round_time_s,
+                record.total_energy_j(),
+            );
+        }
+    }
+
+    fn on_converged(&mut self, result: &SimResult) {
+        eprintln!(
+            "[{}] converged at round {} ({:.1}% >= {:.1}%)",
+            self.label,
+            result
+                .converged_round()
+                .expect("on_converged implies round"),
+            result.final_accuracy() * 100.0,
+            result.target_accuracy * 100.0,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SimConfig, Simulation};
+    use crate::selection::RandomSelector;
+
+    fn short_sim() -> Simulation {
+        let mut cfg = SimConfig::tiny_test(1);
+        cfg.max_rounds = 8;
+        cfg.target_accuracy = Some(1.1); // never converge: fixed row count
+        Simulation::new(cfg)
+    }
+
+    #[test]
+    fn csv_sink_writes_header_and_one_row_per_round() {
+        let mut sink = CsvSink::new(Vec::new());
+        let result = short_sim().run_with(&mut RandomSelector::new(), &mut [&mut sink]);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), result.records.len() + 1);
+        assert!(lines[0].starts_with("round,accuracy"));
+        assert!(lines[1].starts_with("0,"));
+    }
+
+    #[test]
+    fn jsonl_sink_rows_parse_back_to_records() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let result = short_sim().run_with(&mut RandomSelector::new(), &mut [&mut sink]);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        for (line, record) in text.lines().zip(&result.records) {
+            let parsed: RoundRecord = serde_json::from_str(line).expect("JSONL line parses");
+            assert_eq!(parsed.round, record.round);
+            assert_eq!(parsed.participants, record.participants);
+            assert_eq!(parsed.accuracy.to_bits(), record.accuracy.to_bits());
+            assert_eq!(parsed.plans, record.plans);
+        }
+    }
+
+    #[test]
+    fn observers_do_not_perturb_the_run() {
+        let plain = short_sim().run(&mut RandomSelector::new());
+        let mut sink = CsvSink::new(Vec::new());
+        let observed = short_sim().run_with(&mut RandomSelector::new(), &mut [&mut sink]);
+        assert_eq!(plain.records.len(), observed.records.len());
+        for (a, b) in plain.records.iter().zip(&observed.records) {
+            assert_eq!(a.participants, b.participants);
+            assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+        }
+    }
+
+    #[test]
+    fn on_converged_fires_only_on_reached_targets() {
+        struct Count(usize);
+        impl RoundObserver for Count {
+            fn on_converged(&mut self, _: &SimResult) {
+                self.0 += 1;
+            }
+        }
+        let mut count = Count(0);
+        let mut sim = Simulation::new(SimConfig::tiny_test(1));
+        let result = sim.run_with(&mut RandomSelector::new(), &mut [&mut count]);
+        assert!(result.converged());
+        assert_eq!(count.0, 1);
+
+        let mut count = Count(0);
+        let _ = short_sim().run_with(&mut RandomSelector::new(), &mut [&mut count]);
+        assert_eq!(count.0, 0, "unreachable target must not fire on_converged");
+    }
+}

@@ -67,7 +67,28 @@ impl SelectionDecision {
     /// Builds a decision that trains every participant on its CPU at
     /// maximum frequency — the conventional default all non-O_FL baselines
     /// use.
+    ///
+    /// Debug builds assert that every participant is a member of `fleet`
+    /// and appears at most once: a duplicated id would silently double
+    /// that device's active energy and update weight in the round
+    /// accounting.
     pub fn cpu_max(fleet: &Fleet, participants: Vec<DeviceId>) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            let mut seen = vec![false; fleet.len()];
+            for id in &participants {
+                debug_assert!(
+                    id.0 < fleet.len(),
+                    "participant {id:?} is not a member of the {}-device fleet",
+                    fleet.len()
+                );
+                debug_assert!(
+                    !seen[id.0],
+                    "participant {id:?} selected twice; duplicates skew energy accounting"
+                );
+                seen[id.0] = true;
+            }
+        }
         let plans = participants
             .iter()
             .map(|id| ExecutionPlan::cpu_max(fleet.device(*id).tier()))

@@ -1,0 +1,295 @@
+//! Declarative experiment specifications.
+//!
+//! An [`ExperimentSpec`] is a JSON-serializable description of a complete
+//! experiment: one [`SimConfig`], the list of policy names to run on it,
+//! and a repeat count (repeat `i` runs at `config.seed + i`). Checked-in
+//! spec files make every figure reproducible from data rather than code —
+//! the `spec_run` binary in `autofl-bench` executes one and prints the
+//! same normalised rows the figure binaries report.
+//!
+//! ```
+//! use autofl_fed::engine::SimConfig;
+//! use autofl_fed::policy::baseline_registry;
+//! use autofl_fed::spec::ExperimentSpec;
+//!
+//! let spec = ExperimentSpec::new(
+//!     "doc-smoke",
+//!     SimConfig::tiny_test(1),
+//!     ["FedAvg-Random", "Performance"],
+//!     1,
+//! );
+//! let json = spec.to_json();
+//! let parsed = ExperimentSpec::from_json(&json).unwrap();
+//! assert_eq!(parsed, spec);
+//! let runs = parsed.run(&baseline_registry()).unwrap();
+//! assert_eq!(runs.len(), 2);
+//! ```
+
+use crate::builder::ConfigError;
+use crate::engine::{SimConfig, SimResult};
+use crate::policy::{run_policy, Policy, PolicyRegistry};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A declarative experiment: config × policies × repeats.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Human-readable experiment name (used in report headers).
+    pub name: String,
+    /// The simulation configuration every policy runs on.
+    pub config: SimConfig,
+    /// Registry names of the policies to compare, in reporting order.
+    pub policies: Vec<String>,
+    /// Number of repeats; repeat `i` uses master seed `config.seed + i`.
+    pub repeats: usize,
+}
+
+/// Why a spec could not be loaded or executed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The JSON text did not parse into a spec.
+    Json(serde::Error),
+    /// The embedded configuration is inconsistent.
+    Config(ConfigError),
+    /// A policy name is not in the registry.
+    UnknownPolicy {
+        /// The name the spec asked for.
+        requested: String,
+        /// The names the registry knows.
+        known: Vec<String>,
+    },
+    /// The spec lists no policies.
+    NoPolicies,
+    /// The spec asks for zero repeats.
+    NoRepeats,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Json(e) => write!(f, "spec JSON: {e}"),
+            SpecError::Config(e) => write!(f, "spec config: {e}"),
+            SpecError::UnknownPolicy { requested, known } => write!(
+                f,
+                "unknown policy `{requested}`; registered: {}",
+                known.join(", ")
+            ),
+            SpecError::NoPolicies => write!(f, "spec lists no policies"),
+            SpecError::NoRepeats => write!(f, "spec asks for zero repeats"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<ConfigError> for SpecError {
+    fn from(e: ConfigError) -> Self {
+        SpecError::Config(e)
+    }
+}
+
+/// One completed run of a spec: which policy, which seed, what happened.
+#[derive(Debug, Clone)]
+pub struct SpecRun {
+    /// The policy's registry name.
+    pub policy: String,
+    /// The master seed of this repeat.
+    pub seed: u64,
+    /// 0-based repeat index.
+    pub repeat: usize,
+    /// The simulation outcome.
+    pub result: SimResult,
+}
+
+impl ExperimentSpec {
+    /// Builds a spec from its parts.
+    pub fn new<S: Into<String>>(
+        name: impl Into<String>,
+        config: SimConfig,
+        policies: impl IntoIterator<Item = S>,
+        repeats: usize,
+    ) -> Self {
+        ExperimentSpec {
+            name: name.into(),
+            config,
+            policies: policies.into_iter().map(Into::into).collect(),
+            repeats,
+        }
+    }
+
+    /// Pretty-printed JSON for checking into a repository.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serializes")
+    }
+
+    /// Parses and validates a spec from JSON text (policy names are
+    /// checked later, against a concrete registry).
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let spec: ExperimentSpec = serde_json::from_str(text).map_err(SpecError::Json)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Registry-independent validation: config consistency, non-empty
+    /// policy list, at least one repeat.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        self.config.validate()?;
+        if self.policies.is_empty() {
+            return Err(SpecError::NoPolicies);
+        }
+        if self.repeats == 0 {
+            return Err(SpecError::NoRepeats);
+        }
+        Ok(())
+    }
+
+    /// Resolves every policy name against `registry`, in spec order.
+    pub fn resolve<'r>(
+        &self,
+        registry: &'r PolicyRegistry,
+    ) -> Result<Vec<&'r dyn Policy>, SpecError> {
+        self.policies
+            .iter()
+            .map(|name| {
+                registry.get(name).ok_or_else(|| SpecError::UnknownPolicy {
+                    requested: name.clone(),
+                    known: registry.names().iter().map(|s| s.to_string()).collect(),
+                })
+            })
+            .collect()
+    }
+
+    /// Executes the spec: every policy × every repeat, fanned out across
+    /// the worker pool, returned grouped by repeat and then by policy in
+    /// spec order (the grouping `comparison`-style normalisation wants).
+    pub fn run(&self, registry: &PolicyRegistry) -> Result<Vec<SpecRun>, SpecError> {
+        self.validate()?;
+        let policies = self.resolve(registry)?;
+        let mut runs: Vec<(usize, &dyn Policy)> = Vec::new();
+        for repeat in 0..self.repeats {
+            for policy in &policies {
+                runs.push((repeat, *policy));
+            }
+        }
+        Ok(runs
+            .par_iter()
+            .map(|(repeat, policy)| {
+                let mut config = self.config.clone();
+                config.seed = self.config.seed.wrapping_add(*repeat as u64);
+                let result = run_policy(&config, *policy);
+                SpecRun {
+                    policy: policy.name().to_string(),
+                    seed: config.seed,
+                    repeat: *repeat,
+                    result,
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Fidelity;
+    use crate::policy::baseline_registry;
+    use autofl_data::partition::DataDistribution;
+
+    fn spec_fixture() -> ExperimentSpec {
+        let mut config = SimConfig::tiny_test(9);
+        config.distribution = DataDistribution::non_iid_percent(50);
+        config.fidelity = Fidelity::RealTraining {
+            lr: 0.08,
+            eval_samples: 32,
+        };
+        config.target_accuracy = Some(0.9);
+        ExperimentSpec::new("fixture", config, ["FedAvg-Random", "C3", "O_FL"], 2)
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let spec = spec_fixture();
+        let json = spec.to_json();
+        let parsed = ExperimentSpec::from_json(&json).expect("parses");
+        assert_eq!(parsed, spec);
+        // Serialize → parse → serialize is a fixed point, so checked-in
+        // files stay byte-stable under re-export.
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn unknown_policy_is_reported_with_known_names() {
+        let mut spec = spec_fixture();
+        spec.policies.push("NoSuchPolicy".into());
+        let err = spec.run(&baseline_registry()).unwrap_err();
+        match err {
+            SpecError::UnknownPolicy { requested, known } => {
+                assert_eq!(requested, "NoSuchPolicy");
+                assert!(known.iter().any(|n| n == "O_FL"));
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_config_and_empty_fields_are_rejected() {
+        let mut spec = spec_fixture();
+        spec.config.num_devices = 0;
+        assert!(matches!(
+            spec.validate(),
+            Err(SpecError::Config(ConfigError::NoDevices))
+        ));
+
+        let mut spec = spec_fixture();
+        spec.policies.clear();
+        assert_eq!(spec.validate(), Err(SpecError::NoPolicies));
+
+        let mut spec = spec_fixture();
+        spec.repeats = 0;
+        assert_eq!(spec.validate(), Err(SpecError::NoRepeats));
+    }
+
+    #[test]
+    fn run_produces_policy_major_rows_per_repeat() {
+        let mut spec = spec_fixture();
+        spec.config = SimConfig::tiny_test(4);
+        spec.config.max_rounds = 3;
+        spec.config.target_accuracy = Some(1.1);
+        spec.policies = vec!["FedAvg-Random".into(), "Performance".into()];
+        spec.repeats = 2;
+        let runs = spec.run(&baseline_registry()).expect("runs");
+        assert_eq!(runs.len(), 4);
+        assert_eq!(
+            runs.iter().map(|r| r.policy.as_str()).collect::<Vec<_>>(),
+            [
+                "FedAvg-Random",
+                "Performance",
+                "FedAvg-Random",
+                "Performance"
+            ]
+        );
+        assert_eq!(runs[0].seed, 4);
+        assert_eq!(runs[2].seed, 5);
+        assert_eq!(runs[2].repeat, 1);
+    }
+
+    #[test]
+    fn repeats_change_the_trajectory_deterministically() {
+        let mut spec = spec_fixture();
+        spec.config = SimConfig::tiny_test(7);
+        spec.policies = vec!["FedAvg-Random".into()];
+        spec.repeats = 2;
+        let a = spec.run(&baseline_registry()).unwrap();
+        let b = spec.run(&baseline_registry()).unwrap();
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.result.records.len(), rb.result.records.len());
+            for (x, y) in ra.result.records.iter().zip(&rb.result.records) {
+                assert_eq!(x.participants, y.participants);
+            }
+        }
+        assert_ne!(
+            a[0].result.records[0].participants, a[1].result.records[0].participants,
+            "different repeat seeds should select differently"
+        );
+    }
+}

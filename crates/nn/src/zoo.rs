@@ -24,7 +24,7 @@ pub const SHAKESPEARE_SEQ_LEN: usize = 20;
 
 /// One of the paper's three FL use cases (Section 5.2), or a tiny test
 /// model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Workload {
     /// CNN trained on MNIST-like 10-class images.
     CnnMnist,

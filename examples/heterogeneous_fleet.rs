@@ -1,15 +1,16 @@
 //! Sweep the paper's four global-parameter settings S1–S4 (Table 5) and
 //! show how the best fixed device cluster shifts — the Section 3.1
-//! characterization — then let AutoFL adapt on its own.
+//! characterization — then let AutoFL adapt on its own. Configurations
+//! come from `Simulation::builder`; every contender is resolved from the
+//! policy registry by name (the clusters C1–C7 are registered policies).
 //!
 //! ```sh
 //! cargo run --release --example heterogeneous_fleet
 //! ```
 
-use autofl_core::AutoFl;
+use autofl::fed::engine::Simulation;
+use autofl::{run_policy, standard_registry};
 use autofl_fed::clusters::CharacterizationCluster;
-use autofl_fed::engine::{SimConfig, Simulation};
-use autofl_fed::selection::{ClusterSelector, RandomSelector};
 use autofl_fed::GlobalParams;
 use autofl_nn::zoo::Workload;
 
@@ -19,25 +20,28 @@ fn main() {
         "{:<8} {:>10} {:>12} {:>12}",
         "setting", "best", "best PPWx", "AutoFL PPWx"
     );
+    let registry = standard_registry();
     for (label, params) in GlobalParams::paper_settings() {
-        let mut config = SimConfig::paper_default(Workload::CnnMnist);
-        config.params = params;
-        config.max_rounds = 300;
+        let config = Simulation::builder(Workload::CnnMnist)
+            .params(params)
+            .max_rounds(300)
+            .build_config()
+            .expect("valid sweep configuration");
 
-        let baseline = Simulation::new(config.clone()).run(&mut RandomSelector::new());
+        let baseline = run_policy(&config, registry.expect("FedAvg-Random"));
         let base_ppw = baseline.ppw_global();
 
         // Characterize every fixed Table 4 composition.
         let mut best = ("C0", 1.0);
         for cluster in CharacterizationCluster::fixed() {
-            let result = Simulation::new(config.clone()).run(&mut ClusterSelector::new(cluster));
+            let result = run_policy(&config, registry.expect(cluster.name()));
             let gain = result.ppw_global() / base_ppw;
             if gain > best.1 {
                 best = (cluster.name(), gain);
             }
         }
 
-        let learned = Simulation::new(config).run(&mut AutoFl::paper_default());
+        let learned = run_policy(&config, registry.expect("AutoFL"));
         println!(
             "{:<8} {:>10} {:>11.2}x {:>11.2}x",
             label,

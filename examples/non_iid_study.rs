@@ -6,11 +6,9 @@
 //! cargo run --release --example non_iid_study
 //! ```
 
-use autofl_core::AutoFl;
+use autofl::fed::engine::Simulation;
+use autofl::{run_policy, standard_registry};
 use autofl_data::partition::DataDistribution;
-use autofl_fed::engine::{SimConfig, Simulation};
-use autofl_fed::oracle::OracleSelector;
-use autofl_fed::selection::RandomSelector;
 use autofl_nn::zoo::Workload;
 
 fn main() {
@@ -25,10 +23,13 @@ fn main() {
         "{:<16} {:<22} {:<22} {:<22}",
         "distribution", "FedAvg-Random", "AutoFL", "O_FL"
     );
+    let registry = standard_registry();
     for distribution in scenarios {
-        let mut config = SimConfig::paper_default(Workload::CnnMnist);
-        config.distribution = distribution;
-        config.max_rounds = 700;
+        let config = Simulation::builder(Workload::CnnMnist)
+            .distribution(distribution)
+            .max_rounds(700)
+            .build_config()
+            .expect("valid study configuration");
 
         let fmt = |r: &autofl_fed::engine::SimResult| -> String {
             match r.converged_round() {
@@ -40,9 +41,9 @@ fn main() {
                 None => format!("stalled @ {:.1}%", r.final_accuracy() * 100.0),
             }
         };
-        let random = Simulation::new(config.clone()).run(&mut RandomSelector::new());
-        let autofl = Simulation::new(config.clone()).run(&mut AutoFl::paper_default());
-        let oracle = Simulation::new(config).run(&mut OracleSelector::full());
+        let random = run_policy(&config, registry.expect("FedAvg-Random"));
+        let autofl = run_policy(&config, registry.expect("AutoFL"));
+        let oracle = run_policy(&config, registry.expect("O_FL"));
         println!(
             "{:<16} {:<22} {:<22} {:<22}",
             distribution.label(),

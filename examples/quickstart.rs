@@ -1,5 +1,7 @@
 //! Quickstart: run AutoFL against the FedAvg-Random baseline on a small
-//! CNN-MNIST deployment and print the headline numbers.
+//! CNN-MNIST deployment and print the headline numbers — using the
+//! experiment API: `Simulation::builder` for the configuration and the
+//! policy registry for the contenders.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -8,23 +10,22 @@
 //! Pass `--smoke` for the reduced CI profile (40 devices, 250 rounds),
 //! which finishes in well under a second.
 
-use autofl_core::AutoFl;
-use autofl_fed::engine::{SimConfig, Simulation};
-use autofl_fed::selection::RandomSelector;
+use autofl::fed::engine::{SimConfig, Simulation};
+use autofl::{run_policy, standard_registry};
 use autofl_nn::zoo::Workload;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     // A paper-shaped deployment: 200 devices (30 high / 70 mid / 100
     // low-end), S3 global parameters (B=16, E=5, K=20), surrogate accuracy.
-    let mut config = if smoke {
+    let config = if smoke {
         SimConfig::smoke(42)
     } else {
-        SimConfig::paper_default(Workload::CnnMnist)
+        Simulation::builder(Workload::CnnMnist)
+            .max_rounds(400)
+            .build_config()
+            .expect("paper defaults are valid")
     };
-    if !smoke {
-        config.max_rounds = 400;
-    }
 
     println!("== AutoFL quickstart: {} ==", config.workload.name());
     println!(
@@ -34,9 +35,9 @@ fn main() {
         rayon::current_num_threads()
     );
 
-    let mut autofl = AutoFl::paper_default();
-    let learned = Simulation::new(config.clone()).run(&mut autofl);
-    let baseline = Simulation::new(config).run(&mut RandomSelector::new());
+    let registry = standard_registry();
+    let learned = run_policy(&config, registry.expect("AutoFL"));
+    let baseline = run_policy(&config, registry.expect("FedAvg-Random"));
 
     for result in [&learned, &baseline] {
         println!(
@@ -55,9 +56,5 @@ fn main() {
         learned.ppw_global() / baseline.ppw_global(),
         learned.ppw_local() / baseline.ppw_local(),
     );
-    println!(
-        "AutoFL controller overhead: {:.1} µs/round, {} KiB of Q-tables",
-        autofl.overhead().total_per_round_us(),
-        autofl.memory_bytes() / 1024,
-    );
+    println!("All registered policies: {}", registry.names().join(", "));
 }

@@ -6,10 +6,9 @@
 //! cargo run --release --example runtime_variance
 //! ```
 
-use autofl_core::AutoFl;
+use autofl::fed::engine::Simulation;
+use autofl::{run_policy, standard_registry};
 use autofl_device::scenario::VarianceScenario;
-use autofl_fed::engine::{SimConfig, Simulation};
-use autofl_fed::selection::{ClusterSelector, RandomSelector, Selector};
 use autofl_nn::zoo::Workload;
 
 fn main() {
@@ -23,21 +22,18 @@ fn main() {
         "{:<14} {:>16} {:>13} {:>13} {:>10}",
         "regime", "policy", "round time", "PPW vs rand", "drops"
     );
+    let registry = standard_registry();
     for (label, scenario) in regimes {
-        let mut config = SimConfig::paper_default(Workload::CnnMnist);
-        config.scenario = scenario;
-        config.max_rounds = 300;
-        let baseline = Simulation::new(config.clone()).run(&mut RandomSelector::new());
+        let config = Simulation::builder(Workload::CnnMnist)
+            .scenario(scenario)
+            .max_rounds(300)
+            .build_config()
+            .expect("valid study configuration");
+        let baseline = run_policy(&config, registry.expect("FedAvg-Random"));
         let base_ppw = baseline.ppw_global();
 
-        let mut policies: Vec<(&str, Box<dyn Selector>)> = vec![
-            ("FedAvg-Random", Box::new(RandomSelector::new())),
-            ("Performance", Box::new(ClusterSelector::performance())),
-            ("Power", Box::new(ClusterSelector::power())),
-            ("AutoFL", Box::new(AutoFl::paper_default())),
-        ];
-        for (name, selector) in policies.iter_mut() {
-            let result = Simulation::new(config.clone()).run(selector.as_mut());
+        for name in ["FedAvg-Random", "Performance", "Power", "AutoFL"] {
+            let result = run_policy(&config, registry.expect(name));
             let drops: usize = result.records.iter().map(|r| r.dropped.len()).sum();
             println!(
                 "{:<14} {:>16} {:>10.1} s {:>12.2}x {:>10}",

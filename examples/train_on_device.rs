@@ -2,42 +2,28 @@
 //! deployment where every round actually trains the scaled-down CNN with
 //! the `autofl-nn` substrate and evaluates on a held-out test set.
 //!
+//! Demonstrates a custom [`RoundObserver`]: the per-round report is a
+//! observer hooked into `run_with`, not a hand-rolled loop around
+//! `run_round`.
+//!
 //! ```sh
 //! cargo run --release --example train_on_device
 //! ```
 
-use autofl_core::AutoFl;
+use autofl::fed::engine::{Fidelity, RoundRecord, SimResult, Simulation};
+use autofl::{standard_registry, RoundObserver};
 use autofl_data::partition::DataDistribution;
-use autofl_fed::engine::{Fidelity, SimConfig, Simulation};
 use autofl_fed::GlobalParams;
 use autofl_nn::zoo::Workload;
 
-fn main() {
-    let mut config = SimConfig::paper_default(Workload::CnnMnist);
-    // Shrink the deployment so real training stays interactive.
-    config.num_devices = 20;
-    config.samples_per_device = 60;
-    config.test_samples = 256;
-    config.params = GlobalParams::new(16, 1, 5);
-    config.fidelity = Fidelity::RealTraining {
-        lr: 0.08,
-        eval_samples: 256,
-    };
-    config.distribution = DataDistribution::non_iid_percent(50);
-    config.max_rounds = 25;
-    config.target_accuracy = Some(0.90);
+/// Prints each round's accuracy, time, energy and cohort.
+struct RoundReport;
 
-    println!(
-        "== Real federated training ({} devices, CNN on synthetic digits) ==",
-        config.num_devices
-    );
-    let mut sim = Simulation::new(config);
-    let mut agent = AutoFl::paper_default();
-    for round in 0..25 {
-        let record = sim.run_round(&mut agent, round);
+impl RoundObserver for RoundReport {
+    fn on_round_end(&mut self, record: &RoundRecord) {
         println!(
             "round {:>2}: acc {:>5.1}%  round time {:>6.1} s  energy {:>7.1} J  cohort {:?}",
-            round,
+            record.round,
             record.accuracy * 100.0,
             record.round_time_s,
             record.total_energy_j(),
@@ -47,9 +33,36 @@ fn main() {
                 .map(|id| id.0)
                 .collect::<Vec<_>>(),
         );
-        if record.accuracy >= 0.90 {
-            println!("target reached.");
-            break;
-        }
     }
+
+    fn on_converged(&mut self, _result: &SimResult) {
+        println!("target reached.");
+    }
+}
+
+fn main() {
+    // Shrink the deployment so real training stays interactive.
+    let mut sim = Simulation::builder(Workload::CnnMnist)
+        .devices(20)
+        .samples_per_device(60)
+        .test_samples(256)
+        .params(GlobalParams::new(16, 1, 5))
+        .fidelity(Fidelity::RealTraining {
+            lr: 0.08,
+            eval_samples: 256,
+        })
+        .distribution(DataDistribution::non_iid_percent(50))
+        .max_rounds(25)
+        .target_accuracy(0.90)
+        .build()
+        .expect("valid real-training configuration");
+
+    println!(
+        "== Real federated training ({} devices, CNN on synthetic digits) ==",
+        sim.config().num_devices
+    );
+    let registry = standard_registry();
+    let mut agent = registry.expect("AutoFL").make_selector();
+    let mut report = RoundReport;
+    let _ = sim.run_with(agent.as_mut(), &mut [&mut report]);
 }
