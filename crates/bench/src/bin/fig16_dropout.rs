@@ -1,0 +1,94 @@
+//! Dropout study (extension figure 16): straggler-tolerant aggregation
+//! under increasing mid-round dropout.
+//!
+//! Sweeps the fleet-dynamics churn rate and compares the engine's
+//! straggler policies — `Drop` (cut at the deadline), `WaitBounded`
+//! (bounded grace period) and `OverSelect` (provision `K + δ`
+//! participants) — on best accuracy, convergence and global PPW.
+//! `OverSelect` should recover the accuracy `Drop` loses at high dropout
+//! rates, at the price of extra active energy.
+//!
+//! ```sh
+//! cargo run --release -p autofl-bench --bin fig16_dropout
+//! cargo run --release -p autofl-bench --bin fig16_dropout -- --smoke
+//! ```
+
+use autofl_bench::{par_sweep, standard_registry, Policy};
+use autofl_device::scenario::VarianceScenario;
+use autofl_fed::engine::SimConfig;
+use autofl_fed::fleet::{FleetDynamics, StragglerPolicy};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let rates: &[f64] = if smoke {
+        &[0.0, 0.3]
+    } else {
+        &[0.0, 0.1, 0.25, 0.45]
+    };
+    let policy_names: &[&str] = if smoke {
+        &["FedAvg-Random"]
+    } else {
+        &["FedAvg-Random", "AutoFL"]
+    };
+    let base = {
+        let mut cfg = SimConfig::smoke(42);
+        // Field-realistic runtime variance so the deadline actually
+        // bites: WaitBounded and Drop only differ when stragglers exist.
+        cfg.scenario = VarianceScenario::realistic();
+        cfg.straggler_deadline_factor = 1.5;
+        if smoke {
+            cfg.max_rounds = 60;
+            cfg.target_accuracy = Some(1.1); // fixed horizon: aligned rows
+        }
+        cfg
+    };
+    let stragglers = [
+        StragglerPolicy::Drop,
+        StragglerPolicy::WaitBounded { grace: 1.5 },
+        StragglerPolicy::OverSelect {
+            extra: base.params.num_participants / 4,
+        },
+    ];
+
+    let registry = standard_registry();
+    for name in policy_names {
+        let policy = registry.expect(name);
+        println!("\n== {name} under increasing mid-round dropout ==");
+        println!(
+            "{:<18} {:>6} {:>9} {:>10} {:>9} {:>9} {:>11}",
+            "straggler", "rate", "best-acc", "converged", "dropouts", "misses", "PPW"
+        );
+        let mut runs: Vec<(SimConfig, &dyn Policy)> = Vec::new();
+        let mut labels = Vec::new();
+        for &rate in rates {
+            for sp in stragglers {
+                let mut cfg = base.clone();
+                cfg.fleet = Some(FleetDynamics::with_dropout_rate(rate).straggler(sp));
+                runs.push((cfg, policy));
+                labels.push((rate, sp));
+            }
+        }
+        let results = par_sweep(&runs);
+        for ((rate, sp), result) in labels.iter().zip(&results) {
+            let dropouts: usize = result.records.iter().map(|r| r.dropouts.len()).sum();
+            let misses: usize = result.records.iter().map(|r| r.dropped.len()).sum();
+            println!(
+                "{:<18} {:>6.2} {:>8.1}% {:>10} {:>9} {:>9} {:>11.3e}",
+                sp.name(),
+                rate,
+                result.best_accuracy() * 100.0,
+                result
+                    .converged_round()
+                    .map(|r| r.to_string())
+                    .unwrap_or_else(|| "no".into()),
+                dropouts,
+                misses,
+                result.ppw_global(),
+            );
+        }
+    }
+    println!(
+        "\nOverSelect provisions K+d so the surviving cohort stays near K as churn \
+         grows; Drop shrinks the cohort and loses accuracy."
+    );
+}

@@ -354,9 +354,16 @@ impl Parser<'_> {
                 return Ok(Value::UInt(u));
             }
         }
-        text.parse::<f64>()
-            .map(Value::Float)
-            .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+        // JSON has no NaN/Infinity tokens, and an overflowing literal
+        // like `1e999` must not silently become f64::INFINITY either —
+        // reject any non-finite result, matching the real serde_json.
+        match text.parse::<f64>() {
+            Ok(f) if f.is_finite() => Ok(Value::Float(f)),
+            Ok(_) => Err(Error::custom(format!(
+                "number `{text}` is out of the finite f64 range"
+            ))),
+            Err(_) => Err(Error::custom(format!("invalid number `{text}`"))),
+        }
     }
 }
 
@@ -422,6 +429,102 @@ mod tests {
         // Nesting inside the limit still parses.
         let ok = format!("{}{}", "[".repeat(100), "]".repeat(100));
         assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn nan_and_infinity_are_rejected_on_parse() {
+        // Bare non-finite tokens are not JSON...
+        for bad in ["NaN", "nan", "Infinity", "-Infinity", "inf", "-inf"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // ...and literals that overflow f64 must not sneak in as ±Inf.
+        for bad in ["1e999", "-1e999", "1e400000"] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.to_string().contains("finite"), "{bad}: {err}");
+        }
+        // The largest finite magnitudes still parse.
+        assert_eq!(
+            parse("1.7976931348623157e308").unwrap(),
+            Value::Float(f64::MAX)
+        );
+        assert_eq!(
+            parse("-1.7976931348623157e308").unwrap(),
+            Value::Float(f64::MIN)
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        // The writer has no non-finite representation either; it mirrors
+        // the real serde_json's `null`.
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(to_string(&Value::Float(v)).unwrap(), "null");
+        }
+    }
+
+    #[test]
+    fn shortest_round_trip_floats_reparse_to_identical_bits() {
+        for f in [
+            0.1,
+            1.0 / 3.0,
+            0.30000000000000004,
+            -2.5e-10,
+            1e300,
+            -1e-300,
+            f64::MIN_POSITIVE,       // smallest normal
+            f64::MIN_POSITIVE / 4.0, // subnormal
+            f64::MAX,
+            -0.0,
+            0.0,
+            123456789.12345679,
+            2.0f64.powi(-53),
+        ] {
+            let text = to_string(&Value::Float(f)).unwrap();
+            match parse(&text).unwrap() {
+                Value::Float(g) => assert_eq!(
+                    g.to_bits(),
+                    f.to_bits(),
+                    "{f:e} -> {text} -> {g:e} lost bits"
+                ),
+                // -0.0 and 0.0 print as "-0.0"/"0.0": still floats.
+                other => panic!("{text} reparsed as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_preserved_in_order_and_get_returns_the_first() {
+        // Pin the shim's duplicate-key semantics: the parser keeps every
+        // entry in input order (no last-wins overwrite), `get` resolves
+        // to the first occurrence, and struct deserialization therefore
+        // reads the first value too.
+        let v = parse("{\"a\":1,\"b\":2,\"a\":3}").unwrap();
+        match &v {
+            Value::Map(entries) => {
+                assert_eq!(entries.len(), 3, "duplicates must not collapse");
+                assert_eq!(entries[0], ("a".into(), Value::UInt(1)));
+                assert_eq!(entries[2], ("a".into(), Value::UInt(3)));
+            }
+            other => panic!("expected a map, got {other:?}"),
+        }
+        assert_eq!(v.get("a"), Some(&Value::UInt(1)), "get takes the first");
+        let x: u64 = from_value(v.get("a").unwrap()).unwrap();
+        assert_eq!(x, 1);
+    }
+
+    #[test]
+    fn depth_limit_applies_to_maps_and_mixed_nesting() {
+        // Arrays-only rejection is covered above; maps and alternating
+        // container kinds must hit the same recursion limit.
+        let deep_maps = "{\"k\":".repeat(200) + "1" + &"}".repeat(200);
+        let err = parse(&deep_maps).unwrap_err();
+        assert!(err.to_string().contains("recursion"), "{err}");
+        let mixed = "[{\"k\":".repeat(100) + "1" + &"}]".repeat(100);
+        let err = parse(&mixed).unwrap_err();
+        assert!(err.to_string().contains("recursion"), "{err}");
+        // Within the limit both parse fine.
+        let ok_maps = "{\"k\":".repeat(60) + "1" + &"}".repeat(60);
+        assert!(parse(&ok_maps).is_ok());
     }
 
     #[test]

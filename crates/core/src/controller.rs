@@ -4,7 +4,7 @@
 use crate::action::Action;
 use crate::overhead::Overhead;
 use crate::qtable::{QSharing, QTableSet};
-use crate::reward::{reward, RewardConfig, RewardInputs};
+use crate::reward::{reward, ParticipationOutcome, RewardConfig, RewardInputs};
 use crate::state::{GlobalState, LocalState, StateSpace};
 use autofl_device::cost::{execute, ExecutionPlan};
 use autofl_device::fleet::DeviceId;
@@ -247,7 +247,8 @@ impl Selector for AutoFl {
             .iter()
             .map(|d| {
                 let frac = ctx.partition.num_classes_present(d.id().0) as f64 / total_classes;
-                self.space.local_state(&ctx.conditions[d.id().0], frac)
+                self.space
+                    .local_state(&ctx.conditions[d.id().0], frac, &ctx.availability[d.id().0])
             })
             .collect();
         let observe_elapsed = t_observe.elapsed();
@@ -261,7 +262,9 @@ impl Selector for AutoFl {
         let explore = self.rng.gen::<f64>() < eps;
         let mut actions: Vec<Action> = vec![Action::Idle; ctx.fleet.len()];
         let participants: Vec<DeviceId> = if explore {
-            let mut ids = ctx.fleet.ids();
+            // Exploration draws only from the check-in-eligible pool —
+            // the server never contacts ineligible devices.
+            let mut ids = ctx.eligible_ids();
             ids.shuffle(&mut self.rng);
             ids.truncate(k);
             for id in &ids {
@@ -274,6 +277,7 @@ impl Selector for AutoFl {
             let mut scored: Vec<(DeviceId, Action, f64)> = ctx
                 .fleet
                 .iter()
+                .filter(|d| ctx.availability[d.id().0].eligible)
                 .map(|d| {
                     let id = d.id();
                     let (a, q) =
@@ -351,15 +355,26 @@ impl Selector for AutoFl {
             None => return,
         };
 
-        // Reward phase (Eq. 5–7).
+        // Reward phase (Eq. 5–7). Deadline misses and mid-round dropouts
+        // carry their own (default-zero) penalties, so the agent can
+        // learn to route around flaky devices rather than just expensive
+        // ones.
         let t_reward = Instant::now();
         let mut local_energy = vec![feedback.idle_energy_per_device_j; pending.per_device.len()];
+        let mut outcomes = vec![ParticipationOutcome::Idle; pending.per_device.len()];
         for (id, e) in feedback
             .participants
             .iter()
             .zip(feedback.per_participant_energy_j)
         {
             local_energy[id.0] = *e;
+            outcomes[id.0] = ParticipationOutcome::Completed;
+        }
+        for id in feedback.dropped {
+            outcomes[id.0] = ParticipationOutcome::DeadlineMiss;
+        }
+        for id in feedback.dropouts {
+            outcomes[id.0] = ParticipationOutcome::Dropout;
         }
         let reward_config = self.resolved_reward.unwrap_or(self.config.reward);
         let rewards: Vec<f64> = (0..pending.per_device.len())
@@ -371,6 +386,7 @@ impl Selector for AutoFl {
                         global_energy_j: feedback.global_energy_j,
                         accuracy: feedback.accuracy,
                         prev_accuracy: feedback.prev_accuracy,
+                        outcome: outcomes[d],
                     },
                 )
             })

@@ -191,6 +191,7 @@ mod tests {
             co_mem: 0,
             network: 0,
             data: 2,
+            avail: 0,
         }
     }
 

@@ -18,6 +18,15 @@ pub struct RewardConfig {
     pub global_energy_scale_j: f64,
     /// Joules represented by one reward unit of `R_energy_local`.
     pub local_energy_scale_j: f64,
+    /// Extra penalty subtracted from a device's reward when it missed the
+    /// round deadline (energy burned, update dropped or truncated). The
+    /// paper's reward penalises stragglers implicitly through energy and
+    /// accuracy; this sharpens the signal and defaults to 0 (off).
+    pub straggler_penalty: f64,
+    /// Extra penalty subtracted when the device vanished mid-round
+    /// (battery death or connectivity churn under fleet dynamics).
+    /// Defaults to 0 (off).
+    pub dropout_penalty: f64,
 }
 
 impl Default for RewardConfig {
@@ -27,8 +36,26 @@ impl Default for RewardConfig {
             beta: 5.0,
             global_energy_scale_j: 150.0,
             local_energy_scale_j: 2.0,
+            straggler_penalty: 0.0,
+            dropout_penalty: 0.0,
         }
     }
+}
+
+/// How one device's participation in a round ended — distinguishing a
+/// deadline miss (straggler) from a mid-round dropout, which Eq. (7) can
+/// penalise separately via [`RewardConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParticipationOutcome {
+    /// The device was not selected this round.
+    Idle,
+    /// The device finished its update within the deadline.
+    #[default]
+    Completed,
+    /// The device was still selected but missed the round deadline.
+    DeadlineMiss,
+    /// The device vanished mid-round (battery death or network churn).
+    Dropout,
 }
 
 /// Inputs of one device's reward for one round.
@@ -43,6 +70,8 @@ pub struct RewardInputs {
     pub accuracy: f64,
     /// Test accuracy before the round, in `[0, 1]`.
     pub prev_accuracy: f64,
+    /// How this device's participation ended.
+    pub outcome: ParticipationOutcome,
 }
 
 /// Computes Eq. (7).
@@ -51,17 +80,26 @@ pub struct RewardInputs {
 /// `R_accuracy − 100` (accuracy expressed in percent, i.e. its distance
 /// below 100%), steering the agent away from the action; otherwise it is
 /// `−R_energy_global − R_energy_local + α·R_accuracy +
-/// β·(R_accuracy − R_accuracy_prev)`.
+/// β·(R_accuracy − R_accuracy_prev)`. Either branch additionally
+/// subtracts the configured straggler / dropout penalty for devices whose
+/// participation failed (both default to 0, which reproduces the paper's
+/// reward exactly).
 pub fn reward(config: &RewardConfig, inputs: &RewardInputs) -> f64 {
+    let penalty = match inputs.outcome {
+        ParticipationOutcome::DeadlineMiss => config.straggler_penalty,
+        ParticipationOutcome::Dropout => config.dropout_penalty,
+        ParticipationOutcome::Idle | ParticipationOutcome::Completed => 0.0,
+    };
     let acc_pct = inputs.accuracy * 100.0;
     let prev_pct = inputs.prev_accuracy * 100.0;
     if acc_pct - prev_pct <= 0.0 {
-        return acc_pct - 100.0;
+        return acc_pct - 100.0 - penalty;
     }
     -(inputs.global_energy_j / config.global_energy_scale_j)
         - (inputs.local_energy_j / config.local_energy_scale_j)
         + config.alpha * acc_pct
         + config.beta * (acc_pct - prev_pct)
+        - penalty
 }
 
 #[cfg(test)]
@@ -74,6 +112,7 @@ mod tests {
             global_energy_j: 2_000.0,
             accuracy: 0.82,
             prev_accuracy: 0.80,
+            outcome: ParticipationOutcome::Completed,
         }
     }
 
@@ -146,8 +185,58 @@ mod tests {
                 prev_accuracy: 0.10,
                 local_energy_j: 60.0,
                 global_energy_j: 3_000.0,
+                outcome: ParticipationOutcome::Completed,
             },
         );
         assert!(success > fail, "success {} vs fail {}", success, fail);
+    }
+
+    #[test]
+    fn zero_penalties_reproduce_the_paper_reward_bit_for_bit() {
+        let cfg = RewardConfig::default();
+        for outcome in [
+            ParticipationOutcome::Idle,
+            ParticipationOutcome::Completed,
+            ParticipationOutcome::DeadlineMiss,
+            ParticipationOutcome::Dropout,
+        ] {
+            let r = reward(
+                &cfg,
+                &RewardInputs {
+                    outcome,
+                    ..base_inputs()
+                },
+            );
+            assert_eq!(
+                r.to_bits(),
+                reward(&cfg, &base_inputs()).to_bits(),
+                "{outcome:?} must not perturb the default reward"
+            );
+        }
+    }
+
+    #[test]
+    fn nonzero_penalties_rank_failed_participation_below_success() {
+        let cfg = RewardConfig {
+            straggler_penalty: 10.0,
+            dropout_penalty: 25.0,
+            ..RewardConfig::default()
+        };
+        let at = |outcome| {
+            reward(
+                &cfg,
+                &RewardInputs {
+                    outcome,
+                    ..base_inputs()
+                },
+            )
+        };
+        let ok = at(ParticipationOutcome::Completed);
+        let miss = at(ParticipationOutcome::DeadlineMiss);
+        let gone = at(ParticipationOutcome::Dropout);
+        assert!(ok > miss, "deadline miss must cost");
+        assert!(miss > gone, "dropout must cost more than a miss");
+        assert_eq!(ok - miss, 10.0);
+        assert_eq!(ok - gone, 25.0);
     }
 }

@@ -11,6 +11,7 @@
 use autofl_cluster::dbscan::Discretizer;
 use autofl_device::network::BANDWIDTH_THRESHOLD_MBPS;
 use autofl_device::scenario::DeviceConditions;
+use autofl_fed::fleet::DeviceAvailability;
 use autofl_fed::selection::RoundContext;
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +47,11 @@ pub struct LocalState {
     /// `S_Data` bin: fraction of label classes present
     /// (small < 25% / medium < 100% / large = 100%).
     pub data: u8,
+    /// `S_Avail` bin: device availability under fleet dynamics
+    /// (0 = available and healthy, 1 = stressed — low battery or
+    /// thermally throttled, 2 = ineligible). Always 0 with a static
+    /// fleet, so the state space is unchanged when dynamics are off.
+    pub avail: u8,
 }
 
 /// Bin boundaries for every state feature.
@@ -126,8 +132,15 @@ impl StateSpace {
     /// Discretises one device's local features.
     ///
     /// `class_fraction` is the share of label classes present on the
-    /// device (`S_Data`).
-    pub fn local_state(&self, conditions: &DeviceConditions, class_fraction: f64) -> LocalState {
+    /// device (`S_Data`); `availability` is the device's fleet-dynamics
+    /// state (`S_Avail` — pass [`DeviceAvailability::ideal`] for a static
+    /// fleet).
+    pub fn local_state(
+        &self,
+        conditions: &DeviceConditions,
+        class_fraction: f64,
+        availability: &DeviceAvailability,
+    ) -> LocalState {
         // Table 1 gives CPU/MEM a dedicated "none" bin at exactly 0%.
         let cpu_bin = if conditions.interference.co_cpu == 0.0 {
             0
@@ -151,11 +164,19 @@ impl StateSpace {
         } else {
             2
         };
+        let avail = if !availability.eligible {
+            2
+        } else if availability.soc < 0.5 || availability.throttle > 0.25 {
+            1
+        } else {
+            0
+        };
         LocalState {
             co_cpu: cpu_bin,
             co_mem: mem_bin,
             network,
             data,
+            avail,
         }
     }
 }
@@ -177,7 +198,44 @@ mod tests {
                 },
                 bandwidth_mbps: bw,
             },
+            throttle: 0.0,
         }
+    }
+
+    #[test]
+    fn availability_bins_cover_healthy_stressed_ineligible() {
+        let space = StateSpace::paper_bins();
+        let at = |avail: DeviceAvailability| {
+            space
+                .local_state(&conditions(0.0, 0.0, 80.0), 1.0, &avail)
+                .avail
+        };
+        assert_eq!(at(DeviceAvailability::ideal()), 0);
+        assert_eq!(
+            at(DeviceAvailability {
+                soc: 0.3,
+                ..DeviceAvailability::ideal()
+            }),
+            1,
+            "low battery is stressed"
+        );
+        assert_eq!(
+            at(DeviceAvailability {
+                throttle: 0.6,
+                ..DeviceAvailability::ideal()
+            }),
+            1,
+            "thermal throttling is stressed"
+        );
+        assert_eq!(
+            at(DeviceAvailability {
+                eligible: false,
+                online: false,
+                ..DeviceAvailability::ideal()
+            }),
+            2,
+            "ineligible dominates"
+        );
     }
 
     #[test]
@@ -185,34 +243,97 @@ mod tests {
         let space = StateSpace::paper_bins();
         // None / small / medium / large CPU bins.
         assert_eq!(
-            space.local_state(&conditions(0.0, 0.0, 80.0), 1.0).co_cpu,
+            space
+                .local_state(
+                    &conditions(0.0, 0.0, 80.0),
+                    1.0,
+                    &DeviceAvailability::ideal()
+                )
+                .co_cpu,
             0
         );
         assert_eq!(
-            space.local_state(&conditions(0.1, 0.0, 80.0), 1.0).co_cpu,
+            space
+                .local_state(
+                    &conditions(0.1, 0.0, 80.0),
+                    1.0,
+                    &DeviceAvailability::ideal()
+                )
+                .co_cpu,
             1
         );
         assert_eq!(
-            space.local_state(&conditions(0.5, 0.0, 80.0), 1.0).co_cpu,
+            space
+                .local_state(
+                    &conditions(0.5, 0.0, 80.0),
+                    1.0,
+                    &DeviceAvailability::ideal()
+                )
+                .co_cpu,
             2
         );
         assert_eq!(
-            space.local_state(&conditions(0.9, 0.0, 80.0), 1.0).co_cpu,
+            space
+                .local_state(
+                    &conditions(0.9, 0.0, 80.0),
+                    1.0,
+                    &DeviceAvailability::ideal()
+                )
+                .co_cpu,
             3
         );
         // Network threshold at 40 Mbps.
         assert_eq!(
-            space.local_state(&conditions(0.0, 0.0, 80.0), 1.0).network,
+            space
+                .local_state(
+                    &conditions(0.0, 0.0, 80.0),
+                    1.0,
+                    &DeviceAvailability::ideal()
+                )
+                .network,
             0
         );
         assert_eq!(
-            space.local_state(&conditions(0.0, 0.0, 30.0), 1.0).network,
+            space
+                .local_state(
+                    &conditions(0.0, 0.0, 30.0),
+                    1.0,
+                    &DeviceAvailability::ideal()
+                )
+                .network,
             1
         );
         // Data classes: small / medium / large.
-        assert_eq!(space.local_state(&conditions(0.0, 0.0, 80.0), 0.2).data, 0);
-        assert_eq!(space.local_state(&conditions(0.0, 0.0, 80.0), 0.7).data, 1);
-        assert_eq!(space.local_state(&conditions(0.0, 0.0, 80.0), 1.0).data, 2);
+        assert_eq!(
+            space
+                .local_state(
+                    &conditions(0.0, 0.0, 80.0),
+                    0.2,
+                    &DeviceAvailability::ideal()
+                )
+                .data,
+            0
+        );
+        assert_eq!(
+            space
+                .local_state(
+                    &conditions(0.0, 0.0, 80.0),
+                    0.7,
+                    &DeviceAvailability::ideal()
+                )
+                .data,
+            1
+        );
+        assert_eq!(
+            space
+                .local_state(
+                    &conditions(0.0, 0.0, 80.0),
+                    1.0,
+                    &DeviceAvailability::ideal()
+                )
+                .data,
+            2
+        );
     }
 
     #[test]
@@ -220,7 +341,13 @@ mod tests {
         let space = StateSpace::fit_runtime_bins(&[0.1, 0.2], &[0.3]);
         // Too few observations: published bins kept.
         assert_eq!(
-            space.local_state(&conditions(0.5, 0.0, 80.0), 1.0).co_cpu,
+            space
+                .local_state(
+                    &conditions(0.5, 0.0, 80.0),
+                    1.0,
+                    &DeviceAvailability::ideal()
+                )
+                .co_cpu,
             2
         );
     }
@@ -233,8 +360,20 @@ mod tests {
             cpu.push(0.8 + (i % 5) as f64 * 0.005); // busy mode
         }
         let space = StateSpace::fit_runtime_bins(&cpu, &cpu);
-        let lo = space.local_state(&conditions(0.12, 0.0, 80.0), 1.0).co_cpu;
-        let hi = space.local_state(&conditions(0.82, 0.0, 80.0), 1.0).co_cpu;
+        let lo = space
+            .local_state(
+                &conditions(0.12, 0.0, 80.0),
+                1.0,
+                &DeviceAvailability::ideal(),
+            )
+            .co_cpu;
+        let hi = space
+            .local_state(
+                &conditions(0.82, 0.0, 80.0),
+                1.0,
+                &DeviceAvailability::ideal(),
+            )
+            .co_cpu;
         assert_ne!(lo, hi);
     }
 }

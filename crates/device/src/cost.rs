@@ -67,12 +67,26 @@ impl RoundCost {
     }
 }
 
+/// Fraction of nominal throughput left at thermal throttle level `t`
+/// (`1.0` when cool, `1 − 0.5 t` when hot): the governor caps frequency,
+/// so effective GFLOPS only ever go down.
+pub fn throttle_speed_factor(throttle: f64) -> f64 {
+    1.0 - 0.5 * throttle
+}
+
+/// Fraction of nominal busy power drawn at thermal throttle level `t`.
+/// Lower frequency also means lower power, but less than linearly in the
+/// lost throughput, so throttled training costs *more* joules per FLOP.
+pub fn throttle_power_factor(throttle: f64) -> f64 {
+    1.0 - 0.35 * throttle
+}
+
 /// Executes a training task on a device and returns its cost.
 ///
-/// Compute time is `FLOPs / (throughput(step) × interference factor)`;
-/// compute energy is `P_busy(f) × t_busy` per Eq. (1)/(2); communication
-/// follows Eq. (3) with the sampled bandwidth and signal-dependent TX
-/// power.
+/// Compute time is `FLOPs / (throughput(step) × interference factor ×
+/// thermal factor)`; compute energy is `P_busy(f) × t_busy` per
+/// Eq. (1)/(2); communication follows Eq. (3) with the sampled bandwidth
+/// and signal-dependent TX power.
 pub fn execute(
     tier: DeviceTier,
     plan: ExecutionPlan,
@@ -84,9 +98,11 @@ pub fn execute(
         ExecutionTarget::Cpu => conditions.interference.cpu_throughput_factor(),
         ExecutionTarget::Gpu => conditions.interference.gpu_throughput_factor(),
     };
-    let gflops = table.gflops(plan.freq_step) * factor;
+    let gflops = table.gflops(plan.freq_step) * factor * throttle_speed_factor(conditions.throttle);
     let compute_time_s = task.flops as f64 / (gflops * 1e9);
-    let compute_energy_j = table.busy_power_w(plan.freq_step) * compute_time_s;
+    let compute_energy_j = table.busy_power_w(plan.freq_step)
+        * throttle_power_factor(conditions.throttle)
+        * compute_time_s;
     let comm_time_s = conditions.network.comm_time_s(task.upload_bytes);
     let comm_energy_j = conditions.network.comm_energy_j(task.upload_bytes);
     RoundCost {
@@ -205,6 +221,31 @@ mod tests {
         );
         assert!(slow.compute_time_s > fast.compute_time_s);
         assert!(slow.compute_energy_j < fast.compute_energy_j);
+    }
+
+    #[test]
+    fn thermal_throttle_slows_and_costs_more_energy_per_flop() {
+        let cool = DeviceConditions::ideal();
+        let hot = DeviceConditions {
+            throttle: 0.8,
+            ..DeviceConditions::ideal()
+        };
+        let plan = ExecutionPlan::cpu_max(DeviceTier::Mid);
+        let a = execute(DeviceTier::Mid, plan, task(), &cool);
+        let b = execute(DeviceTier::Mid, plan, task(), &hot);
+        assert!(b.compute_time_s > a.compute_time_s, "throttling must slow");
+        assert!(
+            b.compute_energy_j > a.compute_energy_j,
+            "lost frequency outweighs the power drop: J/FLOP worsens"
+        );
+        // Zero throttle is the exact pre-dynamics cost (bit-identical).
+        let zero = DeviceConditions {
+            throttle: 0.0,
+            ..DeviceConditions::ideal()
+        };
+        let c = execute(DeviceTier::Mid, plan, task(), &zero);
+        assert_eq!(a.compute_time_s.to_bits(), c.compute_time_s.to_bits());
+        assert_eq!(a.compute_energy_j.to_bits(), c.compute_energy_j.to_bits());
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`scenario`] — per-round sampling of which devices see interference /
 //!   weak signal (Figures 5 and 10 regimes).
 //! * [`fleet`] — the 200-device fleet (30 H / 70 M / 100 L).
+//! * [`lifecycle`] — slow-moving per-device state (battery, charging,
+//!   thermal throttle, foreground sessions, connectivity) evolved by the
+//!   fleet-dynamics subsystem in `autofl-fed`.
 //! * [`cost`] — Eqs. (1)–(4): compute/communication/idle time and energy.
 //!
 //! # Examples
@@ -39,6 +42,7 @@ pub mod cost;
 pub mod dvfs;
 pub mod fleet;
 pub mod interference;
+pub mod lifecycle;
 pub mod network;
 pub mod scenario;
 pub mod tier;
@@ -47,6 +51,7 @@ pub use cost::{execute, idle_energy_j, ExecutionPlan, RoundCost, TrainingTask};
 pub use dvfs::{DvfsTable, ExecutionTarget};
 pub use fleet::{Device, DeviceId, Fleet};
 pub use interference::Interference;
+pub use lifecycle::DeviceLifecycle;
 pub use network::{NetworkObservation, SignalStrength};
 pub use scenario::{DeviceConditions, VarianceScenario};
 pub use tier::DeviceTier;

@@ -72,6 +72,7 @@ impl VarianceScenario {
         DeviceConditions {
             interference,
             network: NetworkObservation::sample(signal, rng),
+            throttle: 0.0,
         }
     }
 
@@ -111,6 +112,11 @@ pub struct DeviceConditions {
     pub interference: Interference,
     /// Network observation.
     pub network: NetworkObservation,
+    /// Thermal throttle level in `[0, 1]` (0 = cool, full frequency).
+    /// Scenario sampling always produces 0; the fleet-dynamics subsystem
+    /// overlays the device's [`crate::lifecycle::DeviceLifecycle`] level
+    /// before costs are executed.
+    pub throttle: f64,
 }
 
 impl DeviceConditions {
@@ -122,6 +128,7 @@ impl DeviceConditions {
                 signal: SignalStrength::Strong,
                 bandwidth_mbps: SignalStrength::Strong.mean_bandwidth_mbps(),
             },
+            throttle: 0.0,
         }
     }
 }

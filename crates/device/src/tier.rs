@@ -131,6 +131,18 @@ impl DeviceTier {
             DeviceTier::Low => 0.15,
         }
     }
+
+    /// Usable battery capacity in joules (typical 4000/3100/3500 mAh
+    /// packs at ~3.85 V nominal). Not in the paper's tables; used by the
+    /// fleet-dynamics battery model to convert training energy into
+    /// state-of-charge drain.
+    pub fn battery_capacity_j(&self) -> f64 {
+        match self {
+            DeviceTier::High => 55_000.0,
+            DeviceTier::Mid => 43_000.0,
+            DeviceTier::Low => 34_000.0,
+        }
+    }
 }
 
 #[cfg(test)]

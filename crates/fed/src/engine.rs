@@ -6,6 +6,7 @@ use crate::accuracy::{
 };
 use crate::algorithms::AggregationAlgorithm;
 use crate::estimate::participant_costs;
+use crate::fleet::{DeviceAvailability, FleetDynamics, FleetState, StragglerPolicy};
 use crate::global::GlobalParams;
 use crate::selection::{RoundContext, RoundFeedback, SelectionDecision, Selector};
 use autofl_data::partition::DataDistribution;
@@ -51,6 +52,10 @@ pub struct SimConfig {
     pub distribution: DataDistribution,
     /// Runtime-variance scenario.
     pub scenario: VarianceScenario,
+    /// Stochastic fleet dynamics (battery, thermal, churn, mid-round
+    /// dropout and the straggler policy). `None` — the default — keeps
+    /// the fleet static and reproduces pre-dynamics runs bit for bit.
+    pub fleet: Option<FleetDynamics>,
     /// Aggregation algorithm.
     pub algorithm: AggregationAlgorithm,
     /// Accuracy engine.
@@ -81,6 +86,7 @@ impl SimConfig {
             params: GlobalParams::s3(),
             distribution: DataDistribution::IidIdeal,
             scenario: VarianceScenario::calm(),
+            fleet: None,
             algorithm: AggregationAlgorithm::FedAvg,
             fidelity: Fidelity::Surrogate,
             num_devices: 200,
@@ -101,6 +107,7 @@ impl SimConfig {
             params: GlobalParams::new(8, 1, 4),
             distribution: DataDistribution::IidIdeal,
             scenario: VarianceScenario::calm(),
+            fleet: None,
             algorithm: AggregationAlgorithm::FedAvg,
             fidelity: Fidelity::Surrogate,
             num_devices: 12,
@@ -155,14 +162,31 @@ pub struct RoundRecord {
     /// Participants dropped as stragglers (FedAvg) this round.
     pub dropped: Vec<DeviceId>,
     /// Fraction of nominal work each participant's aggregated update
-    /// represents (0 for dropped participants).
+    /// represents (0 for dropped participants and dropouts).
     pub update_fractions: Vec<f64>,
+    /// Participants that vanished mid-round (battery death or
+    /// connectivity churn); disjoint from `dropped`. Empty unless
+    /// [`SimConfig::fleet`] dynamics are enabled.
+    pub dropouts: Vec<DeviceId>,
+    /// Devices that failed the eligibility check-in before selection.
+    pub ineligible: usize,
 }
 
 impl RoundRecord {
     /// Total energy of the round (Eq. 6).
     pub fn total_energy_j(&self) -> f64 {
         self.active_energy_j + self.idle_energy_j
+    }
+
+    /// Participants whose updates were aggregated (positive update
+    /// fraction), in participant order.
+    pub fn survivors(&self) -> Vec<DeviceId> {
+        self.participants
+            .iter()
+            .zip(&self.update_fractions)
+            .filter(|(_, &f)| f > 0.0)
+            .map(|(id, _)| *id)
+            .collect()
     }
 }
 
@@ -274,6 +298,8 @@ impl SimResult {
 /// returned [`RoundRecord`].
 #[derive(Debug, Default)]
 struct RoundScratch {
+    /// Per-device availability, indexed by raw device id.
+    availability: Vec<DeviceAvailability>,
     /// Per-device sampled conditions, indexed by raw device id.
     conditions: Vec<DeviceConditions>,
     /// Per-participant training tasks.
@@ -297,6 +323,8 @@ pub struct Simulation {
     engine: Box<dyn AccuracyEngine>,
     rng: SmallRng,
     scratch: RoundScratch,
+    /// Per-device lifecycle state; `Some` iff `config.fleet` is enabled.
+    fleet_state: Option<FleetState>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -361,6 +389,10 @@ impl Simulation {
             )),
         };
         let rng = SmallRng::seed_from_u64(config.seed ^ 0x51b);
+        let fleet_state = config
+            .fleet
+            .as_ref()
+            .map(|dynamics| FleetState::new(dynamics, &fleet, config.seed ^ 0xf1ee7));
         Simulation {
             config,
             fleet,
@@ -368,6 +400,7 @@ impl Simulation {
             engine,
             rng,
             scratch: RoundScratch::default(),
+            fleet_state,
         }
     }
 
@@ -406,23 +439,60 @@ impl Simulation {
         round: usize,
         mut shadow: Option<&mut dyn Selector>,
     ) -> (RoundRecord, Option<SelectionDecision>) {
+        // 0. Fleet dynamics: evolve per-device lifecycle sessions
+        // (charging, foreground, connectivity) and derive availability.
+        // Disabled dynamics report every device as ideal and available,
+        // reproducing the static fleet bit for bit.
+        let ineligible = match (&self.config.fleet, &mut self.fleet_state) {
+            (Some(dynamics), Some(state)) => {
+                state.begin_round(dynamics, &self.fleet, round, &mut self.scratch.availability)
+            }
+            _ => {
+                self.scratch.availability.clear();
+                self.scratch
+                    .availability
+                    .resize(self.fleet.len(), DeviceAvailability::ideal());
+                0
+            }
+        };
+
         // 1. Sample per-device runtime conditions — in parallel, each
         // device on its own RNG stream derived from (seed, round, id), so
         // the sample is independent of both thread count and fleet
-        // iteration order.
+        // iteration order. Thermal throttle levels carried by the
+        // lifecycle state are overlaid on top.
         let cond_seed = round_stream_seed(self.config.seed, round);
         self.config
             .scenario
             .sample_fleet(&self.fleet, cond_seed, &mut self.scratch.conditions);
+        if let Some(state) = &self.fleet_state {
+            for (slot, lifecycle) in self.scratch.conditions.iter_mut().zip(state.states()) {
+                slot.throttle = lifecycle.throttle;
+            }
+        }
 
-        // 2. Ask the policy for participants + execution plans.
+        // 2. Ask the policy for participants + execution plans. Under
+        // OverSelect the context advertises K + extra so every policy
+        // over-provisions without knowing about the straggler layer.
         let prev_accuracy = self.engine.accuracy();
+        let params = match self.config.fleet.as_ref().map(|f| f.straggler) {
+            Some(StragglerPolicy::OverSelect { extra }) => {
+                let mut p = self.config.params;
+                p.num_participants = p
+                    .num_participants
+                    .saturating_add(extra)
+                    .min(self.fleet.len());
+                p
+            }
+            _ => self.config.params,
+        };
         let ctx = RoundContext {
             round,
             fleet: &self.fleet,
             conditions: &self.scratch.conditions,
+            availability: &self.scratch.availability,
             partition: &self.data.partition,
-            params: &self.config.params,
+            params: &params,
             workload: self.config.workload,
             layer_counts: self.config.workload.reference_layer_counts(),
             prev_accuracy,
@@ -461,12 +531,50 @@ impl Simulation {
         let completion = &mut self.scratch.completion;
         completion.clear();
         completion.extend(costs.iter().map(|c| c.total_time_s()));
-        let deadline = median_into(&mut self.scratch.median, completion)
+        let mut deadline = median_into(&mut self.scratch.median, completion)
             * self.config.straggler_deadline_factor;
+        if let Some(StragglerPolicy::WaitBounded { grace }) =
+            self.config.fleet.as_ref().map(|f| f.straggler)
+        {
+            // Bounded waiting: the server holds the round open longer
+            // before cutting stragglers.
+            deadline *= grace;
+        }
         let accepts_partial = self.config.algorithm.accepts_partial_updates();
         let mut dropped = Vec::new();
+        let mut dropouts = Vec::new();
         let mut fractions = vec![1.0f64; participants.len()];
+        // Share of the full-round energy each participant actually burned
+        // (1.0 unless it left early or was cut at the deadline).
+        let mut energy_shares = vec![1.0f64; participants.len()];
+        let mut is_dropout = vec![false; participants.len()];
+        // (a) Mid-round dropouts: battery death or connectivity churn
+        // removes the update entirely; the device still burned energy for
+        // the fraction of the round it survived.
+        if let (Some(dynamics), Some(state)) = (&self.config.fleet, &self.fleet_state) {
+            for i in 0..participants.len() {
+                if let Some(frac) = state.mid_round_dropout(
+                    dynamics,
+                    &self.fleet,
+                    round,
+                    participants[i],
+                    costs[i].total_energy_j(),
+                ) {
+                    fractions[i] = 0.0;
+                    energy_shares[i] = frac;
+                    completion[i] *= frac;
+                    is_dropout[i] = true;
+                    dropouts.push(participants[i]);
+                }
+            }
+        }
+        // (b) Straggler deadline over the devices that are still there.
         for i in 0..completion.len() {
+            if is_dropout[i] {
+                // A dropout never gates the round past the deadline.
+                completion[i] = completion[i].min(deadline);
+                continue;
+            }
             let t = completion[i];
             if t > deadline {
                 if accepts_partial {
@@ -475,10 +583,12 @@ impl Simulation {
                     // happens, modelled inside the fraction).
                     fractions[i] = (deadline / t).clamp(0.05, 1.0);
                     completion[i] = deadline;
+                    energy_shares[i] = fractions[i];
                 } else {
                     fractions[i] = 0.0;
                     dropped.push(participants[i]);
                     completion[i] = deadline; // it burned energy until cut off
+                    energy_shares[i] = (deadline / t).clamp(0.0, 1.0);
                 }
             }
         }
@@ -492,15 +602,7 @@ impl Simulation {
         per_participant_energy.clear();
         let mut active_energy_j = 0.0;
         for (i, cost) in costs.iter().enumerate() {
-            let full = cost.total_energy_j();
-            let share = if fractions[i] > 0.0 {
-                fractions[i]
-            } else {
-                // Dropped straggler: computed until the deadline, then the
-                // update was discarded.
-                (deadline / cost.total_time_s()).clamp(0.0, 1.0)
-            };
-            let e = full * share;
+            let e = cost.total_energy_j() * energy_shares[i];
             active_energy_j += e;
             per_participant_energy.push(e);
         }
@@ -531,6 +633,23 @@ impl Simulation {
             .map(|(id, f)| self.data.partition.device_indices(id.0).len() as f64 * f)
             .sum();
         let survivor_ids: Vec<usize> = survivors.iter().map(|id| id.0).collect();
+        #[cfg(debug_assertions)]
+        if effective_samples > 0.0 {
+            // The aggregation invariant behind partial FedAvg: the
+            // survivors' effective sample masses renormalise to weights
+            // summing to exactly 1.0.
+            let effectives: Vec<f64> = survivors
+                .iter()
+                .zip(&survivor_fractions)
+                .map(|(id, f)| self.data.partition.device_indices(id.0).len() as f64 * f)
+                .collect();
+            let weights = crate::fleet::survivor_weights(&effectives);
+            debug_assert_eq!(
+                weights.iter().sum::<f64>().to_bits(),
+                1.0f64.to_bits(),
+                "partial aggregation must reweight survivors to exactly 1"
+            );
+        }
         let mean_member_divergence = if effective_samples > 0.0 {
             survivors
                 .iter()
@@ -556,7 +675,20 @@ impl Simulation {
         };
         let accuracy = self.engine.apply_round(&stats);
 
-        // 6. Feed the outcome back to learning selectors.
+        // 6. Advance the lifecycle states with what the round actually
+        // cost each device (battery drain, heating, cooling).
+        if let (Some(dynamics), Some(state)) = (&self.config.fleet, &mut self.fleet_state) {
+            state.end_round(
+                dynamics,
+                &self.fleet,
+                round_time_s,
+                &participants,
+                &self.scratch.completion,
+                &self.scratch.per_participant_energy,
+            );
+        }
+
+        // 7. Feed the outcome back to learning selectors.
         let idle_per_device = if self.fleet.len() > participants.len() {
             idle_energy / (self.fleet.len() - participants.len()) as f64
         } else {
@@ -571,6 +703,7 @@ impl Simulation {
             accuracy,
             prev_accuracy,
             dropped: &dropped,
+            dropouts: &dropouts,
         });
 
         // The feedback borrowed these buffers; the record takes ownership
@@ -585,6 +718,8 @@ impl Simulation {
             accuracy,
             dropped,
             update_fractions: fractions,
+            dropouts,
+            ineligible,
         };
         (record, shadow_decision)
     }
@@ -760,5 +895,109 @@ mod tests {
         assert!(rec.idle_energy_j > 0.0);
         assert!(rec.active_energy_j > 0.0);
         assert_eq!(rec.participants.len(), 4);
+    }
+
+    #[test]
+    fn disabled_fleet_block_reports_a_static_available_fleet() {
+        let mut cfg = SimConfig::tiny_test(5);
+        cfg.max_rounds = 6;
+        cfg.target_accuracy = Some(1.1);
+        let result = Simulation::new(cfg).run(&mut RandomSelector::new());
+        for rec in &result.records {
+            assert!(rec.dropouts.is_empty(), "static fleets never drop out");
+            assert_eq!(rec.ineligible, 0, "static fleets are always eligible");
+        }
+    }
+
+    #[test]
+    fn fleet_dynamics_create_dropouts_churn_and_reweighted_survivors() {
+        let mut cfg = SimConfig::smoke(8);
+        cfg.max_rounds = 30;
+        cfg.target_accuracy = Some(1.1);
+        cfg.fleet = Some(crate::fleet::FleetDynamics::with_dropout_rate(0.4));
+        let result = Simulation::new(cfg).run(&mut RandomSelector::new());
+        let dropouts: usize = result.records.iter().map(|r| r.dropouts.len()).sum();
+        assert!(dropouts > 0, "40% churn must produce mid-round dropouts");
+        assert!(
+            result.records.iter().any(|r| r.ineligible > 0),
+            "sessions and battery gates must make some devices ineligible"
+        );
+        for rec in &result.records {
+            for id in &rec.dropouts {
+                assert!(
+                    rec.participants.contains(id),
+                    "dropout outside the selection"
+                );
+                assert!(
+                    !rec.dropped.contains(id),
+                    "dropouts and stragglers must stay disjoint"
+                );
+                let i = rec.participants.iter().position(|p| p == id).unwrap();
+                assert_eq!(
+                    rec.update_fractions[i], 0.0,
+                    "a dropout contributes no update"
+                );
+            }
+            assert_eq!(
+                rec.survivors().len(),
+                rec.participants.len() - rec.dropouts.len() - rec.dropped.len(),
+                "survivors = participants minus dropouts minus stragglers"
+            );
+        }
+    }
+
+    #[test]
+    fn overselect_provisions_extra_participants() {
+        let mut cfg = SimConfig::smoke(3);
+        cfg.max_rounds = 8;
+        cfg.target_accuracy = Some(1.1);
+        // Calm dynamics: nobody churns, so the whole fleet is eligible
+        // and the over-provisioned K is always realised.
+        let calm = crate::fleet::FleetDynamics {
+            foreground_prob: 0.0,
+            offline_prob: 0.0,
+            mid_round_drop_prob: 0.0,
+            initial_soc_min: 1.0,
+            initial_soc_max: 1.0,
+            ..crate::fleet::FleetDynamics::realistic()
+        };
+        cfg.fleet = Some(calm.straggler(crate::fleet::StragglerPolicy::OverSelect { extra: 5 }));
+        let k = cfg.params.num_participants;
+        let result = Simulation::new(cfg).run(&mut RandomSelector::new());
+        for rec in &result.records {
+            assert_eq!(rec.participants.len(), k + 5, "round {}", rec.round);
+        }
+    }
+
+    #[test]
+    fn wait_bounded_keeps_updates_that_drop_would_cut() {
+        let mut cfg = SimConfig::smoke(6);
+        cfg.scenario = VarianceScenario::with_interference();
+        cfg.straggler_deadline_factor = 1.3;
+        cfg.max_rounds = 15;
+        cfg.target_accuracy = Some(1.1);
+        let calm = crate::fleet::FleetDynamics {
+            foreground_prob: 0.0,
+            offline_prob: 0.0,
+            mid_round_drop_prob: 0.0,
+            ..crate::fleet::FleetDynamics::realistic()
+        };
+        let misses = |straggler| {
+            let mut cfg = cfg.clone();
+            cfg.fleet = Some(calm.clone().straggler(straggler));
+            let result = Simulation::new(cfg).run(&mut RandomSelector::new());
+            result
+                .records
+                .iter()
+                .map(|r| r.dropped.len())
+                .sum::<usize>()
+        };
+        let dropped = misses(crate::fleet::StragglerPolicy::Drop);
+        let waited = misses(crate::fleet::StragglerPolicy::WaitBounded { grace: 2.0 });
+        assert!(dropped > 0, "interference must create stragglers");
+        assert!(
+            waited < dropped,
+            "waiting must keep updates: {waited} vs {dropped}"
+        );
     }
 }

@@ -1,0 +1,581 @@
+//! Stochastic fleet dynamics: battery, thermal, churn and mid-round
+//! dropout.
+//!
+//! Production FL fleets are unstable — devices are only eligible while
+//! idle, charging (or sufficiently charged) and connected; sustained
+//! training heats the SoC until the governor throttles it; and selected
+//! participants can vanish mid-round when their battery dies or their
+//! network drops. [`FleetDynamics`] is the configuration block
+//! (`SimConfig::fleet`, off by default) that switches those effects on;
+//! [`FleetState`] carries the per-device
+//! [`DeviceLifecycle`](autofl_device::lifecycle::DeviceLifecycle) states
+//! across rounds and evolves them with per-device RNG streams seeded
+//! `(seed, round, id)` — the same rule as
+//! [`VarianceScenario::sample_fleet`](autofl_device::scenario::VarianceScenario::sample_fleet),
+//! so trajectories are bit-identical at any thread count.
+//!
+//! The round engine pairs the dynamics with a [`StragglerPolicy`]
+//! deciding what happens to participants that miss the deadline or drop
+//! out: cut them at the deadline (`Drop`), wait a bounded grace factor
+//! (`WaitBounded`), or over-provision the selection (`OverSelect`) so the
+//! surviving cohort still reaches `K`. Partial FedAvg aggregation is
+//! reweighted over the survivors through the effective sample masses the
+//! engine feeds to `CohortStats`; [`survivor_weights`] is the canonical
+//! normalised form of those masses (summing to exactly 1.0), asserted on
+//! the engine's aggregation path in debug builds and pinned bit-exact by
+//! property tests.
+
+use autofl_device::fleet::{DeviceId, Fleet};
+use autofl_device::lifecycle::DeviceLifecycle;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// How the round engine treats participants that miss the deadline
+/// (stragglers) on top of mid-round dropouts.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum StragglerPolicy {
+    /// Cut stragglers at the deadline — FedAvg's conventional behaviour
+    /// (partial-update algorithms still keep their partial work).
+    #[default]
+    Drop,
+    /// Wait up to `grace × deadline` for stragglers before cutting them:
+    /// fewer lost updates, longer (and more energy-hungry) rounds.
+    WaitBounded {
+        /// Multiplier (≥ 1) on the nominal straggler deadline.
+        grace: f64,
+    },
+    /// Select `K + extra` participants so that the expected survivor
+    /// count stays near `K` under dropout, at the cost of extra active
+    /// energy.
+    OverSelect {
+        /// Additional participants selected beyond `K`.
+        extra: usize,
+    },
+}
+
+impl StragglerPolicy {
+    /// Short label used in reports.
+    pub fn name(&self) -> String {
+        match self {
+            StragglerPolicy::Drop => "Drop".to_string(),
+            StragglerPolicy::WaitBounded { grace } => format!("Wait({grace})"),
+            StragglerPolicy::OverSelect { extra } => format!("OverSelect(K+{extra})"),
+        }
+    }
+}
+
+/// The `fleet` block of [`crate::engine::SimConfig`]: per-round lifecycle
+/// dynamics of the device fleet. `None` (the default) reproduces the
+/// static fleet bit for bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetDynamics {
+    /// Lower bound of the initial per-device state of charge.
+    pub initial_soc_min: f64,
+    /// Upper bound of the initial per-device state of charge.
+    pub initial_soc_max: f64,
+    /// Per-round probability an unplugged device gets plugged in.
+    pub charge_prob: f64,
+    /// State of charge gained per simulated second while plugged in.
+    pub charge_rate_per_s: f64,
+    /// State of charge lost per simulated second while idle and
+    /// unplugged.
+    pub idle_drain_per_s: f64,
+    /// Multiplier on each tier's nominal battery capacity
+    /// ([`autofl_device::tier::DeviceTier::battery_capacity_j`]); values
+    /// below 1 make training drain (and kill) batteries faster.
+    pub battery_capacity_scale: f64,
+    /// Minimum state of charge for an unplugged device to be eligible
+    /// (the production check-in rule's battery gate).
+    pub min_soc: f64,
+    /// State of charge at which a training device dies mid-round.
+    pub reserve_soc: f64,
+    /// Per-round base probability of a foreground user session (scaled by
+    /// each device's interference propensity).
+    pub foreground_prob: f64,
+    /// Per-round base probability of being offline (scaled by each
+    /// device's weak-signal propensity).
+    pub offline_prob: f64,
+    /// Per-round base probability that a selected participant loses
+    /// connectivity mid-round (scaled by its weak-signal propensity).
+    pub mid_round_drop_prob: f64,
+    /// Thermal throttle gained per second of training.
+    pub heat_per_s: f64,
+    /// Thermal throttle shed per second while not training.
+    pub cool_per_s: f64,
+    /// Straggler / dropout handling at aggregation.
+    pub straggler: StragglerPolicy,
+}
+
+impl Default for FleetDynamics {
+    fn default() -> Self {
+        FleetDynamics::realistic()
+    }
+}
+
+impl FleetDynamics {
+    /// An in-the-field default: most devices healthy, a noticeable
+    /// minority churning, moderate mid-round dropout.
+    pub fn realistic() -> Self {
+        FleetDynamics {
+            initial_soc_min: 0.25,
+            initial_soc_max: 1.0,
+            charge_prob: 0.35,
+            charge_rate_per_s: 4e-4,
+            idle_drain_per_s: 2e-5,
+            battery_capacity_scale: 1.0,
+            min_soc: 0.20,
+            reserve_soc: 0.05,
+            foreground_prob: 0.15,
+            offline_prob: 0.10,
+            mid_round_drop_prob: 0.05,
+            heat_per_s: 4e-3,
+            cool_per_s: 1e-2,
+            straggler: StragglerPolicy::Drop,
+        }
+    }
+
+    /// The realistic profile with the churn knobs scaled to a target
+    /// mid-round dropout rate (the x-axis of the `fig16_dropout` sweep).
+    pub fn with_dropout_rate(rate: f64) -> Self {
+        FleetDynamics {
+            mid_round_drop_prob: rate,
+            offline_prob: (rate * 0.5).min(1.0),
+            ..FleetDynamics::realistic()
+        }
+    }
+
+    /// Returns `self` with a different straggler policy (builder-style).
+    #[must_use]
+    pub fn straggler(mut self, policy: StragglerPolicy) -> Self {
+        self.straggler = policy;
+        self
+    }
+}
+
+/// What the round engine (and every selection policy through
+/// [`crate::selection::RoundContext::availability`]) knows about one
+/// device's availability at the start of a round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceAvailability {
+    /// Whether the device passes the check-in rule and may be selected.
+    pub eligible: bool,
+    /// Battery state of charge in `[0, 1]`.
+    pub soc: f64,
+    /// Thermal throttle level in `[0, 1]`.
+    pub throttle: f64,
+    /// Whether the device is plugged in.
+    pub charging: bool,
+    /// Whether a foreground user session is active.
+    pub foreground: bool,
+    /// Whether the device has connectivity.
+    pub online: bool,
+}
+
+impl DeviceAvailability {
+    /// A fully available device — what every device reports when the
+    /// fleet block is disabled.
+    pub fn ideal() -> Self {
+        DeviceAvailability {
+            eligible: true,
+            soc: 1.0,
+            throttle: 0.0,
+            charging: false,
+            foreground: false,
+            online: true,
+        }
+    }
+}
+
+/// Session stickiness: probability of *staying* plugged in, in a
+/// foreground session, or offline from one round to the next. Charging
+/// and user sessions span several rounds rather than flickering per
+/// round, which is what gives an adaptive selector a signal to learn.
+const STAY_CHARGING: f64 = 0.70;
+const STAY_FOREGROUND: f64 = 0.40;
+const STAY_OFFLINE: f64 = 0.30;
+
+/// Mixes a stream tag into per-device seeds (SplitMix64 finalizer — the
+/// same construction as the engine's condition streams, with distinct
+/// tags so lifecycle coins, dropout draws and condition samples never
+/// share a stream).
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seed of device `id`'s RNG stream for `(tag, round)`.
+fn device_stream_seed(seed: u64, tag: u64, round: u64, id: usize) -> u64 {
+    mix(seed
+        .wrapping_add(tag)
+        .wrapping_add(round.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        ^ (id as u64).wrapping_mul(0xd1b5_4a32_d192_ed03))
+}
+
+const TAG_INIT: u64 = 0x11fe;
+const TAG_ROUND: u64 = 0x10fe;
+const TAG_DROP: u64 = 0xd109;
+
+/// The carried lifecycle state of every device, plus the seed its RNG
+/// streams derive from.
+#[derive(Debug, Clone)]
+pub struct FleetState {
+    seed: u64,
+    states: Vec<DeviceLifecycle>,
+}
+
+impl FleetState {
+    /// Initial state for a fleet: per-device SoC drawn uniformly from the
+    /// configured range on stream `(seed, TAG_INIT, id)`; everyone cool,
+    /// idle and online.
+    pub fn new(config: &FleetDynamics, fleet: &Fleet, seed: u64) -> Self {
+        let states = (0..fleet.len())
+            .map(|i| {
+                let mut rng = SmallRng::seed_from_u64(device_stream_seed(seed, TAG_INIT, 0, i));
+                let soc = if config.initial_soc_max > config.initial_soc_min {
+                    rng.gen_range(config.initial_soc_min..config.initial_soc_max)
+                } else {
+                    config.initial_soc_min
+                };
+                DeviceLifecycle {
+                    soc,
+                    ..DeviceLifecycle::healthy()
+                }
+            })
+            .collect();
+        FleetState { seed, states }
+    }
+
+    /// The per-device lifecycle states.
+    pub fn states(&self) -> &[DeviceLifecycle] {
+        &self.states
+    }
+
+    /// Draws this round's charging / foreground / connectivity sessions
+    /// (sticky across rounds), writes every device's
+    /// [`DeviceAvailability`] into `out` (cleared first) and returns the
+    /// number of ineligible devices.
+    ///
+    /// Every device draws from its own stream `(seed, TAG_ROUND, round,
+    /// id)`, so the result is independent of thread count and schedule.
+    pub fn begin_round(
+        &mut self,
+        config: &FleetDynamics,
+        fleet: &Fleet,
+        round: usize,
+        out: &mut Vec<DeviceAvailability>,
+    ) -> usize {
+        let seed = self.seed;
+        self.states
+            .par_chunks_mut(64)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                for (j, state) in chunk.iter_mut().enumerate() {
+                    let i = ci * 64 + j;
+                    let mut rng = SmallRng::seed_from_u64(device_stream_seed(
+                        seed,
+                        TAG_ROUND,
+                        round as u64,
+                        i,
+                    ));
+                    let device = fleet.device(DeviceId(i));
+                    // Fixed draw order per device: charging, foreground,
+                    // connectivity — three coins per round regardless of
+                    // state, so streams never drift.
+                    let p_charge = if state.charging {
+                        STAY_CHARGING
+                    } else {
+                        config.charge_prob
+                    };
+                    state.charging = rng.gen_bool(p_charge.clamp(0.0, 1.0));
+                    let p_fg = if state.foreground {
+                        STAY_FOREGROUND
+                    } else {
+                        (config.foreground_prob * device.interference_propensity()).clamp(0.0, 1.0)
+                    };
+                    state.foreground = rng.gen_bool(p_fg);
+                    let p_off = if state.online {
+                        (config.offline_prob * device.weak_signal_propensity()).clamp(0.0, 1.0)
+                    } else {
+                        STAY_OFFLINE
+                    };
+                    state.online = !rng.gen_bool(p_off);
+                }
+            });
+        out.clear();
+        let mut ineligible = 0;
+        for state in &self.states {
+            let eligible = state.eligible(config.min_soc);
+            if !eligible {
+                ineligible += 1;
+            }
+            out.push(DeviceAvailability {
+                eligible,
+                soc: state.soc,
+                throttle: state.throttle,
+                charging: state.charging,
+                foreground: state.foreground,
+                online: state.online,
+            });
+        }
+        ineligible
+    }
+
+    /// Decides whether participant `id` drops out mid-round, given its
+    /// full-round energy `energy_j`, from stream `(seed, TAG_DROP, round,
+    /// id)` plus deterministic battery depletion. Returns the fraction of
+    /// the round completed before vanishing (`None` = survived).
+    pub fn mid_round_dropout(
+        &self,
+        config: &FleetDynamics,
+        fleet: &Fleet,
+        round: usize,
+        id: DeviceId,
+        energy_j: f64,
+    ) -> Option<f64> {
+        let state = &self.states[id.0];
+        let mut fraction: Option<f64> = None;
+        // Battery death: unplugged devices die when the round's energy
+        // would push SoC below the reserve — deterministic given state.
+        if !state.charging && energy_j > 0.0 {
+            let capacity =
+                fleet.device(id).tier().battery_capacity_j() * config.battery_capacity_scale;
+            let budget_j = (state.soc - config.reserve_soc).max(0.0) * capacity;
+            if budget_j < energy_j {
+                fraction = Some((budget_j / energy_j).clamp(0.0, 1.0));
+            }
+        }
+        // Connectivity churn: one coin + one uniform draw per participant.
+        let mut rng =
+            SmallRng::seed_from_u64(device_stream_seed(self.seed, TAG_DROP, round as u64, id.0));
+        let p_drop = (config.mid_round_drop_prob * fleet.device(id).weak_signal_propensity())
+            .clamp(0.0, 1.0);
+        let churn_coin = p_drop > 0.0 && rng.gen_bool(p_drop);
+        let churn_frac = rng.gen_range(0.05..0.95);
+        if churn_coin {
+            fraction = Some(match fraction {
+                Some(f) => f.min(churn_frac),
+                None => churn_frac,
+            });
+        }
+        fraction
+    }
+
+    /// Applies one completed round to the lifecycle states: participants
+    /// pay battery from their measured energy and heat up for their busy
+    /// seconds; everyone else drains (or charges) and cools over the
+    /// round duration.
+    ///
+    /// `busy_s` and `energy_j` are aligned with `participants`.
+    pub fn end_round(
+        &mut self,
+        config: &FleetDynamics,
+        fleet: &Fleet,
+        round_time_s: f64,
+        participants: &[DeviceId],
+        busy_s: &[f64],
+        energy_j: &[f64],
+    ) {
+        debug_assert_eq!(participants.len(), busy_s.len());
+        debug_assert_eq!(participants.len(), energy_j.len());
+        let mut participant_index = vec![usize::MAX; self.states.len()];
+        for (i, id) in participants.iter().enumerate() {
+            participant_index[id.0] = i;
+        }
+        // One pass, one clamp per device: a participant's net throttle
+        // change must be computed before clamping, otherwise the clamp
+        // floor would eat the cooling term and credit spurious heat.
+        for (d, state) in self.states.iter_mut().enumerate() {
+            let i = participant_index[d];
+            if i != usize::MAX {
+                if state.charging {
+                    state.soc += config.charge_rate_per_s * round_time_s;
+                } else {
+                    let capacity = fleet.device(DeviceId(d)).tier().battery_capacity_j()
+                        * config.battery_capacity_scale;
+                    state.soc -= energy_j[i] / capacity;
+                }
+                // Heats for its busy seconds, cools for the idle
+                // remainder of the round.
+                let busy = busy_s[i].min(round_time_s);
+                state.throttle +=
+                    config.heat_per_s * busy - config.cool_per_s * (round_time_s - busy);
+            } else {
+                if state.charging {
+                    state.soc += config.charge_rate_per_s * round_time_s;
+                } else {
+                    state.soc -= config.idle_drain_per_s * round_time_s;
+                }
+                state.throttle -= config.cool_per_s * round_time_s;
+            }
+            state.clamp();
+        }
+    }
+}
+
+/// Normalised aggregation weights over the surviving cohort:
+/// `w_i = e_i / Σe`, with the last survivor absorbing the floating-point
+/// remainder so the weights sum to *exactly* 1.0 (bit-exact), as partial
+/// FedAvg reweighting requires.
+///
+/// `effective` holds each survivor's effective sample mass
+/// (`samples × update fraction`) and must be strictly positive.
+pub fn survivor_weights(effective: &[f64]) -> Vec<f64> {
+    if effective.is_empty() {
+        return Vec::new();
+    }
+    let total: f64 = effective.iter().sum();
+    if total <= 0.0 || total.is_nan() {
+        // Degenerate cohort: fall back to uniform, same exact-sum rule.
+        let n = effective.len();
+        let mut w = vec![1.0 / n as f64; n];
+        let head: f64 = w[..n - 1].iter().sum();
+        w[n - 1] = 1.0 - head;
+        return w;
+    }
+    let mut w: Vec<f64> = effective.iter().map(|e| e / total).collect();
+    let head: f64 = w[..w.len() - 1].iter().sum();
+    let last = w.len() - 1;
+    w[last] = 1.0 - head;
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet() -> Fleet {
+        Fleet::custom(
+            &[
+                (autofl_device::tier::DeviceTier::High, 4),
+                (autofl_device::tier::DeviceTier::Mid, 8),
+                (autofl_device::tier::DeviceTier::Low, 12),
+            ],
+            7,
+        )
+    }
+
+    #[test]
+    fn begin_round_is_deterministic_and_thread_independent() {
+        let cfg = FleetDynamics::realistic();
+        let f = fleet();
+        let run = |threads: &str| {
+            let prev = std::env::var("AUTOFL_THREADS").ok();
+            std::env::set_var("AUTOFL_THREADS", threads);
+            let mut state = FleetState::new(&cfg, &f, 42);
+            let mut avail = Vec::new();
+            let mut history = Vec::new();
+            for round in 0..20 {
+                state.begin_round(&cfg, &f, round, &mut avail);
+                history.push(avail.clone());
+            }
+            match prev {
+                Some(v) => std::env::set_var("AUTOFL_THREADS", v),
+                None => std::env::remove_var("AUTOFL_THREADS"),
+            }
+            (state, history)
+        };
+        let (sa, ha) = run("1");
+        let (sb, hb) = run("8");
+        assert_eq!(sa.states(), sb.states());
+        assert_eq!(ha, hb);
+    }
+
+    #[test]
+    fn sessions_churn_but_most_devices_stay_eligible() {
+        let cfg = FleetDynamics::realistic();
+        let f = fleet();
+        let mut state = FleetState::new(&cfg, &f, 3);
+        let mut avail = Vec::new();
+        let mut ineligible_rounds = 0;
+        for round in 0..50 {
+            let ineligible = state.begin_round(&cfg, &f, round, &mut avail);
+            assert!(ineligible < f.len(), "whole fleet went dark");
+            if ineligible > 0 {
+                ineligible_rounds += 1;
+            }
+        }
+        assert!(
+            ineligible_rounds > 25,
+            "realistic dynamics should churn most rounds ({ineligible_rounds}/50)"
+        );
+    }
+
+    #[test]
+    fn battery_death_is_deterministic_and_proportional() {
+        let mut cfg = FleetDynamics::realistic();
+        cfg.mid_round_drop_prob = 0.0;
+        let f = fleet();
+        let mut state = FleetState::new(&cfg, &f, 5);
+        let id = DeviceId(0);
+        state.states[id.0].soc = cfg.reserve_soc + 0.001;
+        state.states[id.0].charging = false;
+        let capacity = f.device(id).tier().battery_capacity_j();
+        // Ten times the remaining budget: dies at ~10% of the round.
+        let energy = 0.001 * capacity * 10.0;
+        let frac = state
+            .mid_round_dropout(&cfg, &f, 1, id, energy)
+            .expect("must die");
+        assert!((frac - 0.1).abs() < 1e-12, "died at {frac}");
+        // Plugged in: survives the same round.
+        state.states[id.0].charging = true;
+        assert_eq!(state.mid_round_dropout(&cfg, &f, 1, id, energy), None);
+    }
+
+    #[test]
+    fn end_round_drains_participants_and_cools_idlers() {
+        let mut cfg = FleetDynamics::realistic();
+        cfg.charge_prob = 0.0;
+        let f = fleet();
+        let mut state = FleetState::new(&cfg, &f, 9);
+        for s in &mut state.states {
+            s.charging = false;
+            s.throttle = 0.5;
+            s.soc = 0.8;
+        }
+        let id = DeviceId(1);
+        let capacity = f.device(id).tier().battery_capacity_j();
+        state.end_round(&cfg, &f, 100.0, &[id], &[100.0], &[0.1 * capacity]);
+        let trained = state.states()[id.0];
+        let idle = state.states()[0];
+        assert!(trained.soc < idle.soc, "training drains more than idling");
+        assert!(
+            trained.throttle > idle.throttle,
+            "training heats while idling cools"
+        );
+        assert!(idle.throttle < 0.5);
+    }
+
+    #[test]
+    fn survivor_weights_sum_to_exactly_one() {
+        for effective in [
+            vec![300.0, 120.0, 77.0],
+            vec![1.0],
+            vec![0.05, 0.05, 0.9, 1e6],
+            vec![3.0; 20],
+        ] {
+            let w = survivor_weights(&effective);
+            assert_eq!(w.len(), effective.len());
+            assert!(w.iter().all(|x| *x >= 0.0));
+            let sum: f64 = w.iter().sum();
+            assert_eq!(sum.to_bits(), 1.0f64.to_bits(), "weights {w:?}");
+        }
+        assert!(survivor_weights(&[]).is_empty());
+    }
+
+    #[test]
+    fn straggler_policy_names_and_default() {
+        assert_eq!(StragglerPolicy::default(), StragglerPolicy::Drop);
+        assert_eq!(StragglerPolicy::Drop.name(), "Drop");
+        assert_eq!(
+            StragglerPolicy::WaitBounded { grace: 1.5 }.name(),
+            "Wait(1.5)"
+        );
+        assert_eq!(
+            StragglerPolicy::OverSelect { extra: 5 }.name(),
+            "OverSelect(K+5)"
+        );
+    }
+}

@@ -10,6 +10,9 @@
 //! * [`oracle`] — the `O_participant` and `O_FL` oracles.
 //! * [`accuracy`] — real-training and surrogate accuracy engines.
 //! * [`estimate`] — round-level time/energy estimation (Eqs. 5–6 inputs).
+//! * [`fleet`] — stochastic fleet dynamics (battery, thermal, churn,
+//!   mid-round dropout) and the straggler policies
+//!   (`Drop`/`WaitBounded`/`OverSelect`) the engine pairs them with.
 //! * [`engine`] — the round simulator with straggler handling and energy
 //!   accounting, producing [`engine::SimResult`]s whose `ppw_*` ratios are
 //!   the paper's reported numbers.
@@ -55,6 +58,7 @@ pub mod builder;
 pub mod clusters;
 pub mod engine;
 pub mod estimate;
+pub mod fleet;
 pub mod global;
 pub mod observe;
 pub mod oracle;
@@ -66,6 +70,7 @@ pub use algorithms::AggregationAlgorithm;
 pub use builder::{ConfigError, SimBuilder};
 pub use clusters::CharacterizationCluster;
 pub use engine::{Fidelity, RoundRecord, SimConfig, SimResult, Simulation};
+pub use fleet::{survivor_weights, DeviceAvailability, FleetDynamics, FleetState, StragglerPolicy};
 pub use global::GlobalParams;
 pub use observe::{CsvSink, JsonlSink, Progress, RoundObserver};
 pub use oracle::OracleSelector;

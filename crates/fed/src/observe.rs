@@ -51,8 +51,8 @@ pub trait RoundObserver {
 /// Streams one CSV row per round to any writer.
 ///
 /// Columns: `round,accuracy,round_time_s,active_energy_j,idle_energy_j,`
-/// `participants,dropped` — the id lists are space-separated so the file
-/// stays quote-free.
+/// `participants,dropped,dropouts,ineligible` — the id lists are
+/// space-separated so the file stays quote-free.
 pub struct CsvSink<W: Write> {
     out: W,
     wrote_header: bool,
@@ -93,14 +93,15 @@ impl<W: Write> RoundObserver for CsvSink<W> {
         if !self.wrote_header {
             writeln!(
                 self.out,
-                "round,accuracy,round_time_s,active_energy_j,idle_energy_j,participants,dropped"
+                "round,accuracy,round_time_s,active_energy_j,idle_energy_j,\
+                 participants,dropped,dropouts,ineligible"
             )
             .expect("CSV sink write");
             self.wrote_header = true;
         }
         writeln!(
             self.out,
-            "{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{}",
             record.round,
             record.accuracy,
             record.round_time_s,
@@ -108,6 +109,8 @@ impl<W: Write> RoundObserver for CsvSink<W> {
             record.idle_energy_j,
             join_ids(&record.participants),
             join_ids(&record.dropped),
+            join_ids(&record.dropouts),
+            record.ineligible,
         )
         .expect("CSV sink write");
     }

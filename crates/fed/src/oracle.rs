@@ -49,7 +49,7 @@ impl OracleSelector {
     /// Ranks a tier's devices for this round: fastest expected completion
     /// first, with non-IID (low class coverage) devices pushed back.
     fn rank_tier(ctx: &RoundContext<'_>, tier: DeviceTier, rng: &mut SmallRng) -> Vec<DeviceId> {
-        let mut pool = ctx.fleet.ids_of_tier(tier);
+        let mut pool = ctx.eligible_ids_of_tier(tier);
         // Random tie-break order first (the paper randomises among equals
         // to avoid biased selection).
         pool.shuffle(rng);
@@ -180,7 +180,7 @@ impl Selector for OracleSelector {
             }
         }
         let participants = best.map(|(_, p)| p).unwrap_or_else(|| {
-            let mut ids = ctx.fleet.ids();
+            let mut ids = ctx.eligible_ids();
             ids.shuffle(rng);
             ids.truncate(k);
             ids

@@ -2,6 +2,7 @@
 //! into.
 
 use crate::clusters::CharacterizationCluster;
+use crate::fleet::DeviceAvailability;
 use crate::global::GlobalParams;
 use autofl_data::partition::Partition;
 use autofl_device::cost::{ExecutionPlan, TrainingTask};
@@ -26,6 +27,10 @@ pub struct RoundContext<'a> {
     pub fleet: &'a Fleet,
     /// Per-device runtime conditions this round, indexed by raw device id.
     pub conditions: &'a [DeviceConditions],
+    /// Per-device availability this round (check-in eligibility, battery,
+    /// thermal, sessions), indexed by raw device id. All-ideal when the
+    /// fleet-dynamics block is disabled.
+    pub availability: &'a [DeviceAvailability],
     /// The training-data partition (for data-class counts).
     pub partition: &'a Partition,
     /// FL global parameters.
@@ -39,6 +44,30 @@ pub struct RoundContext<'a> {
 }
 
 impl RoundContext<'_> {
+    /// Whether device `id` passed this round's eligibility check-in.
+    pub fn is_eligible(&self, id: DeviceId) -> bool {
+        self.availability[id.0].eligible
+    }
+
+    /// Ids of every eligible device, in fleet order. Identical to
+    /// [`Fleet::ids`] when fleet dynamics are disabled.
+    pub fn eligible_ids(&self) -> Vec<DeviceId> {
+        self.fleet
+            .ids()
+            .into_iter()
+            .filter(|id| self.availability[id.0].eligible)
+            .collect()
+    }
+
+    /// Ids of every eligible device of one tier, in fleet order.
+    pub fn eligible_ids_of_tier(&self, tier: DeviceTier) -> Vec<DeviceId> {
+        self.fleet
+            .ids_of_tier(tier)
+            .into_iter()
+            .filter(|id| self.availability[id.0].eligible)
+            .collect()
+    }
+
     /// The training task device `id` would perform this round:
     /// `E × local_samples × training FLOPs/sample`, plus the gradient
     /// upload.
@@ -125,6 +154,10 @@ pub struct RoundFeedback<'a> {
     pub prev_accuracy: f64,
     /// Participants dropped as stragglers this round.
     pub dropped: &'a [DeviceId],
+    /// Participants that vanished mid-round (battery death or network
+    /// churn); disjoint from `dropped` and empty when fleet dynamics are
+    /// disabled.
+    pub dropouts: &'a [DeviceId],
 }
 
 /// A participant-selection (and execution-target) policy.
@@ -158,7 +191,7 @@ impl RandomSelector {
 
 impl Selector for RandomSelector {
     fn select(&mut self, ctx: &RoundContext<'_>, rng: &mut SmallRng) -> SelectionDecision {
-        let mut ids = ctx.fleet.ids();
+        let mut ids = ctx.eligible_ids();
         ids.shuffle(rng);
         ids.truncate(ctx.params.num_participants);
         SelectionDecision::cpu_max(ctx.fleet, ids)
@@ -226,17 +259,17 @@ impl Selector for ClusterSelector {
             (DeviceTier::Mid, m),
             (DeviceTier::Low, l),
         ] {
-            let mut pool = ctx.fleet.ids_of_tier(tier);
+            let mut pool = ctx.eligible_ids_of_tier(tier);
             pool.shuffle(rng);
-            // If the fleet has fewer devices of the tier than requested,
-            // take what exists; the shortfall is filled below.
+            // If the fleet has fewer eligible devices of the tier than
+            // requested, take what exists; the shortfall is filled below.
             participants.extend(pool.into_iter().take(want));
         }
-        // Fill any shortfall with random devices not yet selected.
+        // Fill any shortfall with random eligible devices not yet
+        // selected.
         if participants.len() < ctx.params.num_participants {
             let mut rest: Vec<DeviceId> = ctx
-                .fleet
-                .ids()
+                .eligible_ids()
                 .into_iter()
                 .filter(|id| !participants.contains(id))
                 .collect();
@@ -279,11 +312,13 @@ mod tests {
         data: &'a FlData,
         params: &'a GlobalParams,
         conditions: &'a [DeviceConditions],
+        availability: &'a [DeviceAvailability],
     ) -> RoundContext<'a> {
         RoundContext {
             round: 0,
             fleet,
             conditions,
+            availability,
             partition: &data.partition,
             params,
             workload: Workload::TinyTest,
@@ -296,7 +331,8 @@ mod tests {
     fn random_selects_k_distinct_devices() {
         let (fleet, data, params) = context_fixture();
         let conditions = vec![DeviceConditions::ideal(); 200];
-        let c = ctx(&fleet, &data, &params, &conditions);
+        let availability = vec![DeviceAvailability::ideal(); 200];
+        let c = ctx(&fleet, &data, &params, &conditions, &availability);
         let mut rng = SmallRng::seed_from_u64(1);
         let d = RandomSelector::new().select(&c, &mut rng);
         assert_eq!(d.participants.len(), 20);
@@ -311,7 +347,8 @@ mod tests {
     fn performance_selects_only_high_end() {
         let (fleet, data, params) = context_fixture();
         let conditions = vec![DeviceConditions::ideal(); 200];
-        let c = ctx(&fleet, &data, &params, &conditions);
+        let availability = vec![DeviceAvailability::ideal(); 200];
+        let c = ctx(&fleet, &data, &params, &conditions, &availability);
         let mut rng = SmallRng::seed_from_u64(2);
         let d = ClusterSelector::performance().select(&c, &mut rng);
         assert!(d
@@ -324,7 +361,8 @@ mod tests {
     fn cluster_c3_mixes_tiers_as_table4() {
         let (fleet, data, params) = context_fixture();
         let conditions = vec![DeviceConditions::ideal(); 200];
-        let c = ctx(&fleet, &data, &params, &conditions);
+        let availability = vec![DeviceAvailability::ideal(); 200];
+        let c = ctx(&fleet, &data, &params, &conditions, &availability);
         let mut rng = SmallRng::seed_from_u64(3);
         let d = ClusterSelector::new(CharacterizationCluster::C3).select(&c, &mut rng);
         let count = |t: DeviceTier| {
@@ -347,7 +385,8 @@ mod tests {
     fn task_for_scales_with_local_data_and_epochs() {
         let (fleet, data, params) = context_fixture();
         let conditions = vec![DeviceConditions::ideal(); 200];
-        let c = ctx(&fleet, &data, &params, &conditions);
+        let availability = vec![DeviceAvailability::ideal(); 200];
+        let c = ctx(&fleet, &data, &params, &conditions, &availability);
         let t = c.task_for(DeviceId(0));
         let samples = data.partition.device_indices(0).len() as u64;
         assert_eq!(

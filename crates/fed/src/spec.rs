@@ -192,6 +192,7 @@ impl ExperimentSpec {
 mod tests {
     use super::*;
     use crate::engine::Fidelity;
+    use crate::fleet::{FleetDynamics, StragglerPolicy};
     use crate::policy::baseline_registry;
     use autofl_data::partition::DataDistribution;
 
@@ -203,7 +204,29 @@ mod tests {
             eval_samples: 32,
         };
         config.target_accuracy = Some(0.9);
+        // Exercise the fleet block (incl. a data-carrying straggler
+        // variant) through the exact-JSON round-trip below.
+        config.fleet = Some(
+            FleetDynamics::with_dropout_rate(0.25)
+                .straggler(StragglerPolicy::OverSelect { extra: 2 }),
+        );
         ExperimentSpec::new("fixture", config, ["FedAvg-Random", "C3", "O_FL"], 2)
+    }
+
+    #[test]
+    fn fleet_block_validation_runs_on_spec_load() {
+        let mut spec = spec_fixture();
+        if let Some(fleet) = &mut spec.config.fleet {
+            fleet.mid_round_drop_prob = 7.0;
+        }
+        let err = ExperimentSpec::from_json(&spec.to_json()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SpecError::Config(crate::builder::ConfigError::BadFleetProbability(_))
+            ),
+            "got {err:?}"
+        );
     }
 
     #[test]

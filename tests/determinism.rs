@@ -8,7 +8,9 @@
 //! actually change the simulation.
 
 use autofl_core::AutoFl;
+use autofl_device::scenario::VarianceScenario;
 use autofl_fed::engine::{Fidelity, SimConfig, SimResult, Simulation};
+use autofl_fed::fleet::{FleetDynamics, StragglerPolicy};
 use autofl_fed::oracle::OracleSelector;
 use autofl_fed::selection::{RandomSelector, Selector};
 
@@ -38,6 +40,8 @@ fn assert_bit_identical(a: &SimResult, b: &SimResult) {
         assert_eq!(ra.participants, rb.participants, "round {}", ra.round);
         assert_eq!(ra.plans, rb.plans, "round {}", ra.round);
         assert_eq!(ra.dropped, rb.dropped, "round {}", ra.round);
+        assert_eq!(ra.dropouts, rb.dropouts, "round {}", ra.round);
+        assert_eq!(ra.ineligible, rb.ineligible, "round {}", ra.round);
         // f64 equality on purpose: the contract is bit-reproducibility,
         // not approximate agreement.
         assert_eq!(ra.accuracy.to_bits(), rb.accuracy.to_bits());
@@ -116,6 +120,66 @@ fn thread_count_never_changes_real_training_results() {
             "real training diverged at {threads} threads"
         );
         assert_bit_identical(&base, &other);
+    }
+}
+
+/// A smoke-scale configuration with every fleet-dynamics effect active:
+/// runtime variance, churn, battery, thermal, mid-round dropout.
+fn dropout_config(seed: u64, straggler: StragglerPolicy) -> SimConfig {
+    let mut cfg = SimConfig::smoke(seed);
+    cfg.scenario = VarianceScenario::realistic();
+    cfg.max_rounds = 20;
+    cfg.target_accuracy = Some(1.1);
+    cfg.fleet = Some(FleetDynamics::with_dropout_rate(0.35).straggler(straggler));
+    cfg
+}
+
+#[test]
+fn thread_count_never_changes_dropout_enabled_results() {
+    // The fleet-dynamics subsystem evolves lifecycle state with
+    // per-device RNG streams; this pins the contract across every
+    // registered policy (baselines, clusters, oracles, AutoFL) with
+    // dropout, churn and OverSelect all active.
+    let registry = autofl_core::standard_registry();
+    for policy in registry.iter() {
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let cfg = dropout_config(13, StragglerPolicy::OverSelect { extra: 5 });
+                let mut selector = policy.make_selector();
+                Simulation::new(cfg).run(selector.as_mut())
+            })
+        };
+        let base = run(1);
+        let total_dropouts: usize = base.records.iter().map(|r| r.dropouts.len()).sum();
+        assert!(
+            total_dropouts > 0,
+            "{}: the dropout config must actually drop devices",
+            policy.name()
+        );
+        for threads in [2, 8] {
+            let other = run(threads);
+            assert_bit_identical(&base, &other);
+        }
+    }
+}
+
+#[test]
+fn thread_count_never_changes_wait_and_drop_policies() {
+    // The remaining straggler policies, pinned with the random baseline.
+    for straggler in [
+        StragglerPolicy::Drop,
+        StragglerPolicy::WaitBounded { grace: 1.6 },
+    ] {
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let mut selector = RandomSelector::new();
+                Simulation::new(dropout_config(29, straggler)).run(&mut selector)
+            })
+        };
+        let base = run(1);
+        for threads in [2, 8] {
+            assert_bit_identical(&base, &run(threads));
+        }
     }
 }
 

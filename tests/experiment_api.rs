@@ -7,7 +7,8 @@
 //! change: `AUTOFL_REGEN_SPECS=1 cargo test --test experiment_api`.
 
 use autofl::fed::engine::{SimConfig, Simulation};
-use autofl::fed::policy::{run_policy, Policy};
+use autofl::fed::observe::JsonlSink;
+use autofl::fed::policy::{run_policy, run_policy_observed, Policy};
 use autofl::fed::spec::ExperimentSpec;
 use autofl::{standard_registry, PAPER_POLICIES};
 use autofl_fed::GlobalParams;
@@ -155,6 +156,39 @@ fn checked_in_spec_files_match_their_generators() {
         // text, so diffs stay reviewable.
         assert_eq!(text.trim_end(), spec.to_json(), "{path} is not canonical");
     }
+}
+
+#[test]
+fn smoke_spec_trace_matches_the_checked_in_golden_file() {
+    // Reproduces exactly what `spec_run tests/specs/smoke.json --trace`
+    // writes — the spec's first policy at the first repeat's seed with a
+    // JSONL round sink — and pins it byte for byte, so the observer
+    // output format (and the trajectory underneath it) cannot drift
+    // silently. `AUTOFL_REGEN_SPECS=1` regenerates after an intentional
+    // format change.
+    let path = "tests/specs/smoke_trace.jsonl";
+    let text = std::fs::read_to_string("tests/specs/smoke.json").expect("smoke spec");
+    let spec = ExperimentSpec::from_json(&text).expect("smoke spec parses");
+    let registry = standard_registry();
+    let policy = registry
+        .get(&spec.policies[0])
+        .expect("first policy resolves");
+    let mut sink = JsonlSink::new(Vec::new());
+    let result = run_policy_observed(&spec.config, policy, &mut [&mut sink]);
+    let produced = String::from_utf8(sink.into_inner()).expect("JSONL is UTF-8");
+    assert_eq!(produced.lines().count(), result.records.len());
+    if std::env::var("AUTOFL_REGEN_SPECS").is_ok() {
+        std::fs::write(path, &produced).expect("write golden trace");
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{path}: {e} (AUTOFL_REGEN_SPECS=1 to create)"));
+    assert!(
+        produced == golden,
+        "{path} drifted from `spec_run --trace` output: the JSONL record \
+         format or the smoke trajectory changed \
+         (AUTOFL_REGEN_SPECS=1 to regenerate intentionally)"
+    );
 }
 
 #[test]
