@@ -3,7 +3,7 @@
 
 use autofl_device::cost::{ExecutionPlan, TrainingTask};
 use autofl_device::fleet::{DeviceId, Fleet};
-use autofl_device::scenario::DeviceConditions;
+use autofl_device::store::ConditionsStore;
 use autofl_fed::engine::Simulation;
 use autofl_fed::estimate::estimate_round;
 use autofl_fed::oracle::OracleSelector;
@@ -12,7 +12,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn estimate(c: &mut Criterion) {
     let fleet = Fleet::paper_fleet(1);
-    let conditions = vec![DeviceConditions::ideal(); fleet.len()];
+    let conditions = ConditionsStore::new(fleet.len(), 1);
     let ids: Vec<DeviceId> = (0..20).map(DeviceId).collect();
     let plans: Vec<ExecutionPlan> = ids
         .iter()

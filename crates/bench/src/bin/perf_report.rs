@@ -14,25 +14,14 @@
 //! settings time *identical* computations: `speedup` is a pure scheduling
 //! ratio, `wall_ms(threads=1) / wall_ms(threads=N)`.
 
-use autofl_bench::{par_sweep, standard_registry, Policy};
+use autofl_bench::{merge_bench_rows, par_sweep, standard_registry, BenchRow, Policy};
 use autofl_fed::engine::{Fidelity, SimConfig, Simulation};
 use autofl_fed::selection::RandomSelector;
 use autofl_nn::layers::{Conv2d, Layer};
 use autofl_nn::tensor::Tensor;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
 use std::time::Instant;
-
-/// One `BENCH_autofl.json` row; the schema is pinned by CI
-/// (`perf_report --smoke` runs on every push).
-#[derive(Serialize)]
-struct BenchRow {
-    bench: &'static str,
-    threads: usize,
-    wall_ms: f64,
-    speedup: f64,
-}
 
 fn pseudo_tensor(shape: Vec<usize>, rng: &mut SmallRng) -> Tensor {
     let n: usize = shape.iter().product();
@@ -109,6 +98,30 @@ fn bench_real_training_round(smoke: bool) -> f64 {
     })
 }
 
+fn bench_scale_10k(smoke: bool) -> f64 {
+    // The fleet-size axis at a CI-friendly point: 10k devices, sharded
+    // stores, labels-only surrogate data, full fleet dynamics. The
+    // deeper sweep (up to 1M devices) lives in the `fig_scale` binary.
+    let rounds = if smoke { 3 } else { 5 };
+    let mut sim = Simulation::builder(autofl_nn::zoo::Workload::CnnMnist)
+        .devices(10_000)
+        .shards(16)
+        .samples_per_device(8)
+        .test_samples(64)
+        .max_rounds(rounds)
+        .target_accuracy(1.1)
+        .fleet_dynamics(autofl_fed::fleet::FleetDynamics::realistic())
+        .seed(42)
+        .build()
+        .expect("10k scale config is valid");
+    let mut sel = RandomSelector::new();
+    time_ms(|| {
+        for round in 0..rounds {
+            let _ = sim.run_round(&mut sel, round);
+        }
+    })
+}
+
 fn bench_sweep(smoke: bool) -> f64 {
     // Config-level fan-out: the sweep dimension the fig binaries scale
     // along. Every (config, policy) pair is an independent simulation.
@@ -155,6 +168,7 @@ fn main() {
         ("surrogate_rounds", bench_surrogate_round),
         ("real_training_rounds", bench_real_training_round),
         ("multi_config_sweep", bench_sweep),
+        ("fleet_scale_10k_rounds", bench_scale_10k),
     ];
 
     println!(
@@ -187,10 +201,12 @@ fn main() {
             };
             println!("{name:<22} {threads:>8} {wall_ms:>12.2} {speedup:>8.2}x");
             rows.push(BenchRow {
-                bench: name,
+                bench: name.to_string(),
                 threads,
                 wall_ms,
                 speedup,
+                rounds_per_s: 0.0,
+                peak_rss_kb: 0.0,
             });
             if max_threads == 1 {
                 break; // threads=1 and threads=N are the same measurement
@@ -202,7 +218,8 @@ fn main() {
         None => std::env::remove_var("AUTOFL_THREADS"),
     }
 
-    let json = serde_json::to_string_pretty(&rows).expect("bench rows serialize");
-    std::fs::write(&out_path, json + "\n").expect("write bench json");
-    println!("\nwrote {out_path}");
+    // Merge rather than overwrite: `fig_scale` rows in the same file
+    // survive a perf_report refresh (and vice versa).
+    merge_bench_rows(&out_path, rows).expect("write bench json");
+    println!("\nmerged rows into {out_path}");
 }

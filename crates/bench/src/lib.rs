@@ -2,9 +2,10 @@
 //!
 //! Every `fig*` binary in `src/bin/` reproduces one table or figure of the
 //! paper: it builds the matching configuration through
-//! [`Simulation::builder`], resolves its policies from the
-//! [`standard_registry`], and prints the same rows/series the paper
-//! reports (PPW normalised to FedAvg-Random, convergence time, accuracy).
+//! [`Simulation::builder`](autofl_fed::engine::Simulation::builder),
+//! resolves its policies from the [`standard_registry`], and prints the
+//! same rows/series the paper reports (PPW normalised to FedAvg-Random,
+//! convergence time, accuracy).
 //! The `spec_run` binary executes checked-in
 //! [`autofl_fed::spec::ExperimentSpec`] files through the same registry,
 //! so every figure is reproducible from a declarative JSON file. See
@@ -13,6 +14,7 @@
 use autofl_fed::engine::{SimConfig, SimResult};
 pub use autofl_fed::policy::{run_policy, Policy, PolicyRegistry};
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
 pub use autofl_core::policy::{standard_registry, PAPER_POLICIES};
 
@@ -35,6 +37,61 @@ pub fn par_sweep(runs: &[(SimConfig, &dyn Policy)]) -> Vec<SimResult> {
     runs.par_iter()
         .map(|(config, policy)| run_policy(config, *policy))
         .collect()
+}
+
+/// One `BENCH_autofl.json` row, shared by `perf_report` (kernel and
+/// round timings at 1 and N threads) and `fig_scale` (the fleet-size
+/// sweep, which additionally fills `rounds_per_s` and the peak-RSS
+/// proxy). Rows from different tools merge into one file through
+/// [`merge_bench_rows`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRow {
+    /// Benchmark name (`fig_scale` rows are `fleet_scale[_dyn]_n<N>`).
+    pub bench: String,
+    /// Worker-thread budget the measurement ran under.
+    pub threads: usize,
+    /// Wall-clock time of the measured section in milliseconds.
+    pub wall_ms: f64,
+    /// `wall_ms(threads=1) / wall_ms(threads=this)`; 1.0 when only one
+    /// thread setting was measured.
+    pub speedup: f64,
+    /// Simulated aggregation rounds per second (0 for kernel benches).
+    pub rounds_per_s: f64,
+    /// Peak-RSS proxy in kB: `VmHWM` from `/proc/self/status`, falling
+    /// back to the simulation's tracked per-device store bytes
+    /// (`Simulation::store_bytes`) off Linux; 0 for kernel benches that
+    /// track no memory.
+    pub peak_rss_kb: f64,
+}
+
+/// Merges `rows` into the JSON row array at `path`: existing rows with
+/// the same `(bench, threads)` key are replaced, others are kept, new
+/// rows are appended. A missing or unparseable file (e.g. an older
+/// schema) starts from empty, so the file self-heals across versions.
+pub fn merge_bench_rows(path: &str, rows: Vec<BenchRow>) -> std::io::Result<()> {
+    let mut merged: Vec<BenchRow> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok())
+        .unwrap_or_default();
+    for row in rows {
+        match merged
+            .iter_mut()
+            .find(|r| r.bench == row.bench && r.threads == row.threads)
+        {
+            Some(slot) => *slot = row,
+            None => merged.push(row),
+        }
+    }
+    let json = serde_json::to_string_pretty(&merged).expect("bench rows serialize");
+    std::fs::write(path, json + "\n")
+}
+
+/// Best-effort peak resident-set size of this process in kB (`VmHWM`
+/// from `/proc/self/status`); `None` off Linux or when unreadable.
+pub fn peak_rss_kb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse::<f64>().ok()
 }
 
 /// One row of a normalised comparison table.

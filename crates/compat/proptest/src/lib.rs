@@ -3,7 +3,7 @@
 //! Supports the subset used by `tests/state_properties.rs`: the
 //! [`proptest!`] macro (with an optional `#![proptest_config(..)]` inner
 //! attribute), range strategies for integers and floats,
-//! [`bool::ANY`](crate::bool::ANY), and the `prop_assert*` macros.
+//! [`bool::ANY`], and the `prop_assert*` macros.
 //!
 //! Unlike real proptest there is no shrinking and no failure-persistence
 //! file; inputs are drawn from a seeded deterministic generator, so a

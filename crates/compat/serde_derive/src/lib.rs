@@ -1,7 +1,7 @@
 //! Derive-macro half of the in-tree `serde` shim.
 //!
 //! Generates genuine field-by-field `Serialize`/`Deserialize`
-//! implementations against the shim's [`Value`] data model — named-field
+//! implementations against the shim's `Value` data model — named-field
 //! structs become maps in declaration order, newtype structs are
 //! transparent, unit enum variants become strings and data-carrying
 //! variants become single-entry maps (serde's external tagging). The

@@ -8,7 +8,7 @@ use crate::reward::{reward, ParticipationOutcome, RewardConfig, RewardInputs};
 use crate::state::{GlobalState, LocalState, StateSpace};
 use autofl_device::cost::{execute, ExecutionPlan};
 use autofl_device::fleet::DeviceId;
-use autofl_fed::selection::{RoundContext, RoundFeedback, SelectionDecision, Selector};
+use autofl_fed::selection::{top_k_by, RoundContext, RoundFeedback, SelectionDecision, Selector};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -181,7 +181,7 @@ impl AutoFl {
         let tier = ctx.fleet.device(id).tier();
         let task = ctx.task_for(id);
         let time_of = |a: Action| -> f64 {
-            execute(tier, a.plan_for(tier), task, &ctx.conditions[id.0]).total_time_s()
+            execute(tier, a.plan_for(tier), task, &ctx.conditions.get(id.0)).total_time_s()
         };
         let budget = pace_s * 1.05;
         if time_of(action) <= budget {
@@ -242,13 +242,19 @@ impl Selector for AutoFl {
         }
         let global_state = self.space.global_state(ctx);
         let total_classes = ctx.partition.num_classes().max(1) as f64;
+        // Per-device local states, read through the sharded stores: the
+        // conditions store materialises one struct per device and the
+        // availability view is storage-free for a static fleet.
         let locals: Vec<LocalState> = ctx
             .fleet
             .iter()
             .map(|d| {
                 let frac = ctx.partition.num_classes_present(d.id().0) as f64 / total_classes;
-                self.space
-                    .local_state(&ctx.conditions[d.id().0], frac, &ctx.availability[d.id().0])
+                self.space.local_state(
+                    &ctx.conditions.get(d.id().0),
+                    frac,
+                    &ctx.availability.get(d.id().0),
+                )
             })
             .collect();
         let observe_elapsed = t_observe.elapsed();
@@ -274,21 +280,34 @@ impl Selector for AutoFl {
             }
             ids
         } else {
-            let mut scored: Vec<(DeviceId, Action, f64)> = ctx
-                .fleet
-                .iter()
-                .filter(|d| ctx.availability[d.id().0].eligible)
-                .map(|d| {
-                    let id = d.id();
-                    let (a, q) =
-                        tables
-                            .table_mut(id)
-                            .best_action(global_state, locals[id.0], &candidates);
-                    (id, a, q)
-                })
-                .collect();
-            scored.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite Q-values"));
-            scored.truncate(k);
+            // Pre-sized from the per-shard availability bins: the store
+            // already counted the eligible devices, so no fleet scan (or
+            // Vec regrowth) is needed to size the candidate buffer.
+            let mut scored: Vec<(DeviceId, Action, f64)> =
+                Vec::with_capacity(ctx.availability.eligible_count());
+            scored.extend(
+                ctx.fleet
+                    .iter()
+                    .filter(|d| ctx.availability.is_eligible(d.id().0))
+                    .map(|d| {
+                        let id = d.id();
+                        let (a, q) = tables.table_mut(id).best_action(
+                            global_state,
+                            locals[id.0],
+                            &candidates,
+                        );
+                        (id, a, q)
+                    }),
+            );
+            // Deterministic partial top-K over Q-values (O(N + K log K)
+            // instead of sorting the whole eligible fleet): ties keep
+            // fleet order via the device-id tie-break, exactly as the
+            // stable full sort this replaces did.
+            top_k_by(&mut scored, k, |a, b| {
+                b.2.partial_cmp(&a.2)
+                    .expect("finite Q-values")
+                    .then_with(|| a.0.cmp(&b.0))
+            });
             for (id, a, _) in &scored {
                 // Per-device ε-greedy over the second-level action: each
                 // selected device's agent occasionally tries a different
@@ -320,7 +339,7 @@ impl Selector for AutoFl {
                     tier,
                     ExecutionPlan::cpu_max(tier),
                     ctx.task_for(*id),
-                    &ctx.conditions[id.0],
+                    &ctx.conditions.get(id.0),
                 )
                 .total_time_s()
             })

@@ -47,6 +47,32 @@ impl Dataset {
         }
     }
 
+    /// Creates a dataset that stores only labels — no sample features.
+    ///
+    /// This is the storage mode behind surrogate-fidelity simulations:
+    /// partitioning and every cohort-skew statistic depend only on the
+    /// labels, so a million-device fleet does not need gigabytes of
+    /// synthetic pixels it will never read. Calling [`Dataset::batch`] or
+    /// [`Dataset::minibatches`] on a labels-only dataset panics.
+    pub fn labels_only(labels: Vec<usize>, sample_shape: Vec<usize>, num_classes: usize) -> Self {
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        Dataset {
+            xs: Vec::new(),
+            labels,
+            sample_shape,
+            num_classes,
+        }
+    }
+
+    /// Whether the dataset stores sample features (false for
+    /// [`Dataset::labels_only`] stores).
+    pub fn has_features(&self) -> bool {
+        !self.xs.is_empty() || self.labels.is_empty()
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.labels.len()
@@ -78,6 +104,10 @@ impl Dataset {
     ///
     /// Panics if any index is out of bounds.
     pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        assert!(
+            self.has_features(),
+            "labels-only dataset holds no sample features to batch"
+        );
         let per: usize = self.sample_shape.iter().product();
         let mut buf = Vec::with_capacity(indices.len() * per);
         let mut labels = Vec::with_capacity(indices.len());

@@ -70,6 +70,34 @@ impl FlData {
             partition,
         }
     }
+
+    /// Like [`FlData::generate`], but stores only labels — the partition
+    /// and every cohort-skew statistic are **bit-identical** to the full
+    /// generator's (they depend only on labels, and the label streams
+    /// match), while no sample features are synthesised or held.
+    ///
+    /// This is what surrogate-fidelity simulations build: it turns the
+    /// memory footprint of a million-device fleet from gigabytes of
+    /// pixels into two flat index arrays. Attempting to batch training
+    /// data from it panics — real-training fidelity must use
+    /// [`FlData::generate`].
+    pub fn generate_stats_only(
+        workload: Workload,
+        num_devices: usize,
+        samples_per_device: usize,
+        test_samples: usize,
+        distribution: DataDistribution,
+        seed: u64,
+    ) -> Self {
+        let train = synth::generate_labels(workload, num_devices * samples_per_device, seed);
+        let test = synth::generate_stream_labels(workload, test_samples, seed, 1);
+        let partition = Partition::new(&train, num_devices, distribution, seed ^ 0x9a27);
+        FlData {
+            train,
+            test,
+            partition,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -52,12 +52,22 @@ impl DataDistribution {
 }
 
 /// The assignment of training-sample indices to devices.
+///
+/// Stored flattened (CSR-style offsets into one index array, one
+/// row-major class-count matrix) rather than as nested `Vec`s: at a
+/// million devices the nested layout costs a million separate heap
+/// allocations and pointer-chasing on every cohort-statistics walk,
+/// while the flat layout is two contiguous arrays.
 #[derive(Debug, Clone)]
 pub struct Partition {
-    per_device: Vec<Vec<usize>>,
+    /// `offsets[d]..offsets[d + 1]` is device `d`'s slice of `indices`.
+    offsets: Vec<usize>,
+    /// Flattened per-device training-sample indices.
+    indices: Vec<usize>,
     non_iid_devices: Vec<bool>,
     num_classes: usize,
-    class_counts: Vec<Vec<usize>>,
+    /// Row-major `num_devices × num_classes` label histogram.
+    counts: Vec<usize>,
 }
 
 impl Partition {
@@ -178,26 +188,40 @@ impl Partition {
             per_device[j % num_devices].push(sample);
         }
 
-        let class_counts = per_device
-            .iter()
-            .map(|idx| dataset.class_histogram(idx))
-            .collect();
+        // Flatten into the CSR layout: one offsets array, one index
+        // array, one row-major histogram matrix.
+        let mut offsets = Vec::with_capacity(num_devices + 1);
+        let mut indices = Vec::with_capacity(total);
+        let mut counts = Vec::with_capacity(num_devices * classes);
+        offsets.push(0);
+        for idx in &per_device {
+            indices.extend_from_slice(idx);
+            offsets.push(indices.len());
+            counts.extend_from_slice(&dataset.class_histogram(idx));
+        }
         Partition {
-            per_device,
+            offsets,
+            indices,
             non_iid_devices,
             num_classes: classes,
-            class_counts,
+            counts,
         }
     }
 
     /// Number of devices.
     pub fn num_devices(&self) -> usize {
-        self.per_device.len()
+        self.offsets.len() - 1
     }
 
     /// Training-sample indices owned by `device`.
     pub fn device_indices(&self, device: usize) -> &[usize] {
-        &self.per_device[device]
+        &self.indices[self.offsets[device]..self.offsets[device + 1]]
+    }
+
+    /// Number of training samples owned by `device` (no slice
+    /// materialisation — the count the round engine reads per participant).
+    pub fn device_sample_count(&self, device: usize) -> usize {
+        self.offsets[device + 1] - self.offsets[device]
     }
 
     /// Whether `device` was assigned Dirichlet-concentrated data.
@@ -207,7 +231,8 @@ impl Partition {
 
     /// Per-class sample counts held by `device`.
     pub fn class_counts(&self, device: usize) -> &[usize] {
-        &self.class_counts[device]
+        let stride = self.num_classes.max(1);
+        &self.counts[device * stride..(device + 1) * stride]
     }
 
     /// Number of classes *meaningfully represented* on `device` — the
@@ -216,15 +241,13 @@ impl Partition {
     /// allocations (a couple of stray samples of a class) do not make a
     /// device's data representative of that class.
     pub fn num_classes_present(&self, device: usize) -> usize {
-        let total: usize = self.class_counts[device].iter().sum();
+        let counts = self.class_counts(device);
+        let total: usize = counts.iter().sum();
         if total == 0 {
             return 0;
         }
         let threshold = ((total as f64 / self.num_classes as f64) * 0.1).ceil() as usize;
-        self.class_counts[device]
-            .iter()
-            .filter(|&&c| c >= threshold.max(1))
-            .count()
+        counts.iter().filter(|&&c| c >= threshold.max(1)).count()
     }
 
     /// Total number of label classes in the dataset.
@@ -237,7 +260,7 @@ impl Partition {
     /// local gradients pull the global model toward a few classes (client
     /// drift).
     pub fn device_divergence(&self, device: usize) -> f64 {
-        let counts = &self.class_counts[device];
+        let counts = self.class_counts(device);
         let total: usize = counts.iter().sum();
         if total == 0 {
             return 2.0;
@@ -255,7 +278,7 @@ impl Partition {
     pub fn cohort_divergence(&self, devices: &[usize]) -> f64 {
         let mut counts = vec![0usize; self.num_classes];
         for &d in devices {
-            for (c, &k) in self.class_counts[d].iter().enumerate() {
+            for (c, &k) in self.class_counts(d).iter().enumerate() {
                 counts[c] += k;
             }
         }
@@ -274,7 +297,7 @@ impl Partition {
     pub fn cohort_class_coverage(&self, devices: &[usize]) -> f64 {
         let mut present = vec![false; self.num_classes];
         for &d in devices {
-            for (c, &k) in self.class_counts[d].iter().enumerate() {
+            for (c, &k) in self.class_counts(d).iter().enumerate() {
                 if k > 0 {
                     present[c] = true;
                 }

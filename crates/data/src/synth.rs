@@ -27,13 +27,45 @@ pub fn generate(workload: Workload, n: usize, seed: u64) -> Dataset {
 /// Train and test sets must share `seed` but use different streams so they
 /// are disjoint draws from the *same* underlying task.
 pub fn generate_stream(workload: Workload, n: usize, seed: u64, stream: u64) -> Dataset {
-    let sample_seed = seed
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        .wrapping_add(stream.wrapping_mul(0xd1b5_4a32_d192_ed03));
+    let sample_seed = stream_seed(seed, stream);
     match workload {
-        Workload::LstmShakespeare => generate_chars(n, seed, sample_seed),
+        Workload::LstmShakespeare => generate_chars(n, seed, sample_seed, true),
         _ => generate_images(workload, n, seed, sample_seed),
     }
+}
+
+/// Generates only the *labels* of [`generate`]'s samples — bit-identical
+/// to `generate(workload, n, seed).labels()` — as a labels-only
+/// [`Dataset`] holding no feature storage.
+///
+/// Surrogate-fidelity simulations run on partition statistics alone;
+/// this entry point gives them the exact same label sequence (image
+/// labels are balanced round-robin, character labels replay the Markov
+/// chain) without synthesising a single pixel, which is what makes
+/// million-device fleets fit in memory.
+pub fn generate_labels(workload: Workload, n: usize, seed: u64) -> Dataset {
+    generate_stream_labels(workload, n, seed, 0)
+}
+
+/// Labels-only counterpart of [`generate_stream`].
+pub fn generate_stream_labels(workload: Workload, n: usize, seed: u64, stream: u64) -> Dataset {
+    let sample_seed = stream_seed(seed, stream);
+    match workload {
+        Workload::LstmShakespeare => generate_chars(n, seed, sample_seed, false),
+        _ => {
+            let classes = workload.num_classes();
+            Dataset::labels_only(
+                (0..n).map(|i| i % classes).collect(),
+                workload.input_shape(),
+                classes,
+            )
+        }
+    }
+}
+
+fn stream_seed(seed: u64, stream: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(stream.wrapping_mul(0xd1b5_4a32_d192_ed03))
 }
 
 /// Class-conditional image generator for the CNN / MobileNet / tiny
@@ -116,7 +148,11 @@ fn smooth_pattern(c: usize, h: usize, w: usize, rng: &mut impl Rng) -> Vec<f32> 
 /// character following the sequence, so label-based non-IID partitioning
 /// maps onto "different devices see different character distributions" —
 /// the Shakespeare-by-speaker effect.
-fn generate_chars(n: usize, seed: u64, sample_seed: u64) -> Dataset {
+///
+/// `want_xs = false` replays the identical chain (same RNG draws, same
+/// labels) without storing the token sequences, producing a labels-only
+/// dataset.
+fn generate_chars(n: usize, seed: u64, sample_seed: u64, want_xs: bool) -> Dataset {
     let vocab = SHAKESPEARE_VOCAB;
     let seq = SHAKESPEARE_SEQ_LEN;
     // The Markov chain (the "language") is keyed on `seed` only.
@@ -137,7 +173,7 @@ fn generate_chars(n: usize, seed: u64, sample_seed: u64) -> Dataset {
     }
 
     let mut rng = SmallRng::seed_from_u64(sample_seed);
-    let mut xs = Vec::with_capacity(n * seq);
+    let mut xs = Vec::with_capacity(if want_xs { n * seq } else { 0 });
     let mut labels = Vec::with_capacity(n);
     let mut state = rng.gen_range(0..vocab);
     let sample_next = |state: usize, rng: &mut SmallRng, trans: &Vec<Vec<f32>>| -> usize {
@@ -152,16 +188,20 @@ fn generate_chars(n: usize, seed: u64, sample_seed: u64) -> Dataset {
         vocab - 1
     };
     for _ in 0..n {
-        let mut sample = Vec::with_capacity(seq);
         for _ in 0..seq {
-            sample.push(state as f32);
+            if want_xs {
+                xs.push(state as f32);
+            }
             state = sample_next(state, &mut rng, &trans);
         }
-        xs.extend_from_slice(&sample);
         labels.push(state); // the next character is the label
         state = sample_next(state, &mut rng, &trans);
     }
-    Dataset::new(xs, labels, vec![seq], vocab)
+    if want_xs {
+        Dataset::new(xs, labels, vec![seq], vocab)
+    } else {
+        Dataset::labels_only(labels, vec![seq], vocab)
+    }
 }
 
 #[cfg(test)]

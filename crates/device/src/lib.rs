@@ -14,6 +14,9 @@
 //! * [`scenario`] — per-round sampling of which devices see interference /
 //!   weak signal (Figures 5 and 10 regimes).
 //! * [`fleet`] — the 200-device fleet (30 H / 70 M / 100 L).
+//! * [`store`] — sharded structure-of-arrays storage for per-round device
+//!   state ([`store::ConditionsStore`]), the hot data layout at
+//!   million-device fleet sizes.
 //! * [`lifecycle`] — slow-moving per-device state (battery, charging,
 //!   thermal throttle, foreground sessions, connectivity) evolved by the
 //!   fleet-dynamics subsystem in `autofl-fed`.
@@ -45,6 +48,7 @@ pub mod interference;
 pub mod lifecycle;
 pub mod network;
 pub mod scenario;
+pub mod store;
 pub mod tier;
 
 pub use cost::{execute, idle_energy_j, ExecutionPlan, RoundCost, TrainingTask};
@@ -54,4 +58,5 @@ pub use interference::Interference;
 pub use lifecycle::DeviceLifecycle;
 pub use network::{NetworkObservation, SignalStrength};
 pub use scenario::{DeviceConditions, VarianceScenario};
+pub use store::{shard_extents, ConditionsStore};
 pub use tier::DeviceTier;

@@ -30,6 +30,24 @@ pub struct DeviceLifecycle {
     pub online: bool,
 }
 
+/// The production FL check-in rule over raw lifecycle fields: online,
+/// not in a foreground session, and either plugged in or above
+/// `min_soc`.
+///
+/// This is the single definition of eligibility — both the struct view
+/// ([`DeviceLifecycle::eligible`]) and the structure-of-arrays hot path
+/// (`autofl_fed::fleet::FleetStore::begin_round`) call it, so the rule
+/// cannot silently diverge between layouts.
+pub fn check_in_eligible(
+    online: bool,
+    foreground: bool,
+    charging: bool,
+    soc: f64,
+    min_soc: f64,
+) -> bool {
+    online && !foreground && (charging || soc >= min_soc)
+}
+
 impl DeviceLifecycle {
     /// A fully available device: full battery, cool, idle, online.
     pub fn healthy() -> Self {
@@ -42,10 +60,16 @@ impl DeviceLifecycle {
         }
     }
 
-    /// Eligibility under the production FL check-in rule: online, not in
-    /// a foreground session, and either plugged in or above `min_soc`.
+    /// Eligibility under the production FL check-in rule
+    /// ([`check_in_eligible`]).
     pub fn eligible(&self, min_soc: f64) -> bool {
-        self.online && !self.foreground && (self.charging || self.soc >= min_soc)
+        check_in_eligible(
+            self.online,
+            self.foreground,
+            self.charging,
+            self.soc,
+            min_soc,
+        )
     }
 
     /// Clamps `soc` and `throttle` back into `[0, 1]` after an update.

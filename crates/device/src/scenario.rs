@@ -4,6 +4,7 @@
 use crate::fleet::{Device, Fleet};
 use crate::interference::Interference;
 use crate::network::{NetworkObservation, SignalStrength};
+use crate::store::ConditionsStore;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -76,30 +77,51 @@ impl VarianceScenario {
         }
     }
 
-    /// Samples the whole fleet's conditions for one round into `out`
-    /// (cleared first), in parallel.
+    /// Samples the whole fleet's conditions for one round into a sharded
+    /// structure-of-arrays store, one shard per parallel task.
     ///
     /// Every device draws from its own RNG stream derived from
-    /// `round_seed` and its raw id, so the result is a pure function of
-    /// `(scenario, fleet, round_seed)` — independent of thread count and
-    /// of execution schedule. This is the per-device-stream rule the
-    /// workspace's determinism contract relies on (see DESIGN.md,
-    /// "Parallel runtime & determinism contract").
+    /// `round_seed` and its raw id, so the stored values are a pure
+    /// function of `(scenario, fleet, round_seed)` — independent of the
+    /// store's shard count, the thread count and the execution schedule.
+    /// This is the per-device-stream rule the workspace's determinism
+    /// contract relies on (see `docs/determinism.md`).
+    ///
+    /// The store's geometry is preserved; it must already cover the fleet
+    /// (use [`crate::store::ConditionsStore::reshape`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` does not cover exactly `fleet.len()` devices.
+    pub fn sample_into(&self, fleet: &Fleet, round_seed: u64, out: &mut ConditionsStore) {
+        assert_eq!(out.len(), fleet.len(), "store must cover the fleet");
+        out.shards_mut()
+            .par_chunks_mut(1)
+            .enumerate()
+            .for_each(|(_, shard_slot)| {
+                let shard = &mut shard_slot[0];
+                for j in 0..shard.len() {
+                    let i = shard.offset + j;
+                    let mut rng = SmallRng::seed_from_u64(
+                        round_seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    );
+                    let c = self.sample(fleet.device(crate::fleet::DeviceId(i)), &mut rng);
+                    shard.set_lane(j, &c);
+                }
+            });
+    }
+
+    /// Samples the whole fleet's conditions into a `Vec` of structs
+    /// (cleared first) — the array-of-structs view of [`sample_into`],
+    /// kept for tests and small fixtures. Values are bit-identical to the
+    /// store path: both draw from the same per-device streams.
+    ///
+    /// [`sample_into`]: VarianceScenario::sample_into
     pub fn sample_fleet(&self, fleet: &Fleet, round_seed: u64, out: &mut Vec<DeviceConditions>) {
+        let mut store = ConditionsStore::new(fleet.len(), 1);
+        self.sample_into(fleet, round_seed, &mut store);
         out.clear();
-        out.resize(fleet.len(), DeviceConditions::ideal());
-        // Written in place over disjoint chunks: no per-round allocation
-        // once the buffer is warm, and each slot depends only on its own
-        // device stream.
-        out.par_chunks_mut(64).enumerate().for_each(|(ci, chunk)| {
-            for (j, slot) in chunk.iter_mut().enumerate() {
-                let i = ci * 64 + j;
-                let mut rng = SmallRng::seed_from_u64(
-                    round_seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                );
-                *slot = self.sample(fleet.device(crate::fleet::DeviceId(i)), &mut rng);
-            }
-        });
+        out.extend((0..fleet.len()).map(|i| store.get(i)));
     }
 }
 

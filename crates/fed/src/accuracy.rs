@@ -239,6 +239,10 @@ pub struct RealTrainingEngine {
     /// Rounds aggregated so far; mixed into every round's client seeds so
     /// each round draws a fresh minibatch ordering.
     rounds_applied: u64,
+    /// Shard count of the hierarchical aggregation tree (bit-identical
+    /// results at any value — see
+    /// [`AggregationAlgorithm::aggregate_sharded`]).
+    shards: usize,
 }
 
 impl std::fmt::Debug for RealTrainingEngine {
@@ -252,7 +256,9 @@ impl std::fmt::Debug for RealTrainingEngine {
 }
 
 impl RealTrainingEngine {
-    /// Creates the engine around a federated dataset.
+    /// Creates the engine around a federated dataset. `shards` sets the
+    /// hierarchical-aggregation tree width (1 = flat; results are
+    /// bit-identical at any value).
     pub fn new(
         workload: Workload,
         data: FlData,
@@ -260,6 +266,7 @@ impl RealTrainingEngine {
         lr: f32,
         eval_samples: usize,
         seed: u64,
+        shards: usize,
     ) -> Self {
         let mut model = workload.build_trainable(seed);
         let global = model.param_vector();
@@ -274,6 +281,7 @@ impl RealTrainingEngine {
             seed,
             prev_global_grad: Vec::new(),
             rounds_applied: 0,
+            shards: shards.max(1),
         };
         engine.acc = engine.evaluate();
         engine
@@ -424,7 +432,11 @@ impl AccuracyEngine for RealTrainingEngine {
             }
         }
         self.prev_global_grad = gg;
-        self.algorithm.aggregate(&mut self.global, &updates);
+        // Two-level hierarchical aggregation: per-shard exact partial
+        // sums combined in shard order — bit-equal to flat FedAvg at any
+        // shard count (the exact-summation contract in `algorithms`).
+        self.algorithm
+            .aggregate_sharded(&mut self.global, &updates, self.shards);
         self.acc = self.evaluate();
         self.acc
     }
@@ -552,6 +564,7 @@ mod tests {
             0.08,
             64,
             5,
+            1,
         );
         let start = e.accuracy();
         let stats = CohortStats {

@@ -1,6 +1,27 @@
 //! Gradient aggregation algorithms: FedAvg and the comparators the paper
-//! evaluates against (FedProx, FedNova, FEDL).
+//! evaluates against (FedProx, FedNova, FEDL), plus the two-level
+//! hierarchical aggregation path used at fleet scale.
+//!
+//! # Hierarchical aggregation and exact summation
+//!
+//! At production scale the server does not fold a million client updates
+//! into the global model one by one: shards of clients pre-combine their
+//! weighted deltas and the coordinator merges the per-shard partials.
+//! Floating-point addition is not associative, so a naive two-level sum
+//! would make the global model depend on the shard count — poison for
+//! this workspace's bit-reproducibility contract. The partial
+//! accumulators here ([`ExactF32Sum`]) therefore sum the `f32` terms in
+//! **exact fixed-point arithmetic** (a 320-bit integer spanning the full
+//! `f32` exponent range): integer addition is associative and
+//! commutative, so any grouping of updates into shards — and any merge
+//! order — produces the *same* accumulated value, and
+//! [`AggregationAlgorithm::aggregate_sharded`] is bit-identical to the
+//! flat [`AggregationAlgorithm::aggregate`] for every shard count
+//! (pinned by a property test over random shard counts in
+//! `tests/scale_invariance.rs`).
 
+use autofl_device::store::shard_extents;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// A client's contribution to one aggregation round.
@@ -75,49 +96,209 @@ impl AggregationAlgorithm {
         }
     }
 
-    /// Applies the aggregation rule to the global parameter vector.
+    /// The per-update aggregation weights this rule assigns (sample
+    /// fractions for FedAvg/FedProx/FEDL; step-normalised sample
+    /// fractions rescaled by the effective step count for FedNova).
+    ///
+    /// Weights are computed once over the full cohort in update order —
+    /// never per shard — so sharded aggregation sees exactly the flat
+    /// path's coefficients.
+    fn update_weights(&self, updates: &[ClientUpdate]) -> Vec<f32> {
+        let total: f64 = updates.iter().map(|u| u.num_samples as f64).sum();
+        match self {
+            AggregationAlgorithm::FedAvg
+            | AggregationAlgorithm::FedProx { .. }
+            | AggregationAlgorithm::Fedl { .. } => updates
+                .iter()
+                .map(|u| (u.num_samples as f64 / total) as f32)
+                .collect(),
+            AggregationAlgorithm::FedNova => {
+                // Normalise by local steps, then re-scale by the effective
+                // step count so the update magnitude matches homogeneous
+                // FedAvg: Δ = τ_eff · Σ p_i · (Δ_i / τ_i).
+                let tau_eff: f64 = updates
+                    .iter()
+                    .map(|u| u.num_samples as f64 / total * u.local_steps.max(1) as f64)
+                    .sum();
+                updates
+                    .iter()
+                    .map(|u| {
+                        (u.num_samples as f64 / total * tau_eff / u.local_steps.max(1) as f64)
+                            as f32
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Applies the aggregation rule to the global parameter vector
+    /// (single-shard [`AggregationAlgorithm::aggregate_sharded`]).
     ///
     /// # Panics
     ///
-    /// Panics if any update's delta length differs from the global vector.
+    /// Panics if any update's delta length differs from the global
+    /// vector, or any weighted delta term is non-finite.
     pub fn aggregate(&self, global: &mut [f32], updates: &[ClientUpdate]) {
+        self.aggregate_sharded(global, updates, 1);
+    }
+
+    /// Two-level hierarchical aggregation: updates are grouped into
+    /// `shards` contiguous ranges, each shard folds its weighted deltas
+    /// into an exact partial accumulator (in parallel), and the partials
+    /// merge into the global model in shard order.
+    ///
+    /// Because the partial sums are exact ([`ExactF32Sum`]), the result
+    /// is **bit-identical for every shard count** — `shards` tunes
+    /// parallelism and the simulated server topology, never the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any update's delta length differs from the global
+    /// vector, or any weighted delta term is non-finite.
+    pub fn aggregate_sharded(&self, global: &mut [f32], updates: &[ClientUpdate], shards: usize) {
         if updates.is_empty() {
             return;
         }
         for u in updates {
             assert_eq!(u.delta.len(), global.len(), "client delta length mismatch");
         }
-        match self {
-            AggregationAlgorithm::FedAvg
-            | AggregationAlgorithm::FedProx { .. }
-            | AggregationAlgorithm::Fedl { .. } => {
-                // Sample-weighted mean of deltas.
-                let total: f64 = updates.iter().map(|u| u.num_samples as f64).sum();
-                for u in updates {
-                    let w = (u.num_samples as f64 / total) as f32;
-                    for (g, d) in global.iter_mut().zip(u.delta.iter()) {
-                        *g += w * d;
+        let weights = self.update_weights(updates);
+        // Per-shard partial aggregates, fanned out across the pool. The
+        // term `w · d` is rounded to f32 exactly as the flat inner loop
+        // would compute it, so grouping cannot change the terms — and the
+        // exact accumulator means grouping cannot change their sum.
+        let extents = shard_extents(updates.len(), shards);
+        let mut partials: Vec<Vec<ExactF32Sum>> = extents
+            .par_iter()
+            .map(|&(offset, len)| {
+                let mut acc = vec![ExactF32Sum::default(); global.len()];
+                for u in offset..offset + len {
+                    let w = weights[u];
+                    for (a, d) in acc.iter_mut().zip(updates[u].delta.iter()) {
+                        a.add(w * d);
                     }
                 }
-            }
-            AggregationAlgorithm::FedNova => {
-                // Normalise by local steps, then re-scale by the effective
-                // step count so the update magnitude matches homogeneous
-                // FedAvg: Δ = τ_eff · Σ p_i · (Δ_i / τ_i).
-                let total: f64 = updates.iter().map(|u| u.num_samples as f64).sum();
-                let tau_eff: f64 = updates
-                    .iter()
-                    .map(|u| u.num_samples as f64 / total * u.local_steps.max(1) as f64)
-                    .sum();
-                for u in updates {
-                    let w = (u.num_samples as f64 / total * tau_eff / u.local_steps.max(1) as f64)
-                        as f32;
-                    for (g, d) in global.iter_mut().zip(u.delta.iter()) {
-                        *g += w * d;
-                    }
-                }
+                acc
+            })
+            .collect();
+        // Global combine: exact merge in shard order (any order would
+        // give the same bits — integer addition commutes).
+        let mut combined = partials.swap_remove(0);
+        for partial in &partials {
+            for (a, b) in combined.iter_mut().zip(partial.iter()) {
+                a.merge(b);
             }
         }
+        for (g, a) in global.iter_mut().zip(combined.iter()) {
+            *g = (f64::from(*g) + a.to_f64()) as f32;
+        }
+    }
+}
+
+/// Number of 64-bit digit windows an [`ExactF32Sum`] spans: the scaled
+/// `f32` integer range is 278 bits (24-bit significands shifted by up to
+/// 254 exponent steps), so five windows hold every term with headroom for
+/// trillions of additions before any digit could saturate.
+const ACC_DIGITS: usize = 5;
+
+/// An exact accumulator for sums of finite `f32` values.
+///
+/// Every `f32` is an integer multiple of `2⁻¹⁴⁹`; the accumulator stores
+/// the running sum as that integer, split into 64-bit digit windows held
+/// in `i128` lanes (so carries never need propagating during
+/// accumulation). Addition of integers is associative and commutative,
+/// which is the property hierarchical aggregation needs: *any* grouping
+/// of the same terms produces the same accumulated value, bit for bit.
+/// [`ExactF32Sum::to_f64`] rounds the exact integer back to the nearest
+/// representable `f64` once, at the end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExactF32Sum {
+    digits: [i128; ACC_DIGITS],
+}
+
+impl ExactF32Sum {
+    /// Adds one term exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite term: infinities and NaNs have no integer
+    /// representation, and silently poisoning an exact sum would defeat
+    /// its purpose. (Client deltas are gradient-clipped upstream, so a
+    /// non-finite term is always a bug.)
+    #[inline]
+    pub fn add(&mut self, term: f32) {
+        assert!(term.is_finite(), "exact summation requires finite terms");
+        if term == 0.0 {
+            return;
+        }
+        let bits = term.to_bits();
+        let exp = (bits >> 23) & 0xff;
+        let frac = bits & 0x7f_ffff;
+        // value = m · 2^(shift − 149): normals carry the implicit bit and
+        // a biased exponent; subnormals are already plain integers.
+        let (m, shift) = if exp == 0 {
+            (u128::from(frac), 0u32)
+        } else {
+            (u128::from(frac | 0x80_0000), exp - 1)
+        };
+        let digit = (shift / 64) as usize;
+        let wide = m << (shift % 64); // ≤ 2^87, fits u128
+        let lo = (wide & u128::from(u64::MAX)) as i128;
+        let hi = (wide >> 64) as i128;
+        if bits >> 31 == 1 {
+            self.digits[digit] -= lo;
+            self.digits[digit + 1] -= hi;
+        } else {
+            self.digits[digit] += lo;
+            self.digits[digit + 1] += hi;
+        }
+    }
+
+    /// Merges another accumulator into this one — exact, so the merge
+    /// order can never matter.
+    #[inline]
+    pub fn merge(&mut self, other: &ExactF32Sum) {
+        for (a, b) in self.digits.iter_mut().zip(other.digits.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Rounds the exact sum to `f64`.
+    ///
+    /// The digit lanes are first normalised (carries propagated, a global
+    /// sign extracted) so the conversion is a monotone Horner walk over
+    /// same-sign digits — no catastrophic cancellation between lanes. The
+    /// result is a pure function of the exact integer value.
+    pub fn to_f64(&self) -> f64 {
+        let mut digits = self.digits;
+        carry_propagate(&mut digits);
+        let negative = digits[ACC_DIGITS - 1] < 0;
+        if negative {
+            for d in digits.iter_mut() {
+                *d = -*d;
+            }
+            carry_propagate(&mut digits);
+        }
+        let mut magnitude = 0.0f64;
+        for &d in digits.iter().rev() {
+            magnitude = magnitude * 1.844_674_407_370_955_2e19 + d as f64; // · 2^64
+        }
+        let value = magnitude * 2.0f64.powi(-149);
+        if negative {
+            -value
+        } else {
+            value
+        }
+    }
+}
+
+/// Normalises digit lanes so every lane but the last lies in
+/// `[0, 2^64)`; the top lane carries the sign.
+fn carry_propagate(digits: &mut [i128; ACC_DIGITS]) {
+    for i in 0..ACC_DIGITS - 1 {
+        let carry = digits[i] >> 64; // arithmetic shift: floor division
+        digits[i] -= carry << 64;
+        digits[i + 1] += carry;
     }
 }
 
@@ -208,5 +389,99 @@ mod tests {
         let mut global = vec![1.0f32, 2.0];
         AggregationAlgorithm::FedAvg.aggregate(&mut global, &[]);
         assert_eq!(global, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn exact_sum_is_order_and_grouping_invariant() {
+        // Terms engineered so floating-point addition order matters:
+        // a plain f32/f64 left fold gives different results for the two
+        // orders; the exact accumulator must not.
+        let terms = [
+            1.0e30f32,
+            -1.0e30,
+            1.5e-40, // subnormal
+            3.25,
+            -7.125e10,
+            1.0e-20,
+            f32::MAX / 4.0,
+            -f32::MAX / 4.0,
+        ];
+        let mut fwd = ExactF32Sum::default();
+        for t in terms {
+            fwd.add(t);
+        }
+        let mut rev = ExactF32Sum::default();
+        for t in terms.iter().rev() {
+            rev.add(*t);
+        }
+        assert_eq!(fwd, rev);
+        // Grouped: two partials merged.
+        let mut a = ExactF32Sum::default();
+        let mut b = ExactF32Sum::default();
+        for (i, t) in terms.iter().enumerate() {
+            if i % 2 == 0 {
+                a.add(*t);
+            } else {
+                b.add(*t);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, fwd);
+        assert_eq!(a.to_f64().to_bits(), fwd.to_f64().to_bits());
+    }
+
+    #[test]
+    fn exact_sum_survives_catastrophic_cancellation() {
+        // f32::MAX/2 − f32::MAX/2 + tiny: a float accumulator visiting
+        // the large terms first loses `tiny` entirely only if it rounds;
+        // the exact path recovers it regardless of order.
+        let tiny = 1.0e-42f32; // subnormal
+        let mut acc = ExactF32Sum::default();
+        acc.add(f32::MAX / 2.0);
+        acc.add(tiny);
+        acc.add(-f32::MAX / 2.0);
+        assert_eq!(acc.to_f64(), f64::from(tiny));
+        // Exact negative values round-trip through the sign handling.
+        let mut neg = ExactF32Sum::default();
+        neg.add(-3.5);
+        neg.add(1.25);
+        assert_eq!(neg.to_f64(), -2.25);
+        assert_eq!(ExactF32Sum::default().to_f64(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite terms")]
+    fn exact_sum_rejects_non_finite_terms() {
+        ExactF32Sum::default().add(f32::NAN);
+    }
+
+    #[test]
+    fn sharded_aggregation_matches_flat_for_every_shard_count() {
+        let updates: Vec<ClientUpdate> = (0..13)
+            .map(|i| {
+                update(
+                    (0..9)
+                        .map(|j| ((i * 31 + j * 17) % 23) as f32 * 0.37 - 4.0)
+                        .collect(),
+                    10 + i * 3,
+                    1 + (i % 5),
+                )
+            })
+            .collect();
+        for algorithm in [
+            AggregationAlgorithm::FedAvg,
+            AggregationAlgorithm::FedNova,
+            AggregationAlgorithm::FedProx { mu: 0.01 },
+        ] {
+            let mut flat = vec![0.5f32; 9];
+            algorithm.aggregate(&mut flat, &updates);
+            for shards in [2, 3, 5, 13, 40] {
+                let mut sharded = vec![0.5f32; 9];
+                algorithm.aggregate_sharded(&mut sharded, &updates, shards);
+                let flat_bits: Vec<u32> = flat.iter().map(|v| v.to_bits()).collect();
+                let sharded_bits: Vec<u32> = sharded.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(flat_bits, sharded_bits, "{} at {shards}", algorithm.name());
+            }
+        }
     }
 }

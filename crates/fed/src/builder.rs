@@ -56,6 +56,9 @@ pub enum ConfigError {
     NoTestSamples,
     /// The horizon is zero rounds.
     NoRounds,
+    /// The shard count is zero (at least one shard must exist; values
+    /// above the fleet size are merely clamped).
+    NoShards,
     /// The straggler deadline factor is below 1 or not finite.
     BadDeadlineFactor(f64),
     /// The convergence target is non-positive or not finite.
@@ -116,6 +119,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::NoSamples => write!(f, "samples_per_device must be positive"),
             ConfigError::NoTestSamples => write!(f, "test_samples must be positive"),
             ConfigError::NoRounds => write!(f, "max_rounds must be positive"),
+            ConfigError::NoShards => write!(f, "shards must be positive (1 = unsharded)"),
             ConfigError::BadDeadlineFactor(v) => write!(
                 f,
                 "straggler_deadline_factor must be finite and >= 1, got {v}"
@@ -199,6 +203,9 @@ impl SimConfig {
         }
         if self.max_rounds == 0 {
             return Err(ConfigError::NoRounds);
+        }
+        if self.shards == 0 {
+            return Err(ConfigError::NoShards);
         }
         if !self.straggler_deadline_factor.is_finite() || self.straggler_deadline_factor < 1.0 {
             return Err(ConfigError::BadDeadlineFactor(
@@ -324,6 +331,15 @@ impl SimBuilder {
     #[must_use]
     pub fn devices(mut self, n: usize) -> Self {
         self.config.num_devices = n;
+        self
+    }
+
+    /// Number of contiguous device shards for the per-device stores and
+    /// the hierarchical aggregation tree (default 1). Purely a layout /
+    /// parallelism knob: results are bit-identical at every value.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
         self
     }
 
@@ -603,6 +619,14 @@ mod tests {
                     c
                 },
                 ConfigError::NoRounds,
+            ),
+            (
+                {
+                    let mut c = base.clone();
+                    c.shards = 0;
+                    c
+                },
+                ConfigError::NoShards,
             ),
             (
                 {

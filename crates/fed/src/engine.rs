@@ -6,7 +6,7 @@ use crate::accuracy::{
 };
 use crate::algorithms::AggregationAlgorithm;
 use crate::estimate::participant_costs;
-use crate::fleet::{DeviceAvailability, FleetDynamics, FleetState, StragglerPolicy};
+use crate::fleet::{AvailabilityView, FleetDynamics, FleetStore, StragglerPolicy};
 use crate::global::GlobalParams;
 use crate::selection::{RoundContext, RoundFeedback, SelectionDecision, Selector};
 use autofl_data::partition::DataDistribution;
@@ -14,7 +14,8 @@ use autofl_data::FlData;
 use autofl_device::cost::{ExecutionPlan, TrainingTask};
 use autofl_device::fleet::{DeviceId, Fleet};
 use autofl_device::idle_energy_j;
-use autofl_device::scenario::{DeviceConditions, VarianceScenario};
+use autofl_device::scenario::VarianceScenario;
+use autofl_device::store::ConditionsStore;
 use autofl_nn::zoo::Workload;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -62,6 +63,12 @@ pub struct SimConfig {
     pub fidelity: Fidelity,
     /// Fleet size `N`.
     pub num_devices: usize,
+    /// Number of contiguous device shards the per-device stores (and the
+    /// hierarchical aggregation tree) are split into. Purely a layout /
+    /// parallelism / topology knob: results are bit-identical at every
+    /// value (clamped to `[1, N]`). Rule of thumb for large fleets:
+    /// a few shards per worker thread (see `docs/scaling.md`).
+    pub shards: usize,
     /// Mean local training samples per device.
     pub samples_per_device: usize,
     /// Held-out test samples.
@@ -90,6 +97,7 @@ impl SimConfig {
             algorithm: AggregationAlgorithm::FedAvg,
             fidelity: Fidelity::Surrogate,
             num_devices: 200,
+            shards: 1,
             samples_per_device: 300,
             test_samples: 512,
             straggler_deadline_factor: 2.0,
@@ -111,6 +119,7 @@ impl SimConfig {
             algorithm: AggregationAlgorithm::FedAvg,
             fidelity: Fidelity::Surrogate,
             num_devices: 12,
+            shards: 1,
             samples_per_device: 24,
             test_samples: 48,
             straggler_deadline_factor: 2.0,
@@ -298,10 +307,9 @@ impl SimResult {
 /// returned [`RoundRecord`].
 #[derive(Debug, Default)]
 struct RoundScratch {
-    /// Per-device availability, indexed by raw device id.
-    availability: Vec<DeviceAvailability>,
-    /// Per-device sampled conditions, indexed by raw device id.
-    conditions: Vec<DeviceConditions>,
+    /// Per-device sampled conditions (sharded structure-of-arrays),
+    /// indexed by raw device id.
+    conditions: ConditionsStore,
     /// Per-participant training tasks.
     tasks: Vec<TrainingTask>,
     /// Per-participant completion times (clamped at the deadline).
@@ -324,7 +332,7 @@ pub struct Simulation {
     rng: SmallRng,
     scratch: RoundScratch,
     /// Per-device lifecycle state; `Some` iff `config.fleet` is enabled.
-    fleet_state: Option<FleetState>,
+    fleet_state: Option<FleetStore>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -340,6 +348,42 @@ impl Simulation {
     /// Starts a validating [`crate::builder::SimBuilder`] from the
     /// paper-shaped defaults for `workload` — the supported way to
     /// configure an experiment.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use autofl_fed::engine::Simulation;
+    /// use autofl_fed::selection::RandomSelector;
+    /// use autofl_nn::zoo::Workload;
+    ///
+    /// let mut sim = Simulation::builder(Workload::CnnMnist)
+    ///     .devices(1_000)   // the paper's 15/35/50% tier mix at any N
+    ///     .shards(4)        // layout/parallelism only: results are bit-identical
+    ///     .samples_per_device(16)
+    ///     .max_rounds(3)
+    ///     .target_accuracy(1.1)
+    ///     .seed(42)
+    ///     .build()
+    ///     .expect("a consistent configuration");
+    /// let result = sim.run(&mut RandomSelector::new());
+    /// assert_eq!(result.records.len(), 3);
+    /// ```
+    ///
+    /// Inconsistent configurations are rejected with a typed
+    /// [`crate::builder::ConfigError`] instead of panicking inside the
+    /// engine:
+    ///
+    /// ```
+    /// use autofl_fed::builder::ConfigError;
+    /// use autofl_fed::engine::Simulation;
+    /// use autofl_nn::zoo::Workload;
+    ///
+    /// let err = Simulation::builder(Workload::CnnMnist)
+    ///     .shards(0)
+    ///     .build_config()
+    ///     .unwrap_err();
+    /// assert_eq!(err, ConfigError::NoShards);
+    /// ```
     pub fn builder(workload: Workload) -> crate::builder::SimBuilder {
         crate::builder::SimBuilder::new(workload)
     }
@@ -363,14 +407,29 @@ impl Simulation {
                 config.seed,
             )
         };
-        let data = FlData::generate(
-            config.workload,
-            config.num_devices,
-            config.samples_per_device,
-            config.test_samples,
-            config.distribution,
-            config.seed,
-        );
+        // The surrogate engine never touches sample features — only the
+        // partition statistics — so surrogate runs build a labels-only
+        // dataset. At a million devices this is the difference between
+        // megabytes and many gigabytes of synthetic pixels (and the
+        // labels, hence the partition, are identical either way).
+        let data = match config.fidelity {
+            Fidelity::Surrogate => FlData::generate_stats_only(
+                config.workload,
+                config.num_devices,
+                config.samples_per_device,
+                config.test_samples,
+                config.distribution,
+                config.seed,
+            ),
+            Fidelity::RealTraining { .. } => FlData::generate(
+                config.workload,
+                config.num_devices,
+                config.samples_per_device,
+                config.test_samples,
+                config.distribution,
+                config.seed,
+            ),
+        };
         let engine: Box<dyn AccuracyEngine> = match config.fidelity {
             Fidelity::Surrogate => Box::new(SurrogateEngine::new(
                 config.workload,
@@ -386,13 +445,13 @@ impl Simulation {
                 lr,
                 eval_samples,
                 config.seed,
+                config.shards,
             )),
         };
         let rng = SmallRng::seed_from_u64(config.seed ^ 0x51b);
-        let fleet_state = config
-            .fleet
-            .as_ref()
-            .map(|dynamics| FleetState::new(dynamics, &fleet, config.seed ^ 0xf1ee7));
+        let fleet_state = config.fleet.as_ref().map(|dynamics| {
+            FleetStore::new(dynamics, &fleet, config.seed ^ 0xf1ee7, config.shards)
+        });
         Simulation {
             config,
             fleet,
@@ -419,6 +478,20 @@ impl Simulation {
         &self.data
     }
 
+    /// Approximate heap bytes held by the per-device round stores (the
+    /// conditions store plus, under fleet dynamics, the lifecycle
+    /// store). The `fig_scale` bench reports this as the memory-footprint
+    /// proxy where `/proc/self/status` is unavailable; it deliberately
+    /// excludes the dataset and fleet, whose sizes are layout-independent.
+    pub fn store_bytes(&self) -> usize {
+        self.scratch.conditions.size_bytes()
+            + self
+                .fleet_state
+                .as_ref()
+                .map(|s| s.size_bytes())
+                .unwrap_or(0)
+    }
+
     /// Current global accuracy.
     pub fn accuracy(&self) -> f64 {
         self.engine.accuracy()
@@ -440,36 +513,37 @@ impl Simulation {
         mut shadow: Option<&mut dyn Selector>,
     ) -> (RoundRecord, Option<SelectionDecision>) {
         // 0. Fleet dynamics: evolve per-device lifecycle sessions
-        // (charging, foreground, connectivity) and derive availability.
-        // Disabled dynamics report every device as ideal and available,
-        // reproducing the static fleet bit for bit.
+        // (charging, foreground, connectivity) shard-parallel and refresh
+        // the stored availability. Disabled dynamics report every device
+        // as ideal through a storage-free view, reproducing the static
+        // fleet bit for bit.
         let ineligible = match (&self.config.fleet, &mut self.fleet_state) {
-            (Some(dynamics), Some(state)) => {
-                state.begin_round(dynamics, &self.fleet, round, &mut self.scratch.availability)
-            }
-            _ => {
-                self.scratch.availability.clear();
-                self.scratch
-                    .availability
-                    .resize(self.fleet.len(), DeviceAvailability::ideal());
-                0
-            }
+            (Some(dynamics), Some(store)) => store.begin_round(dynamics, &self.fleet, round),
+            _ => 0,
         };
 
-        // 1. Sample per-device runtime conditions — in parallel, each
-        // device on its own RNG stream derived from (seed, round, id), so
-        // the sample is independent of both thread count and fleet
-        // iteration order. Thermal throttle levels carried by the
-        // lifecycle state are overlaid on top.
+        // 1. Sample per-device runtime conditions into the sharded
+        // structure-of-arrays store — in parallel, each device on its own
+        // RNG stream derived from (seed, round, id), so the sample is
+        // independent of thread count, shard count and fleet iteration
+        // order. Thermal throttle levels carried by the lifecycle store
+        // are overlaid on top (a per-shard array copy).
         let cond_seed = round_stream_seed(self.config.seed, round);
+        self.scratch
+            .conditions
+            .reshape(self.fleet.len(), self.config.shards);
         self.config
             .scenario
-            .sample_fleet(&self.fleet, cond_seed, &mut self.scratch.conditions);
-        if let Some(state) = &self.fleet_state {
-            for (slot, lifecycle) in self.scratch.conditions.iter_mut().zip(state.states()) {
-                slot.throttle = lifecycle.throttle;
-            }
+            .sample_into(&self.fleet, cond_seed, &mut self.scratch.conditions);
+        if let Some(store) = &self.fleet_state {
+            store.overlay_throttle(&mut self.scratch.conditions);
         }
+        let availability = match &self.fleet_state {
+            Some(store) => AvailabilityView::Dynamic(store),
+            None => AvailabilityView::Ideal {
+                devices: self.fleet.len(),
+            },
+        };
 
         // 2. Ask the policy for participants + execution plans. Under
         // OverSelect the context advertises K + extra so every policy
@@ -490,7 +564,7 @@ impl Simulation {
             round,
             fleet: &self.fleet,
             conditions: &self.scratch.conditions,
-            availability: &self.scratch.availability,
+            availability,
             partition: &self.data.partition,
             params: &params,
             workload: self.config.workload,
@@ -630,7 +704,7 @@ impl Simulation {
         let effective_samples: f64 = survivors
             .iter()
             .zip(&survivor_fractions)
-            .map(|(id, f)| self.data.partition.device_indices(id.0).len() as f64 * f)
+            .map(|(id, f)| self.data.partition.device_sample_count(id.0) as f64 * f)
             .sum();
         let survivor_ids: Vec<usize> = survivors.iter().map(|id| id.0).collect();
         #[cfg(debug_assertions)]
@@ -641,7 +715,7 @@ impl Simulation {
             let effectives: Vec<f64> = survivors
                 .iter()
                 .zip(&survivor_fractions)
-                .map(|(id, f)| self.data.partition.device_indices(id.0).len() as f64 * f)
+                .map(|(id, f)| self.data.partition.device_sample_count(id.0) as f64 * f)
                 .collect();
             let weights = crate::fleet::survivor_weights(&effectives);
             debug_assert_eq!(
@@ -655,7 +729,7 @@ impl Simulation {
                 .iter()
                 .zip(&survivor_fractions)
                 .map(|(id, f)| {
-                    let w = self.data.partition.device_indices(id.0).len() as f64 * f;
+                    let w = self.data.partition.device_sample_count(id.0) as f64 * f;
                     self.data.partition.device_divergence(id.0) * w
                 })
                 .sum::<f64>()

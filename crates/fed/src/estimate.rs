@@ -3,7 +3,7 @@
 
 use autofl_device::cost::{execute, idle_energy_j, ExecutionPlan, RoundCost, TrainingTask};
 use autofl_device::fleet::{DeviceId, Fleet};
-use autofl_device::scenario::DeviceConditions;
+use autofl_device::store::ConditionsStore;
 use rayon::prelude::*;
 
 /// Cost breakdown of a whole aggregation round across the fleet.
@@ -43,7 +43,7 @@ pub fn participant_costs(
     participants: &[DeviceId],
     plans: &[ExecutionPlan],
     tasks: &[TrainingTask],
-    conditions: &[DeviceConditions],
+    conditions: &ConditionsStore,
 ) -> Vec<RoundCost> {
     assert_eq!(participants.len(), plans.len(), "plan per participant");
     assert_eq!(participants.len(), tasks.len(), "task per participant");
@@ -57,7 +57,7 @@ pub fn participant_costs(
                 fleet.device(id).tier(),
                 plans[i],
                 tasks[i],
-                &conditions[id.0],
+                &conditions.get(id.0),
             )
         })
         .collect()
@@ -76,7 +76,7 @@ pub fn estimate_round(
     participants: &[DeviceId],
     plans: &[ExecutionPlan],
     tasks: &[TrainingTask],
-    conditions: &[DeviceConditions],
+    conditions: &ConditionsStore,
 ) -> RoundEstimate {
     let per_participant = participant_costs(fleet, participants, plans, tasks, conditions);
     let mut round_time_s: f64 = 0.0;
@@ -113,6 +113,10 @@ mod tests {
         Fleet::custom(&[(DeviceTier::High, 2), (DeviceTier::Low, 2)], 1)
     }
 
+    fn ideal_conditions(n: usize) -> ConditionsStore {
+        ConditionsStore::new(n, 1)
+    }
+
     fn task() -> TrainingTask {
         TrainingTask {
             flops: 50_000_000_000,
@@ -123,7 +127,7 @@ mod tests {
     #[test]
     fn round_time_is_gated_by_slowest() {
         let fleet = small_fleet();
-        let conditions = vec![DeviceConditions::ideal(); 4];
+        let conditions = ideal_conditions(4);
         let ids = [DeviceId(0), DeviceId(2)]; // one H, one L
         let plans = [
             ExecutionPlan::cpu_max(DeviceTier::High),
@@ -138,7 +142,7 @@ mod tests {
     #[test]
     fn idle_energy_counts_non_participants() {
         let fleet = small_fleet();
-        let conditions = vec![DeviceConditions::ideal(); 4];
+        let conditions = ideal_conditions(4);
         let ids = [DeviceId(0)];
         let plans = [ExecutionPlan::cpu_max(DeviceTier::High)];
         let est = estimate_round(&fleet, &ids, &plans, &[task()], &conditions);

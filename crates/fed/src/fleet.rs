@@ -1,5 +1,5 @@
 //! Stochastic fleet dynamics: battery, thermal, churn and mid-round
-//! dropout.
+//! dropout, stored as a sharded structure-of-arrays [`FleetStore`].
 //!
 //! Production FL fleets are unstable — devices are only eligible while
 //! idle, charging (or sufficiently charged) and connected; sustained
@@ -7,12 +7,18 @@
 //! participants can vanish mid-round when their battery dies or their
 //! network drops. [`FleetDynamics`] is the configuration block
 //! (`SimConfig::fleet`, off by default) that switches those effects on;
-//! [`FleetState`] carries the per-device
-//! [`DeviceLifecycle`](autofl_device::lifecycle::DeviceLifecycle) states
-//! across rounds and evolves them with per-device RNG streams seeded
-//! `(seed, round, id)` — the same rule as
-//! [`VarianceScenario::sample_fleet`](autofl_device::scenario::VarianceScenario::sample_fleet),
-//! so trajectories are bit-identical at any thread count.
+//! [`FleetStore`] carries the per-device lifecycle state across rounds.
+//!
+//! At million-device fleet sizes the store keeps each lifecycle field
+//! (state of charge, throttle, session flags) in its own array, sharded
+//! into contiguous device ranges (`SimConfig::shards`) so one parallel
+//! task owns one shard outright. Sharding never changes results: every
+//! per-round coin is drawn from a per-device RNG stream seeded
+//! `(seed, tag, round, id)` with the device's *global* id — the same rule
+//! as [`VarianceScenario::sample_into`](autofl_device::scenario::VarianceScenario::sample_into)
+//! — and all cross-shard reductions are integer counts, so trajectories
+//! are bit-identical at any shard and thread count (pinned by
+//! `tests/scale_invariance.rs`).
 //!
 //! The round engine pairs the dynamics with a [`StragglerPolicy`]
 //! deciding what happens to participants that miss the deadline or drop
@@ -27,6 +33,7 @@
 
 use autofl_device::fleet::{DeviceId, Fleet};
 use autofl_device::lifecycle::DeviceLifecycle;
+use autofl_device::store::{shard_extents, shard_size, ConditionsStore};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -218,62 +225,216 @@ const TAG_INIT: u64 = 0x11fe;
 const TAG_ROUND: u64 = 0x10fe;
 const TAG_DROP: u64 = 0xd109;
 
-/// The carried lifecycle state of every device, plus the seed its RNG
-/// streams derive from.
+/// One contiguous range of devices' lifecycle state, one field per array.
+/// Device `offset + j` lives at lane `j` of every array.
 #[derive(Debug, Clone)]
-pub struct FleetState {
-    seed: u64,
-    states: Vec<DeviceLifecycle>,
+struct FleetShard {
+    offset: usize,
+    soc: Vec<f64>,
+    throttle: Vec<f64>,
+    charging: Vec<bool>,
+    foreground: Vec<bool>,
+    online: Vec<bool>,
+    eligible: Vec<bool>,
+    eligible_count: usize,
 }
 
-impl FleetState {
-    /// Initial state for a fleet: per-device SoC drawn uniformly from the
-    /// configured range on stream `(seed, TAG_INIT, id)`; everyone cool,
-    /// idle and online.
-    pub fn new(config: &FleetDynamics, fleet: &Fleet, seed: u64) -> Self {
-        let states = (0..fleet.len())
-            .map(|i| {
-                let mut rng = SmallRng::seed_from_u64(device_stream_seed(seed, TAG_INIT, 0, i));
-                let soc = if config.initial_soc_max > config.initial_soc_min {
-                    rng.gen_range(config.initial_soc_min..config.initial_soc_max)
-                } else {
-                    config.initial_soc_min
-                };
-                DeviceLifecycle {
+impl FleetShard {
+    fn len(&self) -> usize {
+        self.soc.len()
+    }
+}
+
+/// One shard's availability summary. [`AvailabilityView::eligible_ids`]
+/// walks these instead of scanning every device (a bin with
+/// `eligible == 0` is skipped outright), and the summed counts
+/// ([`AvailabilityView::eligible_count`]) let large-fleet consumers —
+/// the AutoFL controller's candidate buffer, the engine's ineligible
+/// tally — size and account without a fleet scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardBin {
+    /// First global device id covered by the bin.
+    pub offset: usize,
+    /// Devices covered by the bin.
+    pub len: usize,
+    /// Check-in-eligible devices in the bin this round.
+    pub eligible: usize,
+}
+
+/// The carried lifecycle state of every device — battery state of charge,
+/// thermal throttle, session flags and check-in eligibility — as a
+/// sharded structure-of-arrays, plus the seed its RNG streams derive
+/// from.
+///
+/// The shard count is a layout/parallelism knob only: results are
+/// bit-identical at any shard count because every stochastic draw comes
+/// from a per-device stream keyed by the global device id.
+#[derive(Debug, Clone)]
+pub struct FleetStore {
+    seed: u64,
+    len: usize,
+    shard_size: usize,
+    shards: Vec<FleetShard>,
+    /// Reusable fleet-sized participant-slot scratch for `end_round`.
+    participant_slot: Vec<usize>,
+}
+
+/// The pre-sharding name of [`FleetStore`], kept as an alias for
+/// downstream code written against PR 4's API.
+pub type FleetState = FleetStore;
+
+impl FleetStore {
+    /// Initial state for a fleet in `shards` contiguous extents:
+    /// per-device SoC drawn uniformly from the configured range on stream
+    /// `(seed, TAG_INIT, id)`; everyone cool, idle and online.
+    pub fn new(config: &FleetDynamics, fleet: &Fleet, seed: u64, shards: usize) -> Self {
+        let size = shard_size(fleet.len(), shards);
+        let extents = shard_extents(fleet.len(), shards);
+        let shards: Vec<FleetShard> = extents
+            .into_iter()
+            .map(|(offset, n)| {
+                let mut soc = Vec::with_capacity(n);
+                for j in 0..n {
+                    let i = offset + j;
+                    let mut rng = SmallRng::seed_from_u64(device_stream_seed(seed, TAG_INIT, 0, i));
+                    soc.push(if config.initial_soc_max > config.initial_soc_min {
+                        rng.gen_range(config.initial_soc_min..config.initial_soc_max)
+                    } else {
+                        config.initial_soc_min
+                    });
+                }
+                FleetShard {
+                    offset,
                     soc,
-                    ..DeviceLifecycle::healthy()
+                    throttle: vec![0.0; n],
+                    charging: vec![false; n],
+                    foreground: vec![false; n],
+                    online: vec![true; n],
+                    eligible: vec![true; n],
+                    eligible_count: n,
                 }
             })
             .collect();
-        FleetState { seed, states }
+        FleetStore {
+            seed,
+            len: fleet.len(),
+            shard_size: size,
+            shards,
+            participant_slot: Vec::new(),
+        }
     }
 
-    /// The per-device lifecycle states.
-    pub fn states(&self) -> &[DeviceLifecycle] {
-        &self.states
+    /// Number of devices covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store covers no devices.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of shards the state is split into.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn locate(&self, i: usize) -> (usize, usize) {
+        debug_assert!(i < self.len, "device {i} outside store of {}", self.len);
+        (i / self.shard_size, i % self.shard_size)
+    }
+
+    /// Materialises device `i`'s lifecycle state.
+    pub fn lifecycle(&self, i: usize) -> DeviceLifecycle {
+        let (s, j) = self.locate(i);
+        let shard = &self.shards[s];
+        DeviceLifecycle {
+            soc: shard.soc[j],
+            charging: shard.charging[j],
+            throttle: shard.throttle[j],
+            foreground: shard.foreground[j],
+            online: shard.online[j],
+        }
+    }
+
+    /// Materialises device `i`'s availability as of the last
+    /// [`FleetStore::begin_round`].
+    #[inline]
+    pub fn availability(&self, i: usize) -> DeviceAvailability {
+        let (s, j) = self.locate(i);
+        let shard = &self.shards[s];
+        DeviceAvailability {
+            eligible: shard.eligible[j],
+            soc: shard.soc[j],
+            throttle: shard.throttle[j],
+            charging: shard.charging[j],
+            foreground: shard.foreground[j],
+            online: shard.online[j],
+        }
+    }
+
+    /// Whether device `i` passed the last round's eligibility check-in.
+    #[inline]
+    pub fn is_eligible(&self, i: usize) -> bool {
+        let (s, j) = self.locate(i);
+        self.shards[s].eligible[j]
+    }
+
+    /// Per-shard availability bins as of the last
+    /// [`FleetStore::begin_round`].
+    pub fn bins(&self) -> Vec<ShardBin> {
+        self.shards
+            .iter()
+            .map(|s| ShardBin {
+                offset: s.offset,
+                len: s.len(),
+                eligible: s.eligible_count,
+            })
+            .collect()
+    }
+
+    /// Check-in-eligible devices as of the last round start.
+    pub fn eligible_count(&self) -> usize {
+        self.shards.iter().map(|s| s.eligible_count).sum()
+    }
+
+    /// Approximate heap bytes held by the store (the bench suite's
+    /// memory-footprint proxy): two `f64` arrays plus four one-byte flag
+    /// arrays per shard, plus the participant-slot scratch.
+    pub fn size_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.soc.capacity() * 8
+                    + s.throttle.capacity() * 8
+                    + s.charging.capacity()
+                    + s.foreground.capacity()
+                    + s.online.capacity()
+                    + s.eligible.capacity()
+            })
+            .sum::<usize>()
+            + self.participant_slot.capacity() * 8
     }
 
     /// Draws this round's charging / foreground / connectivity sessions
-    /// (sticky across rounds), writes every device's
-    /// [`DeviceAvailability`] into `out` (cleared first) and returns the
-    /// number of ineligible devices.
+    /// (sticky across rounds), refreshes every device's stored
+    /// availability, and returns the number of ineligible devices.
     ///
-    /// Every device draws from its own stream `(seed, TAG_ROUND, round,
-    /// id)`, so the result is independent of thread count and schedule.
-    pub fn begin_round(
-        &mut self,
-        config: &FleetDynamics,
-        fleet: &Fleet,
-        round: usize,
-        out: &mut Vec<DeviceAvailability>,
-    ) -> usize {
+    /// Shards evolve in parallel; every device draws from its own stream
+    /// `(seed, TAG_ROUND, round, id)` and the ineligible total is a sum
+    /// of per-shard integer counts, so the result is independent of
+    /// shard count, thread count and schedule.
+    pub fn begin_round(&mut self, config: &FleetDynamics, fleet: &Fleet, round: usize) -> usize {
         let seed = self.seed;
-        self.states
-            .par_chunks_mut(64)
+        self.shards
+            .par_chunks_mut(1)
             .enumerate()
-            .for_each(|(ci, chunk)| {
-                for (j, state) in chunk.iter_mut().enumerate() {
-                    let i = ci * 64 + j;
+            .for_each(|(_, shard_slot)| {
+                let shard = &mut shard_slot[0];
+                let mut eligible_count = 0usize;
+                for j in 0..shard.len() {
+                    let i = shard.offset + j;
                     let mut rng = SmallRng::seed_from_u64(device_stream_seed(
                         seed,
                         TAG_ROUND,
@@ -284,43 +445,58 @@ impl FleetState {
                     // Fixed draw order per device: charging, foreground,
                     // connectivity — three coins per round regardless of
                     // state, so streams never drift.
-                    let p_charge = if state.charging {
+                    let p_charge = if shard.charging[j] {
                         STAY_CHARGING
                     } else {
                         config.charge_prob
                     };
-                    state.charging = rng.gen_bool(p_charge.clamp(0.0, 1.0));
-                    let p_fg = if state.foreground {
+                    shard.charging[j] = rng.gen_bool(p_charge.clamp(0.0, 1.0));
+                    let p_fg = if shard.foreground[j] {
                         STAY_FOREGROUND
                     } else {
                         (config.foreground_prob * device.interference_propensity()).clamp(0.0, 1.0)
                     };
-                    state.foreground = rng.gen_bool(p_fg);
-                    let p_off = if state.online {
+                    shard.foreground[j] = rng.gen_bool(p_fg);
+                    let p_off = if shard.online[j] {
                         (config.offline_prob * device.weak_signal_propensity()).clamp(0.0, 1.0)
                     } else {
                         STAY_OFFLINE
                     };
-                    state.online = !rng.gen_bool(p_off);
+                    shard.online[j] = !rng.gen_bool(p_off);
+                    let eligible = autofl_device::lifecycle::check_in_eligible(
+                        shard.online[j],
+                        shard.foreground[j],
+                        shard.charging[j],
+                        shard.soc[j],
+                        config.min_soc,
+                    );
+                    shard.eligible[j] = eligible;
+                    eligible_count += usize::from(eligible);
                 }
+                shard.eligible_count = eligible_count;
             });
-        out.clear();
-        let mut ineligible = 0;
-        for state in &self.states {
-            let eligible = state.eligible(config.min_soc);
-            if !eligible {
-                ineligible += 1;
-            }
-            out.push(DeviceAvailability {
-                eligible,
-                soc: state.soc,
-                throttle: state.throttle,
-                charging: state.charging,
-                foreground: state.foreground,
-                online: state.online,
-            });
+        self.len - self.eligible_count()
+    }
+
+    /// Overlays every device's thermal throttle level onto a sharded
+    /// conditions store so the cost model sees the governor's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two stores cover a different number of devices or
+    /// use different shard geometries (both are built from the same
+    /// `SimConfig`, so the engine always passes matching stores).
+    pub fn overlay_throttle(&self, conditions: &mut ConditionsStore) {
+        assert_eq!(conditions.len(), self.len, "stores must cover one fleet");
+        assert_eq!(
+            conditions.shards().len(),
+            self.shards.len(),
+            "stores must share shard geometry"
+        );
+        for (src, dst) in self.shards.iter().zip(conditions.shards_mut()) {
+            debug_assert_eq!(src.offset, dst.offset);
+            dst.throttle.copy_from_slice(&src.throttle);
         }
-        ineligible
     }
 
     /// Decides whether participant `id` drops out mid-round, given its
@@ -335,14 +511,15 @@ impl FleetState {
         id: DeviceId,
         energy_j: f64,
     ) -> Option<f64> {
-        let state = &self.states[id.0];
+        let (s, j) = self.locate(id.0);
+        let shard = &self.shards[s];
         let mut fraction: Option<f64> = None;
         // Battery death: unplugged devices die when the round's energy
         // would push SoC below the reserve — deterministic given state.
-        if !state.charging && energy_j > 0.0 {
+        if !shard.charging[j] && energy_j > 0.0 {
             let capacity =
                 fleet.device(id).tier().battery_capacity_j() * config.battery_capacity_scale;
-            let budget_j = (state.soc - config.reserve_soc).max(0.0) * capacity;
+            let budget_j = (shard.soc[j] - config.reserve_soc).max(0.0) * capacity;
             if budget_j < energy_j {
                 fraction = Some((budget_j / energy_j).clamp(0.0, 1.0));
             }
@@ -366,7 +543,8 @@ impl FleetState {
     /// Applies one completed round to the lifecycle states: participants
     /// pay battery from their measured energy and heat up for their busy
     /// seconds; everyone else drains (or charges) and cools over the
-    /// round duration.
+    /// round duration. Shards update in parallel (per-device writes are
+    /// independent, so the result is schedule-free).
     ///
     /// `busy_s` and `energy_j` are aligned with `participants`.
     pub fn end_round(
@@ -380,37 +558,139 @@ impl FleetState {
     ) {
         debug_assert_eq!(participants.len(), busy_s.len());
         debug_assert_eq!(participants.len(), energy_j.len());
-        let mut participant_index = vec![usize::MAX; self.states.len()];
+        self.participant_slot.clear();
+        self.participant_slot.resize(self.len, usize::MAX);
         for (i, id) in participants.iter().enumerate() {
-            participant_index[id.0] = i;
+            self.participant_slot[id.0] = i;
         }
-        // One pass, one clamp per device: a participant's net throttle
-        // change must be computed before clamping, otherwise the clamp
-        // floor would eat the cooling term and credit spurious heat.
-        for (d, state) in self.states.iter_mut().enumerate() {
-            let i = participant_index[d];
-            if i != usize::MAX {
-                if state.charging {
-                    state.soc += config.charge_rate_per_s * round_time_s;
-                } else {
-                    let capacity = fleet.device(DeviceId(d)).tier().battery_capacity_j()
-                        * config.battery_capacity_scale;
-                    state.soc -= energy_j[i] / capacity;
+        let slots = std::mem::take(&mut self.participant_slot);
+        self.shards
+            .par_chunks_mut(1)
+            .enumerate()
+            .for_each(|(_, shard_slot)| {
+                let shard = &mut shard_slot[0];
+                // One pass, one clamp per device: a participant's net
+                // throttle change must be computed before clamping,
+                // otherwise the clamp floor would eat the cooling term
+                // and credit spurious heat.
+                for j in 0..shard.len() {
+                    let d = shard.offset + j;
+                    let i = slots[d];
+                    if i != usize::MAX {
+                        if shard.charging[j] {
+                            shard.soc[j] += config.charge_rate_per_s * round_time_s;
+                        } else {
+                            let capacity = fleet.device(DeviceId(d)).tier().battery_capacity_j()
+                                * config.battery_capacity_scale;
+                            shard.soc[j] -= energy_j[i] / capacity;
+                        }
+                        // Heats for its busy seconds, cools for the idle
+                        // remainder of the round.
+                        let busy = busy_s[i].min(round_time_s);
+                        shard.throttle[j] +=
+                            config.heat_per_s * busy - config.cool_per_s * (round_time_s - busy);
+                    } else {
+                        if shard.charging[j] {
+                            shard.soc[j] += config.charge_rate_per_s * round_time_s;
+                        } else {
+                            shard.soc[j] -= config.idle_drain_per_s * round_time_s;
+                        }
+                        shard.throttle[j] -= config.cool_per_s * round_time_s;
+                    }
+                    shard.soc[j] = shard.soc[j].clamp(0.0, 1.0);
+                    shard.throttle[j] = shard.throttle[j].clamp(0.0, 1.0);
                 }
-                // Heats for its busy seconds, cools for the idle
-                // remainder of the round.
-                let busy = busy_s[i].min(round_time_s);
-                state.throttle +=
-                    config.heat_per_s * busy - config.cool_per_s * (round_time_s - busy);
-            } else {
-                if state.charging {
-                    state.soc += config.charge_rate_per_s * round_time_s;
-                } else {
-                    state.soc -= config.idle_drain_per_s * round_time_s;
+            });
+        self.participant_slot = slots;
+    }
+}
+
+/// What a round context exposes about per-device availability: either the
+/// static all-ideal fleet (no storage, no per-round fill) or a borrowed
+/// view of the dynamics [`FleetStore`].
+///
+/// Selectors read eligibility through this view; large-fleet consumers
+/// use [`AvailabilityView::bins`] to skip entirely-dark shards without
+/// touching their devices.
+#[derive(Debug, Clone, Copy)]
+pub enum AvailabilityView<'a> {
+    /// A static fleet: every device permanently ideal and eligible.
+    Ideal {
+        /// Fleet size.
+        devices: usize,
+    },
+    /// A live fleet-dynamics store.
+    Dynamic(&'a FleetStore),
+}
+
+impl AvailabilityView<'_> {
+    /// Number of devices covered.
+    pub fn devices(&self) -> usize {
+        match self {
+            AvailabilityView::Ideal { devices } => *devices,
+            AvailabilityView::Dynamic(store) => store.len(),
+        }
+    }
+
+    /// Whether device `i` passed this round's eligibility check-in.
+    #[inline]
+    pub fn is_eligible(&self, i: usize) -> bool {
+        match self {
+            AvailabilityView::Ideal { .. } => true,
+            AvailabilityView::Dynamic(store) => store.is_eligible(i),
+        }
+    }
+
+    /// Materialises device `i`'s availability.
+    #[inline]
+    pub fn get(&self, i: usize) -> DeviceAvailability {
+        match self {
+            AvailabilityView::Ideal { .. } => DeviceAvailability::ideal(),
+            AvailabilityView::Dynamic(store) => store.availability(i),
+        }
+    }
+
+    /// Check-in-eligible devices this round.
+    pub fn eligible_count(&self) -> usize {
+        match self {
+            AvailabilityView::Ideal { devices } => *devices,
+            AvailabilityView::Dynamic(store) => store.eligible_count(),
+        }
+    }
+
+    /// Per-shard availability bins (a single full bin for a static
+    /// fleet).
+    pub fn bins(&self) -> Vec<ShardBin> {
+        match self {
+            AvailabilityView::Ideal { devices } => vec![ShardBin {
+                offset: 0,
+                len: *devices,
+                eligible: *devices,
+            }],
+            AvailabilityView::Dynamic(store) => store.bins(),
+        }
+    }
+
+    /// Ids of every eligible device, in fleet order. Walks availability
+    /// bins and skips shards with no eligible devices, so a mostly-dark
+    /// fleet costs much less than a full scan.
+    pub fn eligible_ids(&self) -> Vec<DeviceId> {
+        match self {
+            AvailabilityView::Ideal { devices } => (0..*devices).map(DeviceId).collect(),
+            AvailabilityView::Dynamic(store) => {
+                let mut ids = Vec::with_capacity(store.eligible_count());
+                for shard in &store.shards {
+                    if shard.eligible_count == 0 {
+                        continue;
+                    }
+                    for (j, &e) in shard.eligible.iter().enumerate() {
+                        if e {
+                            ids.push(DeviceId(shard.offset + j));
+                        }
+                    }
                 }
-                state.throttle -= config.cool_per_s * round_time_s;
+                ids
             }
-            state.clamp();
         }
     }
 }
@@ -457,41 +737,83 @@ mod tests {
         )
     }
 
+    fn availabilities(store: &FleetStore) -> Vec<DeviceAvailability> {
+        (0..store.len()).map(|i| store.availability(i)).collect()
+    }
+
     #[test]
-    fn begin_round_is_deterministic_and_thread_independent() {
+    fn begin_round_is_deterministic_across_threads_and_shards() {
         let cfg = FleetDynamics::realistic();
         let f = fleet();
-        let run = |threads: &str| {
+        let run = |threads: &str, shards: usize| {
             let prev = std::env::var("AUTOFL_THREADS").ok();
             std::env::set_var("AUTOFL_THREADS", threads);
-            let mut state = FleetState::new(&cfg, &f, 42);
-            let mut avail = Vec::new();
+            let mut store = FleetStore::new(&cfg, &f, 42, shards);
             let mut history = Vec::new();
             for round in 0..20 {
-                state.begin_round(&cfg, &f, round, &mut avail);
-                history.push(avail.clone());
+                store.begin_round(&cfg, &f, round);
+                history.push(availabilities(&store));
             }
             match prev {
                 Some(v) => std::env::set_var("AUTOFL_THREADS", v),
                 None => std::env::remove_var("AUTOFL_THREADS"),
             }
-            (state, history)
+            history
         };
-        let (sa, ha) = run("1");
-        let (sb, hb) = run("8");
-        assert_eq!(sa.states(), sb.states());
-        assert_eq!(ha, hb);
+        let base = run("1", 1);
+        for (threads, shards) in [("8", 1), ("1", 4), ("8", 16), ("4", 24)] {
+            assert_eq!(
+                base,
+                run(threads, shards),
+                "diverged at threads={threads}, shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn bins_partition_the_fleet_and_count_eligibility() {
+        let cfg = FleetDynamics::realistic();
+        let f = fleet();
+        let mut store = FleetStore::new(&cfg, &f, 11, 4);
+        let ineligible = store.begin_round(&cfg, &f, 0);
+        let bins = store.bins();
+        assert_eq!(bins.iter().map(|b| b.len).sum::<usize>(), f.len());
+        assert_eq!(
+            bins.iter().map(|b| b.eligible).sum::<usize>(),
+            f.len() - ineligible
+        );
+        let view = AvailabilityView::Dynamic(&store);
+        let ids = view.eligible_ids();
+        assert_eq!(ids.len(), view.eligible_count());
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "fleet order");
+        assert!(ids.iter().all(|id| view.is_eligible(id.0)));
+    }
+
+    #[test]
+    fn ideal_view_reports_everyone_eligible_without_storage() {
+        let view = AvailabilityView::Ideal { devices: 5 };
+        assert_eq!(view.devices(), 5);
+        assert_eq!(view.eligible_count(), 5);
+        assert_eq!(view.get(3), DeviceAvailability::ideal());
+        assert_eq!(view.eligible_ids().len(), 5);
+        assert_eq!(
+            view.bins(),
+            vec![ShardBin {
+                offset: 0,
+                len: 5,
+                eligible: 5
+            }]
+        );
     }
 
     #[test]
     fn sessions_churn_but_most_devices_stay_eligible() {
         let cfg = FleetDynamics::realistic();
         let f = fleet();
-        let mut state = FleetState::new(&cfg, &f, 3);
-        let mut avail = Vec::new();
+        let mut store = FleetStore::new(&cfg, &f, 3, 1);
         let mut ineligible_rounds = 0;
         for round in 0..50 {
-            let ineligible = state.begin_round(&cfg, &f, round, &mut avail);
+            let ineligible = store.begin_round(&cfg, &f, round);
             assert!(ineligible < f.len(), "whole fleet went dark");
             if ineligible > 0 {
                 ineligible_rounds += 1;
@@ -508,20 +830,20 @@ mod tests {
         let mut cfg = FleetDynamics::realistic();
         cfg.mid_round_drop_prob = 0.0;
         let f = fleet();
-        let mut state = FleetState::new(&cfg, &f, 5);
+        let mut store = FleetStore::new(&cfg, &f, 5, 2);
         let id = DeviceId(0);
-        state.states[id.0].soc = cfg.reserve_soc + 0.001;
-        state.states[id.0].charging = false;
+        store.shards[0].soc[0] = cfg.reserve_soc + 0.001;
+        store.shards[0].charging[0] = false;
         let capacity = f.device(id).tier().battery_capacity_j();
         // Ten times the remaining budget: dies at ~10% of the round.
         let energy = 0.001 * capacity * 10.0;
-        let frac = state
+        let frac = store
             .mid_round_dropout(&cfg, &f, 1, id, energy)
             .expect("must die");
         assert!((frac - 0.1).abs() < 1e-12, "died at {frac}");
         // Plugged in: survives the same round.
-        state.states[id.0].charging = true;
-        assert_eq!(state.mid_round_dropout(&cfg, &f, 1, id, energy), None);
+        store.shards[0].charging[0] = true;
+        assert_eq!(store.mid_round_dropout(&cfg, &f, 1, id, energy), None);
     }
 
     #[test]
@@ -529,23 +851,53 @@ mod tests {
         let mut cfg = FleetDynamics::realistic();
         cfg.charge_prob = 0.0;
         let f = fleet();
-        let mut state = FleetState::new(&cfg, &f, 9);
-        for s in &mut state.states {
-            s.charging = false;
-            s.throttle = 0.5;
-            s.soc = 0.8;
+        let mut store = FleetStore::new(&cfg, &f, 9, 3);
+        for shard in &mut store.shards {
+            for j in 0..shard.len() {
+                shard.charging[j] = false;
+                shard.throttle[j] = 0.5;
+                shard.soc[j] = 0.8;
+            }
         }
         let id = DeviceId(1);
         let capacity = f.device(id).tier().battery_capacity_j();
-        state.end_round(&cfg, &f, 100.0, &[id], &[100.0], &[0.1 * capacity]);
-        let trained = state.states()[id.0];
-        let idle = state.states()[0];
+        store.end_round(&cfg, &f, 100.0, &[id], &[100.0], &[0.1 * capacity]);
+        let trained = store.lifecycle(id.0);
+        let idle = store.lifecycle(0);
         assert!(trained.soc < idle.soc, "training drains more than idling");
         assert!(
             trained.throttle > idle.throttle,
             "training heats while idling cools"
         );
         assert!(idle.throttle < 0.5);
+    }
+
+    #[test]
+    fn end_round_is_shard_invariant() {
+        let cfg = FleetDynamics::realistic();
+        let f = fleet();
+        let run = |shards: usize| {
+            let mut store = FleetStore::new(&cfg, &f, 21, shards);
+            for round in 0..6 {
+                store.begin_round(&cfg, &f, round);
+                let participants = [DeviceId(1), DeviceId(9), DeviceId(17)];
+                store.end_round(
+                    &cfg,
+                    &f,
+                    120.0,
+                    &participants,
+                    &[80.0, 110.0, 60.0],
+                    &[900.0, 1800.0, 500.0],
+                );
+            }
+            (0..store.len())
+                .map(|i| store.lifecycle(i))
+                .collect::<Vec<_>>()
+        };
+        let base = run(1);
+        for shards in [2, 4, 16, 24] {
+            assert_eq!(base, run(shards), "shards={shards}");
+        }
     }
 
     #[test]

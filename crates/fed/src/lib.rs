@@ -4,15 +4,20 @@
 //!
 //! * [`global`] — the `(B, E, K)` parameter sets S1–S4 (Table 5).
 //! * [`clusters`] — the characterization compositions C0–C7 (Table 4).
-//! * [`algorithms`] — FedAvg plus the comparators FedProx, FedNova, FEDL.
-//! * [`selection`] — the [`selection::Selector`] trait and the
-//!   Random/Performance/Power baselines.
+//! * [`algorithms`] — FedAvg plus the comparators FedProx, FedNova, FEDL,
+//!   and the exact-summation hierarchical aggregation path
+//!   ([`algorithms::AggregationAlgorithm::aggregate_sharded`]).
+//! * [`selection`] — the [`selection::Selector`] trait, the
+//!   Random/Performance/Power baselines, and the deterministic partial
+//!   top-K primitive ([`selection::top_k_by`]).
 //! * [`oracle`] — the `O_participant` and `O_FL` oracles.
 //! * [`accuracy`] — real-training and surrogate accuracy engines.
 //! * [`estimate`] — round-level time/energy estimation (Eqs. 5–6 inputs).
 //! * [`fleet`] — stochastic fleet dynamics (battery, thermal, churn,
-//!   mid-round dropout) and the straggler policies
-//!   (`Drop`/`WaitBounded`/`OverSelect`) the engine pairs them with.
+//!   mid-round dropout) stored in the sharded structure-of-arrays
+//!   [`fleet::FleetStore`], the straggler policies
+//!   (`Drop`/`WaitBounded`/`OverSelect`) the engine pairs them with, and
+//!   the [`fleet::AvailabilityView`] selectors read eligibility through.
 //! * [`engine`] — the round simulator with straggler handling and energy
 //!   accounting, producing [`engine::SimResult`]s whose `ppw_*` ratios are
 //!   the paper's reported numbers.
@@ -66,11 +71,14 @@ pub mod policy;
 pub mod selection;
 pub mod spec;
 
-pub use algorithms::AggregationAlgorithm;
+pub use algorithms::{AggregationAlgorithm, ExactF32Sum};
 pub use builder::{ConfigError, SimBuilder};
 pub use clusters::CharacterizationCluster;
 pub use engine::{Fidelity, RoundRecord, SimConfig, SimResult, Simulation};
-pub use fleet::{survivor_weights, DeviceAvailability, FleetDynamics, FleetState, StragglerPolicy};
+pub use fleet::{
+    survivor_weights, AvailabilityView, DeviceAvailability, FleetDynamics, FleetState, FleetStore,
+    ShardBin, StragglerPolicy,
+};
 pub use global::GlobalParams;
 pub use observe::{CsvSink, JsonlSink, Progress, RoundObserver};
 pub use oracle::OracleSelector;
@@ -79,6 +87,7 @@ pub use policy::{
     PolicyRegistry, RandomPolicy, TunedPolicy,
 };
 pub use selection::{
-    ClusterSelector, RandomSelector, RoundContext, RoundFeedback, SelectionDecision, Selector,
+    top_k_by, ClusterSelector, RandomSelector, RoundContext, RoundFeedback, SelectionDecision,
+    Selector,
 };
 pub use spec::{ExperimentSpec, SpecError, SpecRun};

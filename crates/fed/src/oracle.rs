@@ -13,7 +13,7 @@
 
 use crate::clusters::CharacterizationCluster;
 use crate::estimate::estimate_round;
-use crate::selection::{RoundContext, SelectionDecision, Selector};
+use crate::selection::{top_k_by, RoundContext, SelectionDecision, Selector};
 use autofl_device::cost::{execute, ExecutionPlan};
 use autofl_device::dvfs::{DvfsTable, ExecutionTarget};
 use autofl_device::fleet::DeviceId;
@@ -46,9 +46,22 @@ impl OracleSelector {
         }
     }
 
-    /// Ranks a tier's devices for this round: fastest expected completion
-    /// first, with non-IID (low class coverage) devices pushed back.
-    fn rank_tier(ctx: &RoundContext<'_>, tier: DeviceTier, rng: &mut SmallRng) -> Vec<DeviceId> {
+    /// Ranks the best `k` of a tier's devices for this round: fastest
+    /// expected completion first, with non-IID (low class coverage)
+    /// devices pushed back.
+    ///
+    /// Scores are computed once per device (`O(N)` cost-model calls) and
+    /// the ranking is a deterministic partial top-`k`
+    /// ([`top_k_by`], `O(N + K log K)`): no composition ever takes more
+    /// than `k` devices from one tier, so the full-pool sort this used to
+    /// do was wasted work at fleet scale. Ties (identical scores) keep
+    /// the shuffled order, exactly as the previous stable sort did.
+    fn rank_tier(
+        ctx: &RoundContext<'_>,
+        tier: DeviceTier,
+        k: usize,
+        rng: &mut SmallRng,
+    ) -> Vec<DeviceId> {
         let mut pool = ctx.eligible_ids_of_tier(tier);
         // Random tie-break order first (the paper randomises among equals
         // to avoid biased selection).
@@ -59,9 +72,9 @@ impl OracleSelector {
                 tier,
                 ExecutionPlan::cpu_max(tier),
                 ctx.task_for(*id),
-                &ctx.conditions[id.0],
+                &ctx.conditions.get(id.0),
             );
-            let samples = ctx.partition.device_indices(id.0).len().max(1) as f64;
+            let samples = ctx.partition.device_sample_count(id.0).max(1) as f64;
             let coverage = ctx.partition.num_classes_present(id.0) as f64 / classes;
             let skew = ctx.partition.device_divergence(id.0);
             // Time per useful sample: devices with little or skewed data
@@ -70,8 +83,17 @@ impl OracleSelector {
             // data-starved non-IID devices; label skew adds client drift.
             cost.total_time_s() / samples * (1.0 + 2.0 * (1.0 - coverage) + skew)
         };
-        pool.sort_by(|a, b| score(a).partial_cmp(&score(b)).expect("finite scores"));
-        pool
+        let mut scored: Vec<(DeviceId, f64, usize)> = pool
+            .iter()
+            .enumerate()
+            .map(|(pos, id)| (*id, score(id), pos))
+            .collect();
+        top_k_by(&mut scored, k, |a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite scores")
+                .then_with(|| a.2.cmp(&b.2))
+        });
+        scored.into_iter().map(|(id, _, _)| id).collect()
     }
 
     /// Picks the energy-minimal `(target, step)` whose completion stays
@@ -88,7 +110,7 @@ impl OracleSelector {
                     target,
                     freq_step: step,
                 };
-                let cost = execute(tier, plan, task, &ctx.conditions[id.0]);
+                let cost = execute(tier, plan, task, &ctx.conditions.get(id.0));
                 if cost.total_time_s() <= deadline_s && cost.total_energy_j() < best_energy {
                     best_energy = cost.total_energy_j();
                     best = plan;
@@ -102,14 +124,14 @@ impl OracleSelector {
                 tier,
                 ExecutionPlan::cpu_max(tier),
                 task,
-                &ctx.conditions[id.0],
+                &ctx.conditions.get(id.0),
             );
             let gpu_table = DvfsTable::for_tier(tier, ExecutionTarget::Gpu);
             let gpu_plan = ExecutionPlan {
                 target: ExecutionTarget::Gpu,
                 freq_step: gpu_table.num_steps(),
             };
-            let gpu = execute(tier, gpu_plan, task, &ctx.conditions[id.0]);
+            let gpu = execute(tier, gpu_plan, task, &ctx.conditions.get(id.0));
             if gpu.total_time_s() < cpu.total_time_s() {
                 return gpu_plan;
             }
@@ -123,7 +145,7 @@ impl Selector for OracleSelector {
         let k = ctx.params.num_participants;
         let ranked: Vec<(DeviceTier, Vec<DeviceId>)> = DeviceTier::all()
             .into_iter()
-            .map(|t| (t, Self::rank_tier(ctx, t, rng)))
+            .map(|t| (t, Self::rank_tier(ctx, t, k, rng)))
             .collect();
 
         // Evaluate every Table 4 composition with the best devices of each
@@ -200,7 +222,7 @@ impl Selector for OracleSelector {
                     ctx.fleet.device(*id).tier(),
                     ExecutionPlan::cpu_max(ctx.fleet.device(*id).tier()),
                     ctx.task_for(*id),
-                    &ctx.conditions[id.0],
+                    &ctx.conditions.get(id.0),
                 )
                 .total_time_s()
             })

@@ -85,6 +85,42 @@ pub fn run_policy_observed(
 /// Registration order is preserved (reports iterate it deterministically);
 /// lookups are case-insensitive; re-registering a name replaces the
 /// previous entry.
+///
+/// # Examples
+///
+/// Resolve a baseline by name and run it:
+///
+/// ```
+/// use autofl_fed::engine::SimConfig;
+/// use autofl_fed::policy::{baseline_registry, run_policy};
+///
+/// let registry = baseline_registry();
+/// assert!(registry.len() >= 12); // baselines, oracles, clusters C1–C7
+/// let policy = registry.expect("fedavg-random"); // case-insensitive
+/// let result = run_policy(&SimConfig::tiny_test(1), policy);
+/// assert_eq!(result.policy, "FedAvg-Random");
+/// ```
+///
+/// Plug in a custom baseline — no runner binary changes needed:
+///
+/// ```
+/// use autofl_fed::policy::{Policy, PolicyRegistry};
+/// use autofl_fed::selection::{RandomSelector, Selector};
+///
+/// struct MyPolicy;
+/// impl Policy for MyPolicy {
+///     fn name(&self) -> &str {
+///         "MyPolicy"
+///     }
+///     fn make_selector(&self) -> Box<dyn Selector> {
+///         Box::new(RandomSelector::new())
+///     }
+/// }
+///
+/// let mut registry = PolicyRegistry::new();
+/// registry.register(Box::new(MyPolicy));
+/// assert_eq!(registry.names(), ["MyPolicy"]);
+/// ```
 #[derive(Default)]
 pub struct PolicyRegistry {
     entries: Vec<Box<dyn Policy>>,

@@ -2,35 +2,40 @@
 //! into.
 
 use crate::clusters::CharacterizationCluster;
-use crate::fleet::DeviceAvailability;
+use crate::fleet::AvailabilityView;
 use crate::global::GlobalParams;
 use autofl_data::partition::Partition;
 use autofl_device::cost::{ExecutionPlan, TrainingTask};
 use autofl_device::fleet::{DeviceId, Fleet};
-use autofl_device::scenario::DeviceConditions;
+use autofl_device::store::ConditionsStore;
 use autofl_device::tier::DeviceTier;
 use autofl_nn::model::LayerCounts;
 use autofl_nn::zoo::Workload;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
+use std::cmp::Ordering;
 
 /// Everything a selection policy may observe at the start of a round.
 ///
 /// This mirrors the information the de-facto FL protocol already collects
 /// from devices (resource usage, network bandwidth, data-class counts) —
-/// footnote 3 of the paper.
+/// footnote 3 of the paper. Per-device state is exposed through sharded
+/// structure-of-arrays stores rather than struct slices so the context
+/// stays cheap to build and walk at million-device fleet sizes (see
+/// `docs/scaling.md`).
 #[derive(Debug)]
 pub struct RoundContext<'a> {
     /// 0-based aggregation-round index.
     pub round: usize,
     /// The device fleet.
     pub fleet: &'a Fleet,
-    /// Per-device runtime conditions this round, indexed by raw device id.
-    pub conditions: &'a [DeviceConditions],
+    /// Per-device runtime conditions this round, indexed by raw device
+    /// id ([`ConditionsStore::get`] materialises the struct view).
+    pub conditions: &'a ConditionsStore,
     /// Per-device availability this round (check-in eligibility, battery,
-    /// thermal, sessions), indexed by raw device id. All-ideal when the
+    /// thermal, sessions). All-ideal — with no backing storage — when the
     /// fleet-dynamics block is disabled.
-    pub availability: &'a [DeviceAvailability],
+    pub availability: AvailabilityView<'a>,
     /// The training-data partition (for data-class counts).
     pub partition: &'a Partition,
     /// FL global parameters.
@@ -46,17 +51,14 @@ pub struct RoundContext<'a> {
 impl RoundContext<'_> {
     /// Whether device `id` passed this round's eligibility check-in.
     pub fn is_eligible(&self, id: DeviceId) -> bool {
-        self.availability[id.0].eligible
+        self.availability.is_eligible(id.0)
     }
 
     /// Ids of every eligible device, in fleet order. Identical to
-    /// [`Fleet::ids`] when fleet dynamics are disabled.
+    /// [`Fleet::ids`] when fleet dynamics are disabled; under dynamics it
+    /// walks the per-shard availability bins and skips dark shards.
     pub fn eligible_ids(&self) -> Vec<DeviceId> {
-        self.fleet
-            .ids()
-            .into_iter()
-            .filter(|id| self.availability[id.0].eligible)
-            .collect()
+        self.availability.eligible_ids()
     }
 
     /// Ids of every eligible device of one tier, in fleet order.
@@ -64,7 +66,7 @@ impl RoundContext<'_> {
         self.fleet
             .ids_of_tier(tier)
             .into_iter()
-            .filter(|id| self.availability[id.0].eligible)
+            .filter(|id| self.availability.is_eligible(id.0))
             .collect()
     }
 
@@ -72,7 +74,7 @@ impl RoundContext<'_> {
     /// `E × local_samples × training FLOPs/sample`, plus the gradient
     /// upload.
     pub fn task_for(&self, id: DeviceId) -> TrainingTask {
-        let samples = self.partition.device_indices(id.0).len() as u64;
+        let samples = self.partition.device_sample_count(id.0) as u64;
         TrainingTask {
             flops: self.params.local_epochs as u64
                 * samples
@@ -175,6 +177,32 @@ pub trait Selector {
 
     /// Policy name used in reports.
     fn name(&self) -> &'static str;
+}
+
+/// Deterministic partial top-`k` selection: truncates `items` to the `k`
+/// elements a *stable full sort* under `cmp` would place first, in that
+/// exact order, in `O(N + K log K)` instead of `O(N log N)`.
+///
+/// `cmp` must be a total order over the input (break ties on a unique key
+/// such as the device id or the original position): a total order makes
+/// the unstable partition below indistinguishable from a stable sort, so
+/// replacing a full-fleet sort with this call is bit-transparent —
+/// `tests/scale_invariance.rs` and the unit tests here pin the
+/// equivalence. Ranking selectors (the oracles' per-tier ranking, the
+/// AutoFL controller's Q-value cut) route through this so their per-round
+/// cost stays near-linear at million-device fleet sizes.
+pub fn top_k_by<T>(items: &mut Vec<T>, k: usize, cmp: impl Fn(&T, &T) -> Ordering) {
+    if k == 0 {
+        items.clear();
+        return;
+    }
+    if k < items.len() {
+        // O(N) three-way partition around the k-th element, then drop the
+        // tail; only the surviving head is sorted.
+        items.select_nth_unstable_by(k - 1, &cmp);
+        items.truncate(k);
+    }
+    items.sort_unstable_by(cmp);
 }
 
 /// The FedAvg baseline: `K` participants chosen uniformly at random
@@ -292,9 +320,9 @@ mod tests {
     use super::*;
     use autofl_data::partition::DataDistribution;
     use autofl_data::FlData;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 
-    fn context_fixture() -> (Fleet, FlData, GlobalParams) {
+    fn context_fixture() -> (Fleet, FlData, GlobalParams, ConditionsStore) {
         let fleet = Fleet::paper_fleet(1);
         let data = FlData::generate(
             Workload::TinyTest,
@@ -304,21 +332,23 @@ mod tests {
             DataDistribution::IidIdeal,
             1,
         );
-        (fleet, data, GlobalParams::s3())
+        let conditions = ConditionsStore::new(200, 1);
+        (fleet, data, GlobalParams::s3(), conditions)
     }
 
     fn ctx<'a>(
         fleet: &'a Fleet,
         data: &'a FlData,
         params: &'a GlobalParams,
-        conditions: &'a [DeviceConditions],
-        availability: &'a [DeviceAvailability],
+        conditions: &'a ConditionsStore,
     ) -> RoundContext<'a> {
         RoundContext {
             round: 0,
             fleet,
             conditions,
-            availability,
+            availability: AvailabilityView::Ideal {
+                devices: fleet.len(),
+            },
             partition: &data.partition,
             params,
             workload: Workload::TinyTest,
@@ -329,10 +359,8 @@ mod tests {
 
     #[test]
     fn random_selects_k_distinct_devices() {
-        let (fleet, data, params) = context_fixture();
-        let conditions = vec![DeviceConditions::ideal(); 200];
-        let availability = vec![DeviceAvailability::ideal(); 200];
-        let c = ctx(&fleet, &data, &params, &conditions, &availability);
+        let (fleet, data, params, conditions) = context_fixture();
+        let c = ctx(&fleet, &data, &params, &conditions);
         let mut rng = SmallRng::seed_from_u64(1);
         let d = RandomSelector::new().select(&c, &mut rng);
         assert_eq!(d.participants.len(), 20);
@@ -345,10 +373,8 @@ mod tests {
 
     #[test]
     fn performance_selects_only_high_end() {
-        let (fleet, data, params) = context_fixture();
-        let conditions = vec![DeviceConditions::ideal(); 200];
-        let availability = vec![DeviceAvailability::ideal(); 200];
-        let c = ctx(&fleet, &data, &params, &conditions, &availability);
+        let (fleet, data, params, conditions) = context_fixture();
+        let c = ctx(&fleet, &data, &params, &conditions);
         let mut rng = SmallRng::seed_from_u64(2);
         let d = ClusterSelector::performance().select(&c, &mut rng);
         assert!(d
@@ -359,10 +385,8 @@ mod tests {
 
     #[test]
     fn cluster_c3_mixes_tiers_as_table4() {
-        let (fleet, data, params) = context_fixture();
-        let conditions = vec![DeviceConditions::ideal(); 200];
-        let availability = vec![DeviceAvailability::ideal(); 200];
-        let c = ctx(&fleet, &data, &params, &conditions, &availability);
+        let (fleet, data, params, conditions) = context_fixture();
+        let c = ctx(&fleet, &data, &params, &conditions);
         let mut rng = SmallRng::seed_from_u64(3);
         let d = ClusterSelector::new(CharacterizationCluster::C3).select(&c, &mut rng);
         let count = |t: DeviceTier| {
@@ -383,10 +407,8 @@ mod tests {
 
     #[test]
     fn task_for_scales_with_local_data_and_epochs() {
-        let (fleet, data, params) = context_fixture();
-        let conditions = vec![DeviceConditions::ideal(); 200];
-        let availability = vec![DeviceAvailability::ideal(); 200];
-        let c = ctx(&fleet, &data, &params, &conditions, &availability);
+        let (fleet, data, params, conditions) = context_fixture();
+        let c = ctx(&fleet, &data, &params, &conditions);
         let t = c.task_for(DeviceId(0));
         let samples = data.partition.device_indices(0).len() as u64;
         assert_eq!(
@@ -395,5 +417,31 @@ mod tests {
                 * samples
                 * Workload::TinyTest.reference_training_flops_per_sample()
         );
+    }
+
+    /// `top_k_by` must be indistinguishable from a stable full sort
+    /// truncated to `k`, including with heavy score ties (the stable
+    /// order is reproduced through an index tie-break).
+    #[test]
+    fn top_k_matches_the_stable_sort_prefix() {
+        let mut rng = SmallRng::seed_from_u64(0xbeef);
+        for n in [0usize, 1, 2, 7, 100, 513] {
+            for k in [0usize, 1, 2, 5, n / 2, n, n + 3] {
+                // Coarse scores force ties; idx makes the order total.
+                let items: Vec<(usize, f64)> = (0..n)
+                    .map(|idx| (idx, f64::from(rng.gen_range(0i32..8))))
+                    .collect();
+                let mut expect = items.clone();
+                expect.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+                expect.truncate(k);
+                let mut got = items;
+                top_k_by(&mut got, k, |a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .expect("finite")
+                        .then_with(|| a.0.cmp(&b.0))
+                });
+                assert_eq!(got, expect, "n={n}, k={k}");
+            }
+        }
     }
 }

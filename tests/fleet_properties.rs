@@ -43,12 +43,14 @@ proptest! {
             ..FleetDynamics::realistic()
         };
         let fleet = Fleet::custom(&[(DeviceTier::Mid, 6), (DeviceTier::Low, 6)], seed);
-        let mut state = FleetState::new(&config, &fleet, seed);
-        let mut avail = Vec::new();
+        let shards = 1 + (seed as usize % 5);
+        let mut state = FleetState::new(&config, &fleet, seed, shards);
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xcafe);
         for round in 0..30 {
-            state.begin_round(&config, &fleet, round, &mut avail);
-            prop_assert!(avail.iter().all(|a| (0.0..=1.0).contains(&a.soc)));
+            state.begin_round(&config, &fleet, round);
+            prop_assert!(
+                (0..fleet.len()).all(|i| (0.0..=1.0).contains(&state.availability(i).soc))
+            );
             // A random subset trains with a random (possibly huge) energy.
             let participants: Vec<_> = fleet
                 .ids()
@@ -58,7 +60,7 @@ proptest! {
             let busy: Vec<f64> = participants.iter().map(|_| rng.gen_range(0.0..round_time)).collect();
             let energy: Vec<f64> = participants.iter().map(|_| rng.gen_range(0.0..100_000.0)).collect();
             state.end_round(&config, &fleet, round_time, &participants, &busy, &energy);
-            for lifecycle in state.states() {
+            for lifecycle in (0..fleet.len()).map(|i| state.lifecycle(i)) {
                 prop_assert!((0.0..=1.0).contains(&lifecycle.soc), "soc {}", lifecycle.soc);
                 prop_assert!(
                     (0.0..=1.0).contains(&lifecycle.throttle),

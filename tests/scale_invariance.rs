@@ -1,0 +1,267 @@
+//! Scale-invariance contracts of the sharded simulator.
+//!
+//! The `shards` knob restructures the per-device stores and the
+//! aggregation tree; `AUTOFL_THREADS` restructures scheduling. Neither
+//! may ever change a result. This suite pins that end to end:
+//!
+//! * hierarchical FedAvg/FedNova aggregation is bit-equal to the flat
+//!   path for *random* shard counts (property test over random cohorts),
+//! * a 10k-device smoke run — fleet dynamics, churn, runtime variance —
+//!   is bit-identical across shards ∈ {1, 4, 16} × threads ∈ {1, 4}
+//!   for random, cluster and oracle policies (and a 1k-device run for
+//!   the AutoFL controller's top-K cut),
+//! * the labels-only surrogate data path produces the same partition
+//!   statistics as the full generator.
+
+use autofl::fed::algorithms::{AggregationAlgorithm, ClientUpdate, ExactF32Sum};
+use autofl::fed::engine::{SimConfig, SimResult, Simulation};
+use autofl::fed::fleet::FleetDynamics;
+use autofl::fed::policy::Policy;
+use autofl::standard_registry;
+use autofl_data::partition::DataDistribution;
+use autofl_data::FlData;
+use autofl_device::scenario::VarianceScenario;
+use autofl_nn::zoo::Workload;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs `f` with `AUTOFL_THREADS` pinned, restoring the previous value.
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let prev = std::env::var("AUTOFL_THREADS").ok();
+    std::env::set_var("AUTOFL_THREADS", threads.to_string());
+    let result = f();
+    match prev {
+        Some(v) => std::env::set_var("AUTOFL_THREADS", v),
+        None => std::env::remove_var("AUTOFL_THREADS"),
+    }
+    result
+}
+
+fn assert_bit_identical(a: &SimResult, b: &SimResult, label: &str) {
+    assert_eq!(a.records.len(), b.records.len(), "{label}: round counts");
+    for (ra, rb) in a.records.iter().zip(b.records.iter()) {
+        assert_eq!(ra.participants, rb.participants, "{label} r{}", ra.round);
+        assert_eq!(ra.plans, rb.plans, "{label} r{}", ra.round);
+        assert_eq!(ra.dropped, rb.dropped, "{label} r{}", ra.round);
+        assert_eq!(ra.dropouts, rb.dropouts, "{label} r{}", ra.round);
+        assert_eq!(ra.ineligible, rb.ineligible, "{label} r{}", ra.round);
+        assert_eq!(ra.accuracy.to_bits(), rb.accuracy.to_bits(), "{label}");
+        assert_eq!(
+            ra.active_energy_j.to_bits(),
+            rb.active_energy_j.to_bits(),
+            "{label}"
+        );
+        assert_eq!(
+            ra.idle_energy_j.to_bits(),
+            rb.idle_energy_j.to_bits(),
+            "{label}"
+        );
+        assert_eq!(
+            ra.round_time_s.to_bits(),
+            rb.round_time_s.to_bits(),
+            "{label}"
+        );
+    }
+}
+
+/// A 10k-device configuration with every scale feature active: sharded
+/// stores, fleet dynamics (battery, churn, dropout), runtime variance.
+fn scale_config(shards: usize) -> SimConfig {
+    Simulation::builder(Workload::CnnMnist)
+        .devices(10_000)
+        .shards(shards)
+        .samples_per_device(8)
+        .test_samples(64)
+        .scenario(VarianceScenario::realistic())
+        .fleet_dynamics(FleetDynamics::with_dropout_rate(0.25))
+        .max_rounds(5)
+        .target_accuracy(1.1)
+        .seed(1301)
+        .build_config()
+        .expect("scale config is valid")
+}
+
+fn run_policy_at(config: SimConfig, policy: &dyn Policy) -> SimResult {
+    let mut selector = policy.make_selector();
+    Simulation::new(config).run(selector.as_mut())
+}
+
+#[test]
+fn ten_k_device_run_is_bit_identical_across_shards_and_threads() {
+    let registry = standard_registry();
+    for name in ["FedAvg-Random", "C3", "O_FL"] {
+        let policy = registry.expect(name);
+        let base = with_threads(1, || run_policy_at(scale_config(1), policy));
+        let dropouts: usize = base.records.iter().map(|r| r.dropouts.len()).sum();
+        assert!(dropouts > 0, "{name}: churn must actually drop devices");
+        for shards in [1, 4, 16] {
+            for threads in [1, 4] {
+                if (shards, threads) == (1, 1) {
+                    continue;
+                }
+                let other = with_threads(threads, || run_policy_at(scale_config(shards), policy));
+                assert_bit_identical(&base, &other, &format!("{name} s{shards} t{threads}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn autofl_controller_is_bit_identical_across_shards_and_threads() {
+    // The controller's Q-value top-K cut and availability binning at a
+    // smaller fleet (per-device Q-tables at 10k devices would dominate
+    // the suite's runtime without testing anything extra).
+    let registry = standard_registry();
+    let policy = registry.expect("AutoFL");
+    let config = |shards: usize| {
+        Simulation::builder(Workload::CnnMnist)
+            .devices(1_000)
+            .shards(shards)
+            .samples_per_device(8)
+            .test_samples(64)
+            .scenario(VarianceScenario::realistic())
+            .fleet_dynamics(FleetDynamics::with_dropout_rate(0.25))
+            .max_rounds(5)
+            .target_accuracy(1.1)
+            .seed(7)
+            .build_config()
+            .expect("autofl scale config is valid")
+    };
+    let base = with_threads(1, || run_policy_at(config(1), policy));
+    for shards in [4, 16] {
+        for threads in [1, 4] {
+            let other = with_threads(threads, || run_policy_at(config(shards), policy));
+            assert_bit_identical(&base, &other, &format!("AutoFL s{shards} t{threads}"));
+        }
+    }
+}
+
+#[test]
+fn stats_only_data_matches_the_full_generator_partition() {
+    for workload in [
+        Workload::TinyTest,
+        Workload::CnnMnist,
+        Workload::LstmShakespeare,
+    ] {
+        for distribution in [
+            DataDistribution::IidIdeal,
+            DataDistribution::non_iid_percent(60),
+        ] {
+            let full = FlData::generate(workload, 24, 20, 32, distribution, 9);
+            let stats = FlData::generate_stats_only(workload, 24, 20, 32, distribution, 9);
+            assert_eq!(full.train.labels(), stats.train.labels(), "{workload:?}");
+            assert_eq!(full.test.labels(), stats.test.labels(), "{workload:?}");
+            assert!(!stats.train.has_features(), "{workload:?} stores pixels");
+            for d in 0..24 {
+                assert_eq!(
+                    full.partition.device_indices(d),
+                    stats.partition.device_indices(d),
+                    "{workload:?} device {d}"
+                );
+                assert_eq!(
+                    full.partition.class_counts(d),
+                    stats.partition.class_counts(d),
+                    "{workload:?} device {d}"
+                );
+                assert_eq!(
+                    full.partition.is_non_iid(d),
+                    stats.partition.is_non_iid(d),
+                    "{workload:?} device {d}"
+                );
+            }
+        }
+    }
+}
+
+fn random_updates(rng: &mut SmallRng, k: usize, params: usize) -> Vec<ClientUpdate> {
+    (0..k)
+        .map(|_| ClientUpdate {
+            delta: (0..params)
+                .map(|_| {
+                    // Wildly mixed magnitudes: exactly the regime where
+                    // float addition order matters most.
+                    let magnitude = 10f64.powi(rng.gen_range(-25i32..25));
+                    ((rng.gen::<f64>() - 0.5) * magnitude) as f32
+                })
+                .collect(),
+            num_samples: rng.gen_range(1usize..500),
+            local_steps: rng.gen_range(1usize..40),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Hierarchical FedAvg == flat FedAvg, bit for bit, for random
+    /// cohorts and random shard counts (and the same for FedNova's
+    /// step-normalised weighting).
+    #[test]
+    fn hierarchical_aggregation_is_bit_equal_to_flat(
+        seed in 0u64..1_000_000,
+        k in 1usize..30,
+        params in 1usize..40,
+        shards_a in 1usize..50,
+        shards_b in 1usize..50,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let updates = random_updates(&mut rng, k, params);
+        for algorithm in [AggregationAlgorithm::FedAvg, AggregationAlgorithm::FedNova] {
+            let mut flat = vec![0.1f32; params];
+            algorithm.aggregate(&mut flat, &updates);
+            for shards in [shards_a, shards_b] {
+                let mut sharded = vec![0.1f32; params];
+                algorithm.aggregate_sharded(&mut sharded, &updates, shards);
+                let flat_bits: Vec<u32> = flat.iter().map(|v| v.to_bits()).collect();
+                let sharded_bits: Vec<u32> = sharded.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(
+                    &flat_bits,
+                    &sharded_bits,
+                    "{} diverged at {} shards",
+                    algorithm.name(),
+                    shards
+                );
+            }
+        }
+    }
+
+    /// The exact accumulator is invariant to summation order and
+    /// grouping for arbitrary finite f32 terms.
+    #[test]
+    fn exact_sum_is_permutation_invariant(
+        seed in 0u64..1_000_000,
+        n in 1usize..200,
+        split in 0usize..200,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let terms: Vec<f32> = (0..n)
+            .map(|_| {
+                let magnitude = 10f64.powi(rng.gen_range(-40i32..38));
+                ((rng.gen::<f64>() - 0.5) * magnitude) as f32
+            })
+            .collect();
+        let mut forward = ExactF32Sum::default();
+        for &t in &terms {
+            forward.add(t);
+        }
+        let mut reverse = ExactF32Sum::default();
+        for &t in terms.iter().rev() {
+            reverse.add(t);
+        }
+        prop_assert_eq!(forward, reverse);
+        // Split into two partials at an arbitrary point and merge.
+        let cut = split % n;
+        let mut head = ExactF32Sum::default();
+        let mut tail = ExactF32Sum::default();
+        for &t in &terms[..cut] {
+            head.add(t);
+        }
+        for &t in &terms[cut..] {
+            tail.add(t);
+        }
+        head.merge(&tail);
+        prop_assert_eq!(head, forward);
+        prop_assert_eq!(head.to_f64().to_bits(), forward.to_f64().to_bits());
+    }
+}
