@@ -58,7 +58,11 @@ impl Default for AutoFlConfig {
     }
 }
 
-/// What the agent committed to in the current round, pending its reward.
+/// What the agent committed to in one dispatched round, pending its
+/// reward. Under the lockstep engine at most one round is ever pending;
+/// the event-driven runtime (`autofl_fed::runtime`) can hold several
+/// cohorts in flight and deliver their feedback out of dispatch order,
+/// so pending rounds are keyed by round index.
 #[derive(Debug, Clone)]
 struct PendingRound {
     global_state: GlobalState,
@@ -87,7 +91,8 @@ pub struct AutoFl {
     config: AutoFlConfig,
     space: StateSpace,
     tables: Option<QTableSet>,
-    pending: Option<PendingRound>,
+    /// In-flight decisions awaiting feedback, keyed by round index.
+    pending: Vec<(usize, PendingRound)>,
     rng: SmallRng,
     overhead: Overhead,
     reward_history: Vec<f64>,
@@ -104,7 +109,7 @@ impl AutoFl {
             config,
             space: StateSpace::paper_bins(),
             tables: None,
-            pending: None,
+            pending: Vec::new(),
             rng,
             overhead: Overhead::default(),
             reward_history: Vec::new(),
@@ -355,10 +360,13 @@ impl Selector for AutoFl {
         self.overhead
             .record_decision(observe_elapsed, select_elapsed);
 
-        self.pending = Some(PendingRound {
-            global_state,
-            per_device: locals.into_iter().zip(actions).collect(),
-        });
+        self.pending.push((
+            ctx.round,
+            PendingRound {
+                global_state,
+                per_device: locals.into_iter().zip(actions).collect(),
+            },
+        ));
         SelectionDecision {
             participants,
             plans,
@@ -366,9 +374,13 @@ impl Selector for AutoFl {
     }
 
     fn observe(&mut self, feedback: &RoundFeedback<'_>) {
-        let Some(pending) = self.pending.take() else {
+        // Match the feedback to the decision made at its dispatch round —
+        // not the most recent one, which may belong to a different cohort
+        // still in flight under the event-driven runtime.
+        let Some(slot) = self.pending.iter().position(|(r, _)| *r == feedback.round) else {
             return;
         };
+        let (_, pending) = self.pending.remove(slot);
         let tables = match self.tables.as_mut() {
             Some(t) => t,
             None => return,
@@ -406,6 +418,7 @@ impl Selector for AutoFl {
                         accuracy: feedback.accuracy,
                         prev_accuracy: feedback.prev_accuracy,
                         outcome: outcomes[d],
+                        staleness: feedback.mean_staleness,
                     },
                 )
             })

@@ -27,6 +27,13 @@ pub struct RewardConfig {
     /// (battery death or connectivity churn under fleet dynamics).
     /// Defaults to 0 (off).
     pub dropout_penalty: f64,
+    /// Penalty per unit of mean update staleness under the event-driven
+    /// buffered runtime (`autofl_fed::runtime`): subtracted as
+    /// `staleness_penalty × mean_staleness`, steering the agent toward
+    /// cohorts whose updates arrive fresh. Lockstep rounds have
+    /// staleness 0, and the default 0 reproduces the paper's reward
+    /// bit for bit.
+    pub staleness_penalty: f64,
 }
 
 impl Default for RewardConfig {
@@ -38,6 +45,7 @@ impl Default for RewardConfig {
             local_energy_scale_j: 2.0,
             straggler_penalty: 0.0,
             dropout_penalty: 0.0,
+            staleness_penalty: 0.0,
         }
     }
 }
@@ -72,6 +80,10 @@ pub struct RewardInputs {
     pub prev_accuracy: f64,
     /// How this device's participation ended.
     pub outcome: ParticipationOutcome,
+    /// Mean staleness (in global aggregation steps) of the cohort's
+    /// updates when they were folded in. Always 0 under the lockstep
+    /// engine; positive only under buffered asynchronous aggregation.
+    pub staleness: f64,
 }
 
 /// Computes Eq. (7).
@@ -89,7 +101,7 @@ pub fn reward(config: &RewardConfig, inputs: &RewardInputs) -> f64 {
         ParticipationOutcome::DeadlineMiss => config.straggler_penalty,
         ParticipationOutcome::Dropout => config.dropout_penalty,
         ParticipationOutcome::Idle | ParticipationOutcome::Completed => 0.0,
-    };
+    } + config.staleness_penalty * inputs.staleness;
     let acc_pct = inputs.accuracy * 100.0;
     let prev_pct = inputs.prev_accuracy * 100.0;
     if acc_pct - prev_pct <= 0.0 {
@@ -113,6 +125,7 @@ mod tests {
             accuracy: 0.82,
             prev_accuracy: 0.80,
             outcome: ParticipationOutcome::Completed,
+            staleness: 0.0,
         }
     }
 
@@ -186,6 +199,7 @@ mod tests {
                 local_energy_j: 60.0,
                 global_energy_j: 3_000.0,
                 outcome: ParticipationOutcome::Completed,
+                staleness: 0.0,
             },
         );
         assert!(success > fail, "success {} vs fail {}", success, fail);
@@ -213,6 +227,35 @@ mod tests {
                 "{outcome:?} must not perturb the default reward"
             );
         }
+    }
+
+    #[test]
+    fn staleness_penalty_scales_linearly_and_defaults_off() {
+        let stale = RewardInputs {
+            staleness: 3.0,
+            ..base_inputs()
+        };
+        // Off by default: stale updates cost nothing (paper reward).
+        let cfg = RewardConfig::default();
+        assert_eq!(
+            reward(&cfg, &stale).to_bits(),
+            reward(&cfg, &base_inputs()).to_bits()
+        );
+        // On: reward drops by penalty × staleness, in both branches.
+        let cfg = RewardConfig {
+            staleness_penalty: 2.0,
+            ..RewardConfig::default()
+        };
+        assert_eq!(reward(&cfg, &base_inputs()) - reward(&cfg, &stale), 6.0);
+        let flat = RewardInputs {
+            accuracy: 0.80,
+            ..base_inputs()
+        };
+        let flat_stale = RewardInputs {
+            staleness: 3.0,
+            ..flat
+        };
+        assert_eq!(reward(&cfg, &flat) - reward(&cfg, &flat_stale), 6.0);
     }
 
     #[test]

@@ -32,6 +32,7 @@ use crate::algorithms::AggregationAlgorithm;
 use crate::engine::{Fidelity, SimConfig, Simulation};
 use crate::fleet::{FleetDynamics, StragglerPolicy};
 use crate::global::GlobalParams;
+use crate::runtime::AsyncRuntime;
 use autofl_data::partition::DataDistribution;
 use autofl_device::scenario::VarianceScenario;
 use autofl_nn::zoo::Workload;
@@ -100,6 +101,14 @@ pub enum ConfigError {
         /// Fleet size `N`.
         devices: usize,
     },
+    /// The async runtime's aggregation buffer holds zero updates
+    /// (use `buffer_size: None` for the full barrier instead).
+    NoBufferCapacity,
+    /// A staleness exponent that is negative or not finite.
+    BadStalenessExponent(f64),
+    /// The async runtime keeps zero cohorts in flight, so no round
+    /// would ever dispatch.
+    NoConcurrency,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -169,6 +178,18 @@ impl std::fmt::Display for ConfigError {
                 "OverSelect asks for {selected} participants per round but \
                  the fleet has only {devices} devices"
             ),
+            ConfigError::NoBufferCapacity => write!(
+                f,
+                "async runtime buffer_size must hold at least one update \
+                 (None = full barrier)"
+            ),
+            ConfigError::BadStalenessExponent(v) => write!(
+                f,
+                "async runtime staleness_exponent must be finite and >= 0, got {v}"
+            ),
+            ConfigError::NoConcurrency => {
+                write!(f, "async runtime concurrent_cohorts must be positive")
+            }
         }
     }
 }
@@ -306,6 +327,17 @@ impl SimConfig {
                 }
             }
         }
+        if let Some(rt) = &self.runtime {
+            if rt.buffer_size == Some(0) {
+                return Err(ConfigError::NoBufferCapacity);
+            }
+            if !rt.staleness_exponent.is_finite() || rt.staleness_exponent < 0.0 {
+                return Err(ConfigError::BadStalenessExponent(rt.staleness_exponent));
+            }
+            if rt.concurrent_cohorts == 0 {
+                return Err(ConfigError::NoConcurrency);
+            }
+        }
         Ok(())
     }
 }
@@ -377,6 +409,24 @@ impl SimBuilder {
     #[must_use]
     pub fn static_fleet(mut self) -> Self {
         self.config.fleet = None;
+        self
+    }
+
+    /// Routes the simulation through the event-driven scheduler
+    /// ([`crate::runtime`]) with the given runtime block.
+    /// [`AsyncRuntime::barrier`] reproduces the lockstep engine bit for
+    /// bit; [`AsyncRuntime::buffered`] enables FedBuff-style
+    /// staleness-weighted aggregation.
+    #[must_use]
+    pub fn runtime(mut self, runtime: AsyncRuntime) -> Self {
+        self.config.runtime = Some(runtime);
+        self
+    }
+
+    /// Restores the classic lockstep round loop (the default).
+    #[must_use]
+    pub fn lockstep(mut self) -> Self {
+        self.config.runtime = None;
         self
     }
 
@@ -731,6 +781,30 @@ mod tests {
                     devices: base.num_devices,
                 },
             ),
+            (
+                {
+                    let mut c = base.clone();
+                    c.runtime = Some(AsyncRuntime::buffered(0, 0.5));
+                    c
+                },
+                ConfigError::NoBufferCapacity,
+            ),
+            (
+                {
+                    let mut c = base.clone();
+                    c.runtime = Some(AsyncRuntime::buffered(4, f64::NAN));
+                    c
+                },
+                ConfigError::BadStalenessExponent(f64::NAN),
+            ),
+            (
+                {
+                    let mut c = base.clone();
+                    c.runtime = Some(AsyncRuntime::barrier().concurrent_cohorts(0));
+                    c
+                },
+                ConfigError::NoConcurrency,
+            ),
         ];
         for (config, expected) in cases {
             let err = config.validate().expect_err(&format!("{expected:?}"));
@@ -758,6 +832,49 @@ mod tests {
             .build_config()
             .expect("static fleet is valid");
         assert_eq!(cfg.fleet, None);
+    }
+
+    #[test]
+    fn overselect_boundary_matches_the_engine_clamp() {
+        // K + extra == N is the largest provisioning validation accepts;
+        // the engine's dispatch clamp then binds only on the *eligible*
+        // pool under fleet dynamics, never on the fleet size — so
+        // validation and runtime agree at the boundary.
+        let at = |devices: usize, k: usize, extra: usize| {
+            Simulation::builder(Workload::TinyTest)
+                .devices(devices)
+                .params(GlobalParams::new(8, 1, k))
+                .fleet_dynamics(
+                    FleetDynamics::realistic().straggler(StragglerPolicy::OverSelect { extra }),
+                )
+                .build_config()
+        };
+        assert!(at(12, 8, 4).is_ok(), "K + extra == N must validate");
+        assert_eq!(
+            at(12, 8, 5).unwrap_err(),
+            ConfigError::OverSelectExceedsFleet {
+                selected: 13,
+                devices: 12,
+            }
+        );
+    }
+
+    #[test]
+    fn runtime_block_validates_and_builder_roundtrips() {
+        let cfg = Simulation::builder(Workload::TinyTest)
+            .runtime(AsyncRuntime::buffered(4, 0.5).concurrent_cohorts(2))
+            .build_config()
+            .expect("buffered runtime is valid");
+        assert_eq!(
+            cfg.runtime,
+            Some(AsyncRuntime::buffered(4, 0.5).concurrent_cohorts(2))
+        );
+        let cfg = Simulation::builder(Workload::TinyTest)
+            .runtime(AsyncRuntime::barrier())
+            .lockstep()
+            .build_config()
+            .expect("lockstep is valid");
+        assert_eq!(cfg.runtime, None);
     }
 
     #[test]

@@ -57,6 +57,14 @@ pub struct SimConfig {
     /// dropout and the straggler policy). `None` — the default — keeps
     /// the fleet static and reproduces pre-dynamics runs bit for bit.
     pub fleet: Option<FleetDynamics>,
+    /// Event-driven asynchronous aggregation
+    /// ([`crate::runtime::AsyncRuntime`]). `None` — the default — runs
+    /// the classic lockstep round loop; `Some(AsyncRuntime::barrier())`
+    /// routes through the discrete-event scheduler and reproduces the
+    /// lockstep engine bit for bit (see `docs/async-runtime.md`).
+    /// Deserializes to `None` when absent from serialized specs, so
+    /// pre-runtime spec files keep loading.
+    pub runtime: Option<crate::runtime::AsyncRuntime>,
     /// Aggregation algorithm.
     pub algorithm: AggregationAlgorithm,
     /// Accuracy engine.
@@ -94,6 +102,7 @@ impl SimConfig {
             distribution: DataDistribution::IidIdeal,
             scenario: VarianceScenario::calm(),
             fleet: None,
+            runtime: None,
             algorithm: AggregationAlgorithm::FedAvg,
             fidelity: Fidelity::Surrogate,
             num_devices: 200,
@@ -116,6 +125,7 @@ impl SimConfig {
             distribution: DataDistribution::IidIdeal,
             scenario: VarianceScenario::calm(),
             fleet: None,
+            runtime: None,
             algorithm: AggregationAlgorithm::FedAvg,
             fidelity: Fidelity::Surrogate,
             num_devices: 12,
@@ -179,6 +189,21 @@ pub struct RoundRecord {
     pub dropouts: Vec<DeviceId>,
     /// Devices that failed the eligibility check-in before selection.
     pub ineligible: usize,
+    /// Logical time at which this round's cohort was dispatched, in
+    /// simulated seconds since the start of the run. Under the lockstep
+    /// loop this is the cumulative duration of all earlier rounds; under
+    /// the event-driven runtime it is the scheduler clock at dispatch.
+    pub dispatch_time_s: f64,
+    /// Logical time at which this round's cohort completed (its record
+    /// was emitted): `dispatch_time_s + round_time_s`. Monotone across
+    /// rounds under the lockstep loop; under the event-driven runtime
+    /// with concurrent cohorts, completion order may differ from
+    /// dispatch order.
+    pub logical_time_s: f64,
+    /// Mean staleness (in aggregation versions) of this cohort's updates
+    /// at the moment they were aggregated. Always 0 under the lockstep
+    /// loop and the full-barrier runtime with one cohort in flight.
+    pub mean_staleness: f64,
 }
 
 impl RoundRecord {
@@ -312,14 +337,41 @@ struct RoundScratch {
     conditions: ConditionsStore,
     /// Per-participant training tasks.
     tasks: Vec<TrainingTask>,
-    /// Per-participant completion times (clamped at the deadline).
-    completion: Vec<f64>,
-    /// Per-participant active energy.
-    per_participant_energy: Vec<f64>,
     /// Fleet-sized participant membership mask.
     is_participant: Vec<bool>,
     /// Sort buffer for the median.
     median: Vec<f64>,
+}
+
+/// Everything a dispatched cohort carries between check-in/execution
+/// ([`Simulation::dispatch_round`]) and the aggregation + lifecycle +
+/// feedback steps that complete it. The lockstep loop completes a cohort
+/// immediately; the event-driven runtime ([`crate::runtime`]) holds the
+/// outcome in flight until its scheduled upload/completion events fire.
+#[derive(Debug)]
+pub(crate) struct DispatchOutcome {
+    /// Devices excluded from this round's pool by fleet dynamics.
+    pub ineligible: usize,
+    /// Global accuracy at dispatch time (before this cohort aggregates).
+    pub prev_accuracy: f64,
+    /// The selected cohort, in selection order.
+    pub participants: Vec<DeviceId>,
+    /// Per-participant execution plans.
+    pub plans: Vec<ExecutionPlan>,
+    /// Per-participant completion times (deadline-clamped, dropout-truncated).
+    pub completion: Vec<f64>,
+    /// Per-participant surviving update fractions (0 = no update).
+    pub fractions: Vec<f64>,
+    /// Per-participant active energy actually burned.
+    pub per_participant_energy: Vec<f64>,
+    /// Participants cut at the straggler deadline with no update.
+    pub dropped: Vec<DeviceId>,
+    /// Participants lost mid-round to battery death or churn.
+    pub dropouts: Vec<DeviceId>,
+    /// Cohort makespan: the slowest surviving completion time.
+    pub round_time_s: f64,
+    /// Total active energy across the cohort.
+    pub active_energy_j: f64,
 }
 
 /// The simulation: owns the fleet, the data, the accuracy engine and the
@@ -333,6 +385,10 @@ pub struct Simulation {
     scratch: RoundScratch,
     /// Per-device lifecycle state; `Some` iff `config.fleet` is enabled.
     fleet_state: Option<FleetStore>,
+    /// Logical clock in simulated seconds: the cumulative duration of
+    /// every completed round (the lockstep counterpart of the event
+    /// scheduler's clock).
+    clock_s: f64,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -460,6 +516,7 @@ impl Simulation {
             rng,
             scratch: RoundScratch::default(),
             fleet_state,
+            clock_s: 0.0,
         }
     }
 
@@ -510,8 +567,90 @@ impl Simulation {
         &mut self,
         selector: &mut dyn Selector,
         round: usize,
-        mut shadow: Option<&mut dyn Selector>,
+        shadow: Option<&mut dyn Selector>,
     ) -> (RoundRecord, Option<SelectionDecision>) {
+        let (outcome, shadow_decision) = self.dispatch_round(selector, round, shadow);
+        let idle_energy = self.idle_energy_for(&outcome.participants, outcome.round_time_s);
+
+        // Aggregate: update global accuracy from the surviving cohort
+        // (every update at staleness 0 — the lockstep loop aggregates a
+        // round the instant it completes).
+        let survivors: Vec<DeviceId> = outcome
+            .participants
+            .iter()
+            .zip(&outcome.fractions)
+            .filter(|(_, &f)| f > 0.0)
+            .map(|(id, _)| *id)
+            .collect();
+        let survivor_fractions: Vec<f64> = outcome
+            .fractions
+            .iter()
+            .copied()
+            .filter(|&f| f > 0.0)
+            .collect();
+        let accuracy = self.aggregate_update(survivors, survivor_fractions);
+
+        self.end_round_lifecycle(
+            outcome.round_time_s,
+            &outcome.participants,
+            &outcome.completion,
+            &outcome.per_participant_energy,
+        );
+
+        // Feed the outcome back to learning selectors.
+        let idle_per_device = if self.fleet.len() > outcome.participants.len() {
+            idle_energy / (self.fleet.len() - outcome.participants.len()) as f64
+        } else {
+            0.0
+        };
+        selector.observe(&RoundFeedback {
+            round,
+            participants: &outcome.participants,
+            per_participant_energy_j: &outcome.per_participant_energy,
+            idle_energy_per_device_j: idle_per_device,
+            global_energy_j: outcome.active_energy_j + idle_energy,
+            round_time_s: outcome.round_time_s,
+            accuracy,
+            prev_accuracy: outcome.prev_accuracy,
+            dropped: &outcome.dropped,
+            dropouts: &outcome.dropouts,
+            mean_staleness: 0.0,
+        });
+
+        let dispatch_time_s = self.clock_s;
+        let logical_time_s = dispatch_time_s + outcome.round_time_s;
+        self.clock_s = logical_time_s;
+        let record = RoundRecord {
+            round,
+            participants: outcome.participants,
+            plans: outcome.plans,
+            round_time_s: outcome.round_time_s,
+            active_energy_j: outcome.active_energy_j,
+            idle_energy_j: idle_energy,
+            accuracy,
+            dropped: outcome.dropped,
+            update_fractions: outcome.fractions,
+            dropouts: outcome.dropouts,
+            ineligible: outcome.ineligible,
+            dispatch_time_s,
+            logical_time_s,
+            mean_staleness: 0.0,
+        };
+        (record, shadow_decision)
+    }
+
+    /// Check-in, selection and execution of one cohort — everything up to
+    /// (but not including) aggregation, lifecycle advancement and
+    /// feedback, which the lockstep loop performs immediately and the
+    /// event-driven runtime (`crate::runtime`) defers to scheduled
+    /// events. Both drivers call this in strictly increasing dispatch
+    /// order, so the sequential engine RNG consumes draws identically.
+    pub(crate) fn dispatch_round(
+        &mut self,
+        selector: &mut dyn Selector,
+        round: usize,
+        mut shadow: Option<&mut dyn Selector>,
+    ) -> (DispatchOutcome, Option<SelectionDecision>) {
         // 0. Fleet dynamics: evolve per-device lifecycle sessions
         // (charging, foreground, connectivity) shard-parallel and refresh
         // the stored availability. Disabled dynamics report every device
@@ -548,6 +687,12 @@ impl Simulation {
         // 2. Ask the policy for participants + execution plans. Under
         // OverSelect the context advertises K + extra so every policy
         // over-provisions without knowing about the straggler layer.
+        // The advertisement is clamped to the round's *eligible* pool:
+        // validation already rejects K + extra > N, so the fleet size
+        // never binds, but under dynamics fewer than K + extra devices
+        // may have checked in — advertising more than the pool holds
+        // would promise a cohort no policy can realise (and skew
+        // learning selectors that scale rewards by the advertised K).
         let prev_accuracy = self.engine.accuracy();
         let params = match self.config.fleet.as_ref().map(|f| f.straggler) {
             Some(StragglerPolicy::OverSelect { extra }) => {
@@ -555,7 +700,7 @@ impl Simulation {
                 p.num_participants = p
                     .num_participants
                     .saturating_add(extra)
-                    .min(self.fleet.len());
+                    .min(availability.eligible_count());
                 p
             }
             _ => self.config.params,
@@ -577,11 +722,13 @@ impl Simulation {
         } = selector.select(&ctx, &mut self.rng);
         assert_eq!(participants.len(), plans.len(), "selector plan mismatch");
         let shadow_decision = shadow.as_mut().map(|s| {
-            // The shadow gets its own RNG stream so it cannot perturb the
-            // main run's determinism.
-            let mut shadow_rng = SmallRng::seed_from_u64(
-                self.config.seed ^ (round as u64).wrapping_mul(0x5bd1_e995),
-            );
+            // The shadow gets its own tagged RNG stream (TAG_SHADOW in
+            // the (seed, tag, round, id) discipline of
+            // docs/determinism.md) so it cannot perturb the main run's
+            // determinism and never collides with another stream across
+            // (seed, round) pairs.
+            let mut shadow_rng =
+                SmallRng::seed_from_u64(crate::fleet::shadow_stream_seed(self.config.seed, round));
             s.select(&ctx, &mut shadow_rng)
         });
         // Task construction is two field reads per participant; the heavy
@@ -602,10 +749,15 @@ impl Simulation {
             &self.scratch.tasks,
             &self.scratch.conditions,
         );
-        let completion = &mut self.scratch.completion;
-        completion.clear();
-        completion.extend(costs.iter().map(|c| c.total_time_s()));
-        let mut deadline = median_into(&mut self.scratch.median, completion)
+        let mut completion: Vec<f64> = costs.iter().map(|c| c.total_time_s()).collect();
+        // The deadline is *projected*: the median of the completion times
+        // the server estimates at dispatch, before any mid-round dropout
+        // truncates a device's actual runtime. This is deliberate — a
+        // real server sets the round deadline when it hands out work and
+        // cannot foresee that a device will die at 10% of the round, so
+        // a dropout still contributes its full projected time to the
+        // median. Pinned by `deadline_is_projected_not_truncated_by_dropouts`.
+        let mut deadline = median_into(&mut self.scratch.median, &completion)
             * self.config.straggler_deadline_factor;
         if let Some(StragglerPolicy::WaitBounded { grace }) =
             self.config.fleet.as_ref().map(|f| f.straggler)
@@ -668,22 +820,41 @@ impl Simulation {
         }
         let round_time_s = completion.iter().copied().fold(0.0, f64::max).max(1e-9);
 
-        // 4. Energy accounting: participants pay active energy scaled by
-        // the share of work they performed; non-participants idle (Eq. 5).
-        // Summed in participant order (never first-come) so the totals are
-        // bit-identical at any thread count upstream.
-        let per_participant_energy = &mut self.scratch.per_participant_energy;
-        per_participant_energy.clear();
+        // 4. Active-energy accounting: participants pay active energy
+        // scaled by the share of work they performed (Eq. 5 selected
+        // branch). Summed in participant order (never first-come) so the
+        // totals are bit-identical at any thread count upstream.
+        let mut per_participant_energy = Vec::with_capacity(costs.len());
         let mut active_energy_j = 0.0;
         for (i, cost) in costs.iter().enumerate() {
             let e = cost.total_energy_j() * energy_shares[i];
             active_energy_j += e;
             per_participant_energy.push(e);
         }
+
+        let outcome = DispatchOutcome {
+            ineligible,
+            prev_accuracy,
+            participants,
+            plans,
+            completion,
+            fractions,
+            per_participant_energy,
+            dropped,
+            dropouts,
+            round_time_s,
+            active_energy_j,
+        };
+        (outcome, shadow_decision)
+    }
+
+    /// Idle energy of every non-participant over a round of
+    /// `round_time_s` seconds (Eq. 5 else branch), summed in fleet order.
+    pub(crate) fn idle_energy_for(&mut self, participants: &[DeviceId], round_time_s: f64) -> f64 {
         let is_participant = &mut self.scratch.is_participant;
         is_participant.clear();
         is_participant.resize(self.fleet.len(), false);
-        for id in &participants {
+        for id in participants {
             is_participant[id.0] = true;
         }
         let mut idle_energy = 0.0;
@@ -692,15 +863,20 @@ impl Simulation {
                 idle_energy += idle_energy_j(device.tier(), round_time_s);
             }
         }
+        idle_energy
+    }
 
-        // 5. Aggregate: update global accuracy from the surviving cohort.
-        let survivors: Vec<DeviceId> = participants
-            .iter()
-            .zip(&fractions)
-            .filter(|(_, &f)| f > 0.0)
-            .map(|(id, _)| *id)
-            .collect();
-        let survivor_fractions: Vec<f64> = fractions.iter().copied().filter(|&f| f > 0.0).collect();
+    /// Applies one aggregation step: folds the surviving updates —
+    /// `survivors` with their (possibly staleness-discounted) update
+    /// fractions, in `(round, participant-slot)` order — into the global
+    /// model and returns the new test accuracy. Called exactly once per
+    /// lockstep round; the event-driven runtime calls it once per buffer
+    /// flush, with updates that may span several dispatched cohorts.
+    pub(crate) fn aggregate_update(
+        &mut self,
+        survivors: Vec<DeviceId>,
+        survivor_fractions: Vec<f64>,
+    ) -> f64 {
         let effective_samples: f64 = survivors
             .iter()
             .zip(&survivor_fractions)
@@ -747,55 +923,31 @@ impl Simulation {
             local_epochs: self.config.params.local_epochs,
             batch_size: self.config.params.batch_size,
         };
-        let accuracy = self.engine.apply_round(&stats);
+        self.engine.apply_round(&stats)
+    }
 
-        // 6. Advance the lifecycle states with what the round actually
-        // cost each device (battery drain, heating, cooling).
+    /// Advances the lifecycle states with what the cohort's round
+    /// actually cost each device (battery drain, heating, cooling).
+    /// Non-members idle-cool over `round_time_s` seconds. The lockstep
+    /// loop calls this once per round; the event runtime calls it at the
+    /// cohort's completion event.
+    pub(crate) fn end_round_lifecycle(
+        &mut self,
+        round_time_s: f64,
+        participants: &[DeviceId],
+        completion: &[f64],
+        per_participant_energy: &[f64],
+    ) {
         if let (Some(dynamics), Some(state)) = (&self.config.fleet, &mut self.fleet_state) {
             state.end_round(
                 dynamics,
                 &self.fleet,
                 round_time_s,
-                &participants,
-                &self.scratch.completion,
-                &self.scratch.per_participant_energy,
+                participants,
+                completion,
+                per_participant_energy,
             );
         }
-
-        // 7. Feed the outcome back to learning selectors.
-        let idle_per_device = if self.fleet.len() > participants.len() {
-            idle_energy / (self.fleet.len() - participants.len()) as f64
-        } else {
-            0.0
-        };
-        selector.observe(&RoundFeedback {
-            participants: &participants,
-            per_participant_energy_j: &self.scratch.per_participant_energy,
-            idle_energy_per_device_j: idle_per_device,
-            global_energy_j: active_energy_j + idle_energy,
-            round_time_s,
-            accuracy,
-            prev_accuracy,
-            dropped: &dropped,
-            dropouts: &dropouts,
-        });
-
-        // The feedback borrowed these buffers; the record takes ownership
-        // of whatever escapes the round — no clones.
-        let record = RoundRecord {
-            round,
-            participants,
-            plans,
-            round_time_s,
-            active_energy_j,
-            idle_energy_j: idle_energy,
-            accuracy,
-            dropped,
-            update_fractions: fractions,
-            dropouts,
-            ineligible,
-        };
-        (record, shadow_decision)
     }
 
     /// Runs until the target accuracy is reached (plus nothing) or
@@ -828,6 +980,12 @@ impl Simulation {
         policy: String,
         observers: &mut [&mut dyn crate::observe::RoundObserver],
     ) -> SimResult {
+        if self.config.runtime.is_some() {
+            // Event-driven scheduling on logical time; the full-barrier
+            // special case reproduces this lockstep loop bit for bit
+            // (pinned in tests/async_runtime.rs).
+            return crate::runtime::run_event_driven(self, selector, policy, observers);
+        }
         let target = self.config.target();
         let mut records = Vec::new();
         for round in 0..self.config.max_rounds {
@@ -1041,6 +1199,85 @@ mod tests {
         for rec in &result.records {
             assert_eq!(rec.participants.len(), k + 5, "round {}", rec.round);
         }
+    }
+
+    #[test]
+    fn overselect_clamps_to_the_eligible_pool_under_dynamics() {
+        // Validation rejects K + extra > N, so the fleet size never
+        // binds at dispatch; under dynamics the advertised cohort is
+        // bounded by the round's *eligible* pool instead — never a
+        // promise the policy cannot realise.
+        let mut cfg = SimConfig::smoke(9);
+        cfg.max_rounds = 12;
+        cfg.target_accuracy = Some(1.1);
+        let stormy = crate::fleet::FleetDynamics {
+            foreground_prob: 0.5,
+            offline_prob: 0.4,
+            ..crate::fleet::FleetDynamics::realistic()
+        };
+        cfg.fleet = Some(stormy.straggler(crate::fleet::StragglerPolicy::OverSelect { extra: 19 }));
+        let n = cfg.num_devices;
+        let k = cfg.params.num_participants;
+        let result = Simulation::new(cfg).run(&mut RandomSelector::new());
+        assert!(
+            result.records.iter().any(|r| n - r.ineligible < k + 19),
+            "dynamics must shrink the eligible pool below K + extra"
+        );
+        for rec in &result.records {
+            assert_eq!(
+                rec.participants.len(),
+                (n - rec.ineligible).min(k + 19),
+                "round {}: cohort must fill min(K + extra, eligible)",
+                rec.round
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_is_projected_not_truncated_by_dropouts() {
+        // The straggler deadline is the median of completion times
+        // *projected at dispatch*: a device that dies at 10% of the
+        // round still contributes its full projected time, because the
+        // server sets the deadline when it hands out work and cannot
+        // foresee deaths. Two fleets differing only in mid-round dropout
+        // probability therefore cut exactly the same stragglers — minus
+        // those that dropped out before the deadline could cut them.
+        let run = |drop_prob: f64| {
+            let mut cfg = SimConfig::smoke(17);
+            cfg.scenario = VarianceScenario::with_interference();
+            cfg.straggler_deadline_factor = 1.3;
+            let calm = crate::fleet::FleetDynamics {
+                foreground_prob: 0.0,
+                offline_prob: 0.0,
+                initial_soc_min: 1.0,
+                initial_soc_max: 1.0,
+                mid_round_drop_prob: drop_prob,
+                ..crate::fleet::FleetDynamics::realistic()
+            };
+            cfg.fleet = Some(calm.straggler(crate::fleet::StragglerPolicy::Drop));
+            Simulation::new(cfg).run_round(&mut RandomSelector::new(), 0)
+        };
+        let without = run(0.0);
+        let with = run(0.9);
+        assert_eq!(
+            without.participants, with.participants,
+            "dropout probability must not perturb dispatch"
+        );
+        assert!(!with.dropouts.is_empty(), "90% churn must kill devices");
+        assert!(
+            !without.dropped.is_empty(),
+            "interference must create stragglers"
+        );
+        let expected: Vec<DeviceId> = without
+            .dropped
+            .iter()
+            .copied()
+            .filter(|id| !with.dropouts.contains(id))
+            .collect();
+        assert_eq!(
+            with.dropped, expected,
+            "dropouts must not move the deadline for the survivors"
+        );
     }
 
     #[test]

@@ -224,6 +224,20 @@ fn device_stream_seed(seed: u64, tag: u64, round: u64, id: usize) -> u64 {
 const TAG_INIT: u64 = 0x11fe;
 const TAG_ROUND: u64 = 0x10fe;
 const TAG_DROP: u64 = 0xd109;
+const TAG_SHADOW: u64 = 0x5ad0;
+
+/// Seed of the shadow selector's per-round RNG stream (`TAG_SHADOW`).
+///
+/// The shadow selector of [`crate::engine::Simulation::run_round_shadowed`]
+/// draws from its own tagged stream so it can never perturb the main
+/// run's RNG; routing it through the same `(seed, tag, round, id)`
+/// construction as every other stream keeps the seeds collision-free
+/// across `(seed, round)` pairs (the previous ad-hoc
+/// `seed ^ round * constant` mix collided whenever two pairs XOR-ed to
+/// the same value, e.g. any round 0 against any seed).
+pub(crate) fn shadow_stream_seed(seed: u64, round: usize) -> u64 {
+    device_stream_seed(seed, TAG_SHADOW, round as u64, 0)
+}
 
 /// One contiguous range of devices' lifecycle state, one field per array.
 /// Device `offset + j` lives at lane `j` of every array.

@@ -21,6 +21,10 @@
 //! * [`engine`] — the round simulator with straggler handling and energy
 //!   accounting, producing [`engine::SimResult`]s whose `ppw_*` ratios are
 //!   the paper's reported numbers.
+//! * [`runtime`] — the deterministic discrete-event scheduler on logical
+//!   time: FedBuff-style buffered aggregation with staleness-weighted
+//!   updates ([`runtime::AsyncRuntime`]), whose full-barrier special case
+//!   reproduces the lockstep engine bit for bit.
 //!
 //! The experiment-facing API layers on top:
 //!
@@ -68,6 +72,7 @@ pub mod global;
 pub mod observe;
 pub mod oracle;
 pub mod policy;
+pub mod runtime;
 pub mod selection;
 pub mod spec;
 
@@ -86,6 +91,7 @@ pub use policy::{
     baseline_registry, run_policy, run_policy_observed, ClusterPolicy, OraclePolicy, Policy,
     PolicyRegistry, RandomPolicy, TunedPolicy,
 };
+pub use runtime::{staleness_weight, AsyncRuntime};
 pub use selection::{
     top_k_by, ClusterSelector, RandomSelector, RoundContext, RoundFeedback, SelectionDecision,
     Selector,

@@ -51,8 +51,11 @@ pub trait RoundObserver {
 /// Streams one CSV row per round to any writer.
 ///
 /// Columns: `round,accuracy,round_time_s,active_energy_j,idle_energy_j,`
-/// `participants,dropped,dropouts,ineligible` — the id lists are
-/// space-separated so the file stays quote-free.
+/// `participants,dropped,dropouts,ineligible,logical_time_s,`
+/// `mean_staleness` — the id lists are space-separated so the file stays
+/// quote-free. The last two columns carry the event runtime's logical
+/// clock and staleness (see `docs/async-runtime.md`); under the lockstep
+/// engine they are the cumulative round time and 0.
 pub struct CsvSink<W: Write> {
     out: W,
     wrote_header: bool,
@@ -94,14 +97,15 @@ impl<W: Write> RoundObserver for CsvSink<W> {
             writeln!(
                 self.out,
                 "round,accuracy,round_time_s,active_energy_j,idle_energy_j,\
-                 participants,dropped,dropouts,ineligible"
+                 participants,dropped,dropouts,ineligible,logical_time_s,\
+                 mean_staleness"
             )
             .expect("CSV sink write");
             self.wrote_header = true;
         }
         writeln!(
             self.out,
-            "{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{}",
             record.round,
             record.accuracy,
             record.round_time_s,
@@ -111,6 +115,8 @@ impl<W: Write> RoundObserver for CsvSink<W> {
             join_ids(&record.dropped),
             join_ids(&record.dropouts),
             record.ineligible,
+            record.logical_time_s,
+            record.mean_staleness,
         )
         .expect("CSV sink write");
     }

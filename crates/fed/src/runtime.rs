@@ -1,0 +1,465 @@
+//! Deterministic discrete-event runtime on logical time.
+//!
+//! The lockstep engine ([`crate::engine`]) advances one full barrier per
+//! round: every participant's upload lands at once, and aggregation,
+//! lifecycle advancement and feedback happen immediately. This module
+//! replays the same per-cohort work as *timestamped events* on a logical
+//! clock — device check-in/training/upload durations come from the
+//! existing per-device cost model — so the server can aggregate
+//! asynchronously, FedBuff-style: updates accumulate in a buffer of size
+//! `M` and each is discounted by its staleness (the number of global
+//! aggregation steps that happened since its cohort was dispatched) with
+//! weight `1 / (1 + staleness)^a`.
+//!
+//! Two contracts make this safe to adopt incrementally:
+//!
+//! 1. **Barrier equivalence.** [`AsyncRuntime::barrier`] (buffer = whole
+//!    cohort, staleness exponent 0, one cohort in flight) reproduces the
+//!    lockstep engine *bit for bit* — same selections, plans, energies,
+//!    accuracies and logical times — pinned for every registered policy
+//!    in `tests/async_runtime.rs`.
+//! 2. **Determinism.** The event loop runs in-process on a
+//!    [`std::collections::BinaryHeap`] ordered by `(time, sequence)`;
+//!    all stochastic inputs flow through the engine's existing seeded
+//!    streams, so the same seed reproduces a run bit for bit at any
+//!    `AUTOFL_THREADS` or shard count (see `docs/async-runtime.md`).
+
+use crate::engine::{DispatchOutcome, RoundRecord, SimResult, Simulation};
+use crate::observe::RoundObserver;
+use crate::selection::{RoundFeedback, Selector};
+use autofl_device::fleet::DeviceId;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Configuration of the event-driven asynchronous aggregation runtime.
+///
+/// Attach one to a simulation with
+/// [`crate::builder::SimBuilder::runtime`] (or by setting
+/// [`crate::engine::SimConfig::runtime`] on a profile); `None` keeps the
+/// classic lockstep loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AsyncRuntime {
+    /// Server aggregation buffer size `M`: the global model folds in
+    /// buffered updates as soon as `M` have arrived. `None` is the full
+    /// barrier — each cohort aggregates exactly when its slowest
+    /// surviving member finishes, reproducing lockstep FedAvg.
+    pub buffer_size: Option<usize>,
+    /// Staleness-discount exponent `a` in `1 / (1 + staleness)^a`.
+    /// `0.0` weights every update fully regardless of staleness.
+    pub staleness_exponent: f64,
+    /// Number of cohorts in flight at once. The scheduler keeps this
+    /// many dispatched: a new cohort starts the moment one completes.
+    /// `1` is sequential dispatch (required for barrier equivalence).
+    pub concurrent_cohorts: usize,
+}
+
+impl AsyncRuntime {
+    /// The full-barrier special case: aggregate each cohort exactly at
+    /// its completion event, no staleness discount, one cohort in
+    /// flight. Bit-identical to the lockstep engine.
+    pub fn barrier() -> Self {
+        AsyncRuntime {
+            buffer_size: None,
+            staleness_exponent: 0.0,
+            concurrent_cohorts: 1,
+        }
+    }
+
+    /// Buffered asynchronous aggregation: fold the global model forward
+    /// whenever `buffer_size` updates have arrived, discounting each by
+    /// `1 / (1 + staleness)^staleness_exponent`.
+    pub fn buffered(buffer_size: usize, staleness_exponent: f64) -> Self {
+        AsyncRuntime {
+            buffer_size: Some(buffer_size),
+            staleness_exponent,
+            concurrent_cohorts: 1,
+        }
+    }
+
+    /// Returns `self` with `cohorts` cohorts kept in flight at once.
+    pub fn concurrent_cohorts(mut self, cohorts: usize) -> Self {
+        self.concurrent_cohorts = cohorts;
+        self
+    }
+}
+
+/// The staleness discount `1 / (1 + staleness)^exponent` applied to an
+/// update that waited `staleness` global aggregation steps in the buffer.
+///
+/// Exactly `1.0` (not merely approximately) when `staleness == 0` or
+/// `exponent == 0.0`, so a fresh update's fraction passes through the
+/// multiplication bit-unchanged — the identity the barrier-equivalence
+/// contract rests on. Deterministic: a pure function of its arguments.
+pub fn staleness_weight(staleness: u64, exponent: f64) -> f64 {
+    if staleness == 0 || exponent == 0.0 {
+        1.0
+    } else {
+        (1.0 + staleness as f64).powf(exponent).recip()
+    }
+}
+
+/// What the scheduler does when an event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// One participant's update arrives at the server (buffered mode
+    /// only; the barrier aggregates whole cohorts at `CohortDone`).
+    Upload { round: usize, slot: usize },
+    /// A cohort's slowest surviving member finished: close out the
+    /// round — aggregate, advance lifecycles, emit the record.
+    CohortDone { round: usize },
+}
+
+/// A timestamped event. Ordered by `(time, seq)`: `seq` is the global
+/// scheduling counter, so simultaneous events fire in the deterministic
+/// order they were scheduled (uploads before their cohort's completion).
+#[derive(Debug)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// A dispatched cohort waiting for its events to fire.
+#[derive(Debug)]
+struct InFlight {
+    /// Logical time the cohort was dispatched.
+    dispatch_time_s: f64,
+    /// Global aggregation version at dispatch; staleness of this
+    /// cohort's updates is measured against it.
+    version_at_dispatch: u64,
+    /// Sum of the staleness values its aggregated updates carried.
+    staleness_sum: f64,
+    /// How many of its updates have been folded into the global model.
+    aggregated: usize,
+    /// The cohort's execution outcome, held until completion.
+    outcome: DispatchOutcome,
+}
+
+/// One update sitting in the server's aggregation buffer.
+#[derive(Debug, Clone, Copy)]
+struct BufferedUpdate {
+    round: usize,
+    slot: usize,
+    id: DeviceId,
+    fraction: f64,
+}
+
+/// The scheduler state threaded through the event loop.
+struct EventLoop {
+    rt: AsyncRuntime,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    in_flight: BTreeMap<usize, InFlight>,
+    buffer: Vec<BufferedUpdate>,
+    /// Global aggregation version: the number of flushes applied so far.
+    version: u64,
+}
+
+impl EventLoop {
+    fn schedule(&mut self, time: f64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Event { time, seq, kind }));
+    }
+
+    /// Dispatches cohort `round` at logical time `at`: check-in,
+    /// selection and execution run immediately (consuming the engine's
+    /// sequential RNG in dispatch order); upload/completion land on the
+    /// heap at their cost-model times.
+    fn dispatch(
+        &mut self,
+        sim: &mut Simulation,
+        selector: &mut dyn Selector,
+        observers: &mut [&mut dyn RoundObserver],
+        round: usize,
+        at: f64,
+    ) {
+        for obs in observers.iter_mut() {
+            obs.on_round_start(round);
+        }
+        let (outcome, _) = sim.dispatch_round(selector, round, None);
+        if self.rt.buffer_size.is_some() {
+            // Uploads are scheduled before the cohort's completion so
+            // an upload tied with CohortDone at the same instant (the
+            // slowest survivor's own update) is buffered first.
+            for slot in 0..outcome.participants.len() {
+                if outcome.fractions[slot] > 0.0 {
+                    self.schedule(
+                        at + outcome.completion[slot],
+                        EventKind::Upload { round, slot },
+                    );
+                }
+            }
+        }
+        self.schedule(at + outcome.round_time_s, EventKind::CohortDone { round });
+        self.in_flight.insert(
+            round,
+            InFlight {
+                dispatch_time_s: at,
+                version_at_dispatch: self.version,
+                staleness_sum: 0.0,
+                aggregated: 0,
+                outcome,
+            },
+        );
+    }
+
+    /// Folds `entries` into the global model as one aggregation step and
+    /// returns the new accuracy. Entries are ordered by `(round, slot)`
+    /// — dispatch order, never arrival order — so aggregation is
+    /// independent of how uploads interleaved on the clock. Always
+    /// aggregates, even with zero entries: the surrogate engine draws
+    /// from its RNG once per aggregation step (exactly as the lockstep
+    /// loop does for a fully-dropped round), and the barrier contract
+    /// needs that draw count preserved.
+    fn flush(&mut self, sim: &mut Simulation, mut entries: Vec<BufferedUpdate>) -> f64 {
+        entries.sort_by_key(|e| (e.round, e.slot));
+        let mut ids = Vec::with_capacity(entries.len());
+        let mut fractions = Vec::with_capacity(entries.len());
+        for e in &entries {
+            let fl = self
+                .in_flight
+                .get_mut(&e.round)
+                .expect("buffered update from a cohort not in flight");
+            let staleness = self.version - fl.version_at_dispatch;
+            fl.staleness_sum += staleness as f64;
+            fl.aggregated += 1;
+            ids.push(e.id);
+            fractions.push(e.fraction * staleness_weight(staleness, self.rt.staleness_exponent));
+        }
+        let accuracy = sim.aggregate_update(ids, fractions);
+        self.version += 1;
+        accuracy
+    }
+}
+
+/// Runs `sim` to convergence (or `max_rounds` dispatches) through the
+/// event-driven scheduler. Called by [`Simulation::run`] and friends when
+/// [`crate::engine::SimConfig::runtime`] is set.
+pub(crate) fn run_event_driven(
+    sim: &mut Simulation,
+    selector: &mut dyn Selector,
+    policy: String,
+    observers: &mut [&mut dyn RoundObserver],
+) -> SimResult {
+    let rt = sim
+        .config()
+        .runtime
+        .expect("run_event_driven requires config.runtime");
+    let target = sim.config().target();
+    let max_rounds = sim.config().max_rounds;
+    let barrier = rt.buffer_size.is_none();
+
+    let mut ev = EventLoop {
+        rt,
+        heap: BinaryHeap::new(),
+        seq: 0,
+        in_flight: BTreeMap::new(),
+        buffer: Vec::new(),
+        version: 0,
+    };
+    let mut records: Vec<RoundRecord> = Vec::new();
+    let mut next_round = 0usize;
+    let mut dispatching = true;
+
+    // Prime the pipeline: `concurrent_cohorts` cohorts dispatched at
+    // t = 0 in round order.
+    let initial = rt.concurrent_cohorts.max(1).min(max_rounds);
+    for _ in 0..initial {
+        ev.dispatch(sim, selector, observers, next_round, 0.0);
+        next_round += 1;
+    }
+
+    while let Some(Reverse(event)) = ev.heap.pop() {
+        let now = event.time;
+        match event.kind {
+            EventKind::Upload { round, slot } => {
+                let fl = &ev.in_flight[&round];
+                ev.buffer.push(BufferedUpdate {
+                    round,
+                    slot,
+                    id: fl.outcome.participants[slot],
+                    fraction: fl.outcome.fractions[slot],
+                });
+                if let Some(m) = rt.buffer_size {
+                    if ev.buffer.len() >= m {
+                        let entries = std::mem::take(&mut ev.buffer);
+                        ev.flush(sim, entries);
+                    }
+                }
+            }
+            EventKind::CohortDone { round } => {
+                // The closing aggregation step: the cohort's own
+                // survivors under a barrier; everything still buffered
+                // (this cohort's tail plus any other cohort's early
+                // uploads) under buffered aggregation.
+                let entries: Vec<BufferedUpdate> = if barrier {
+                    let fl = &ev.in_flight[&round];
+                    fl.outcome
+                        .participants
+                        .iter()
+                        .enumerate()
+                        .filter(|(slot, _)| fl.outcome.fractions[*slot] > 0.0)
+                        .map(|(slot, &id)| BufferedUpdate {
+                            round,
+                            slot,
+                            id,
+                            fraction: fl.outcome.fractions[slot],
+                        })
+                        .collect()
+                } else {
+                    std::mem::take(&mut ev.buffer)
+                };
+                let accuracy = ev.flush(sim, entries);
+                let fl = ev
+                    .in_flight
+                    .remove(&round)
+                    .expect("completed cohort not in flight");
+                let outcome = fl.outcome;
+                let idle_energy = sim.idle_energy_for(&outcome.participants, outcome.round_time_s);
+                sim.end_round_lifecycle(
+                    outcome.round_time_s,
+                    &outcome.participants,
+                    &outcome.completion,
+                    &outcome.per_participant_energy,
+                );
+                let mean_staleness = if fl.aggregated > 0 {
+                    fl.staleness_sum / fl.aggregated as f64
+                } else {
+                    0.0
+                };
+                let idle_per_device = if sim.fleet().len() > outcome.participants.len() {
+                    idle_energy / (sim.fleet().len() - outcome.participants.len()) as f64
+                } else {
+                    0.0
+                };
+                selector.observe(&RoundFeedback {
+                    round,
+                    participants: &outcome.participants,
+                    per_participant_energy_j: &outcome.per_participant_energy,
+                    idle_energy_per_device_j: idle_per_device,
+                    global_energy_j: outcome.active_energy_j + idle_energy,
+                    round_time_s: outcome.round_time_s,
+                    accuracy,
+                    prev_accuracy: outcome.prev_accuracy,
+                    dropped: &outcome.dropped,
+                    dropouts: &outcome.dropouts,
+                    mean_staleness,
+                });
+                let record = RoundRecord {
+                    round,
+                    participants: outcome.participants,
+                    plans: outcome.plans,
+                    round_time_s: outcome.round_time_s,
+                    active_energy_j: outcome.active_energy_j,
+                    idle_energy_j: idle_energy,
+                    accuracy,
+                    dropped: outcome.dropped,
+                    update_fractions: outcome.fractions,
+                    dropouts: outcome.dropouts,
+                    ineligible: outcome.ineligible,
+                    dispatch_time_s: fl.dispatch_time_s,
+                    logical_time_s: now,
+                    mean_staleness,
+                };
+                for obs in observers.iter_mut() {
+                    obs.on_round_end(&record);
+                }
+                if record.accuracy >= target {
+                    // Stop dispatching; cohorts already in flight drain
+                    // to completion so no consumed device work is lost.
+                    dispatching = false;
+                }
+                records.push(record);
+                if dispatching && next_round < max_rounds {
+                    ev.dispatch(sim, selector, observers, next_round, now);
+                    next_round += 1;
+                }
+            }
+        }
+    }
+
+    // Cohorts can complete out of dispatch order; reports and sinks
+    // expect round-ordered records (logical times stay monotone in
+    // `logical_time_s`, not in round index).
+    records.sort_by_key(|r| r.round);
+    let result = SimResult {
+        policy,
+        target_accuracy: target,
+        records,
+    };
+    if result.converged() {
+        for obs in observers.iter_mut() {
+            obs.on_converged(&result);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staleness_weight_is_exactly_one_when_fresh_or_flat() {
+        for exponent in [0.0, 0.3, 1.0, 2.5] {
+            assert_eq!(staleness_weight(0, exponent).to_bits(), 1.0f64.to_bits());
+        }
+        for staleness in [0u64, 1, 5, 1000] {
+            assert_eq!(staleness_weight(staleness, 0.0).to_bits(), 1.0f64.to_bits());
+        }
+    }
+
+    #[test]
+    fn staleness_weight_decays_monotonically() {
+        let mut prev = staleness_weight(0, 0.5);
+        for s in 1..20 {
+            let w = staleness_weight(s, 0.5);
+            assert!(w < prev, "weight must strictly decay at staleness {s}");
+            assert!(w > 0.0);
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn events_order_by_time_then_sequence() {
+        let mut heap = BinaryHeap::new();
+        let k = EventKind::CohortDone { round: 0 };
+        for (time, seq) in [(2.0, 0), (1.0, 2), (1.0, 1), (3.0, 3)] {
+            heap.push(Reverse(Event { time, seq, kind: k }));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop().map(|Reverse(e)| e.seq)).collect();
+        assert_eq!(order, vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn barrier_constructor_is_the_lockstep_special_case() {
+        let rt = AsyncRuntime::barrier();
+        assert_eq!(rt.buffer_size, None);
+        assert_eq!(rt.staleness_exponent, 0.0);
+        assert_eq!(rt.concurrent_cohorts, 1);
+        let buffered = AsyncRuntime::buffered(8, 0.5).concurrent_cohorts(3);
+        assert_eq!(buffered.buffer_size, Some(8));
+        assert_eq!(buffered.concurrent_cohorts, 3);
+    }
+}
