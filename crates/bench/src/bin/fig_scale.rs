@@ -20,7 +20,7 @@
 //! `AUTOFL_THREADS` / shard setting (the workspace contract); only the
 //! wall-clock columns vary.
 
-use autofl_bench::{merge_bench_rows, peak_rss_kb, BenchRow};
+use autofl_bench::{merge_bench_rows, peak_rss_kb, read_bench_rows, BenchRow};
 use autofl_fed::engine::Simulation;
 use autofl_fed::fleet::FleetDynamics;
 use autofl_fed::selection::RandomSelector;
@@ -122,6 +122,10 @@ fn main() {
         "devices", "dynamics", "setup_ms", "rounds_ms", "rounds/s", "peakRSS_kB", "accuracy"
     );
 
+    // A multi-threaded sweep reports measured speedup against the
+    // single-thread rows already merged into the out file (the
+    // computation is bit-identical, so the ratio is pure scheduling).
+    let baseline = read_bench_rows(&out_path);
     let mut rows = Vec::new();
     for &n in sizes {
         for dynamics in [false, true] {
@@ -136,11 +140,16 @@ fn main() {
                 row.rss_kb,
                 row.final_accuracy * 100.0
             );
+            let speedup = baseline
+                .iter()
+                .find(|r| r.bench == row.bench && r.threads == 1 && threads > 1)
+                .map(|base| base.wall_ms / row.rounds_ms.max(1e-9))
+                .unwrap_or(1.0);
             rows.push(BenchRow {
                 bench: row.bench,
                 threads,
                 wall_ms: row.rounds_ms,
-                speedup: 1.0,
+                speedup,
                 rounds_per_s: row.rounds_per_s,
                 peak_rss_kb: row.rss_kb,
             });

@@ -1,0 +1,94 @@
+//! Perf regression guard over `BENCH_autofl.json`.
+//!
+//! Compares a freshly measured bench file against the committed baseline
+//! and exits non-zero when throughput regressed beyond the allowed drop:
+//!
+//! ```sh
+//! cargo run --release -p autofl-bench --bin perf_guard -- \
+//!     --baseline BENCH_autofl.json --current /tmp/BENCH_autofl.json \
+//!     --bench fleet_scale_10k_rounds --max-drop 0.30
+//! ```
+//!
+//! Only rows whose name matches `--bench` (prefix match, so
+//! `fleet_scale` covers the whole `fig_scale` sweep) *and* that carry a
+//! real `rounds_per_s` in **both** files are compared, per `threads`
+//! value; kernel rows (`rounds_per_s == 0`) and rows present on only one
+//! side (different machine parallelism) are skipped. The threshold is
+//! deliberately loose — 30% by default — because CI runners are noisy;
+//! the guard exists to catch structural regressions (an accidental O(N)
+//! reintroduction), not scheduling jitter.
+
+use autofl_bench::read_bench_rows;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_path =
+        arg_value(&args, "--baseline").unwrap_or_else(|| "BENCH_autofl.json".into());
+    let current_path =
+        arg_value(&args, "--current").unwrap_or_else(|| "/tmp/BENCH_autofl.json".into());
+    let bench = arg_value(&args, "--bench").unwrap_or_else(|| "fleet_scale_10k_rounds".into());
+    let max_drop: f64 = arg_value(&args, "--max-drop")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.30);
+
+    let baseline = read_bench_rows(&baseline_path);
+    let current = read_bench_rows(&current_path);
+    assert!(
+        !baseline.is_empty(),
+        "no baseline rows at {baseline_path} — commit a BENCH_autofl.json first"
+    );
+    assert!(!current.is_empty(), "no fresh rows at {current_path}");
+
+    let mut compared = 0usize;
+    let mut failures = Vec::new();
+    for base in baseline
+        .iter()
+        .filter(|r| r.bench.starts_with(&bench) && r.rounds_per_s > 0.0)
+    {
+        let Some(now) = current
+            .iter()
+            .find(|r| r.bench == base.bench && r.threads == base.threads && r.rounds_per_s > 0.0)
+        else {
+            continue;
+        };
+        compared += 1;
+        let floor = base.rounds_per_s * (1.0 - max_drop);
+        let verdict = if now.rounds_per_s < floor {
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<28} t{} baseline {:>10.1} r/s, now {:>10.1} r/s (floor {:>10.1}) {}",
+            base.bench, base.threads, base.rounds_per_s, now.rounds_per_s, floor, verdict
+        );
+        if now.rounds_per_s < floor {
+            failures.push(base.bench.clone());
+        }
+    }
+    assert!(
+        compared > 0,
+        "no comparable rows matched --bench {bench}: baseline and current \
+         must both carry rounds_per_s for at least one (bench, threads) pair"
+    );
+    if !failures.is_empty() {
+        eprintln!(
+            "perf_guard: {} bench(es) regressed more than {:.0}%: {}",
+            failures.len(),
+            max_drop * 100.0,
+            failures.join(", ")
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "perf_guard: {compared} row(s) within {:.0}% of baseline",
+        max_drop * 100.0
+    );
+}

@@ -14,7 +14,7 @@
 //! settings time *identical* computations: `speedup` is a pure scheduling
 //! ratio, `wall_ms(threads=1) / wall_ms(threads=N)`.
 
-use autofl_bench::{merge_bench_rows, par_sweep, standard_registry, BenchRow, Policy};
+use autofl_bench::{merge_bench_rows, par_sweep, peak_rss_kb, standard_registry, BenchRow, Policy};
 use autofl_fed::engine::{Fidelity, SimConfig, Simulation};
 use autofl_fed::selection::RandomSelector;
 use autofl_nn::layers::{Conv2d, Layer};
@@ -34,7 +34,9 @@ fn time_ms(mut f: impl FnMut()) -> f64 {
     t.elapsed().as_secs_f64() * 1e3
 }
 
-fn bench_matmul(smoke: bool) -> f64 {
+/// Each benchmark returns `(wall_ms, rounds)`; `rounds` is zero for
+/// kernel microbenchmarks where "rounds per second" is meaningless.
+fn bench_matmul(smoke: bool) -> (f64, usize) {
     let dim = if smoke { 192 } else { 384 };
     let iters = if smoke { 4 } else { 10 };
     let mut rng = SmallRng::seed_from_u64(1);
@@ -51,37 +53,39 @@ fn bench_matmul(smoke: bool) -> f64 {
         }
     });
     assert!(sink.is_finite());
-    ms
+    (ms, 0)
 }
 
-fn bench_conv(smoke: bool) -> f64 {
+fn bench_conv(smoke: bool) -> (f64, usize) {
     let (batch, hw) = if smoke { (4, 16) } else { (8, 24) };
     let iters = if smoke { 4 } else { 10 };
     let mut rng = SmallRng::seed_from_u64(2);
     let mut conv = Conv2d::new(8, 16, 3, 1, 1, &mut rng);
     let x = pseudo_tensor(vec![batch, 8, hw, hw], &mut rng);
-    time_ms(|| {
+    let ms = time_ms(|| {
         for _ in 0..iters {
             let y = conv.forward(&x, true);
             let _ = conv.backward(&y);
         }
-    })
+    });
+    (ms, 0)
 }
 
-fn bench_surrogate_round(smoke: bool) -> f64 {
+fn bench_surrogate_round(smoke: bool) -> (f64, usize) {
     let rounds = if smoke { 60 } else { 250 };
     let mut cfg = SimConfig::smoke(7);
     cfg.max_rounds = rounds;
     let mut sim = Simulation::new(cfg);
     let mut sel = RandomSelector::new();
-    time_ms(|| {
+    let ms = time_ms(|| {
         for round in 0..rounds {
             let _ = sim.run_round(&mut sel, round);
         }
-    })
+    });
+    (ms, rounds)
 }
 
-fn bench_real_training_round(smoke: bool) -> f64 {
+fn bench_real_training_round(smoke: bool) -> (f64, usize) {
     let rounds = if smoke { 2 } else { 5 };
     let mut cfg = SimConfig::tiny_test(7);
     cfg.fidelity = Fidelity::RealTraining {
@@ -91,14 +95,15 @@ fn bench_real_training_round(smoke: bool) -> f64 {
     cfg.max_rounds = rounds;
     let mut sim = Simulation::new(cfg);
     let mut sel = RandomSelector::new();
-    time_ms(|| {
+    let ms = time_ms(|| {
         for round in 0..rounds {
             let _ = sim.run_round(&mut sel, round);
         }
-    })
+    });
+    (ms, rounds)
 }
 
-fn bench_scale_10k(smoke: bool) -> f64 {
+fn bench_scale_10k(smoke: bool) -> (f64, usize) {
     // The fleet-size axis at a CI-friendly point: 10k devices, sharded
     // stores, labels-only surrogate data, full fleet dynamics. The
     // deeper sweep (up to 1M devices) lives in the `fig_scale` binary.
@@ -115,14 +120,15 @@ fn bench_scale_10k(smoke: bool) -> f64 {
         .build()
         .expect("10k scale config is valid");
     let mut sel = RandomSelector::new();
-    time_ms(|| {
+    let ms = time_ms(|| {
         for round in 0..rounds {
             let _ = sim.run_round(&mut sel, round);
         }
-    })
+    });
+    (ms, rounds)
 }
 
-fn bench_sweep(smoke: bool) -> f64 {
+fn bench_sweep(smoke: bool) -> (f64, usize) {
     // Config-level fan-out: the sweep dimension the fig binaries scale
     // along. Every (config, policy) pair is an independent simulation.
     let seeds: &[u64] = if smoke {
@@ -140,13 +146,14 @@ fn bench_sweep(smoke: bool) -> f64 {
         runs.push((cfg.clone(), registry.expect("FedAvg-Random")));
         runs.push((cfg, registry.expect("Performance")));
     }
-    time_ms(|| {
+    let ms = time_ms(|| {
         let results = par_sweep(&runs);
         assert_eq!(results.len(), runs.len());
-    })
+    });
+    (ms, 0)
 }
 
-type BenchFn = fn(bool) -> f64;
+type BenchFn = fn(bool) -> (f64, usize);
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -187,10 +194,11 @@ fn main() {
         let mut base_ms = 0.0;
         for &threads in &[1usize, max_threads] {
             std::env::set_var("AUTOFL_THREADS", threads.to_string());
+            rayon::refresh_thread_count();
             // One untimed warm-up pass amortises pool spawn and allocator
             // warm-up out of the measurement.
             let _ = f(smoke);
-            let wall_ms = f(smoke);
+            let (wall_ms, rounds) = f(smoke);
             if threads == 1 {
                 base_ms = wall_ms;
             }
@@ -205,8 +213,12 @@ fn main() {
                 threads,
                 wall_ms,
                 speedup,
-                rounds_per_s: 0.0,
-                peak_rss_kb: 0.0,
+                rounds_per_s: if rounds > 0 {
+                    rounds as f64 / (wall_ms / 1e3).max(1e-9)
+                } else {
+                    0.0
+                },
+                peak_rss_kb: peak_rss_kb().unwrap_or(0.0),
             });
             if max_threads == 1 {
                 break; // threads=1 and threads=N are the same measurement
@@ -217,6 +229,7 @@ fn main() {
         Some(v) => std::env::set_var("AUTOFL_THREADS", v),
         None => std::env::remove_var("AUTOFL_THREADS"),
     }
+    rayon::refresh_thread_count();
 
     // Merge rather than overwrite: `fig_scale` rows in the same file
     // survive a perf_report refresh (and vice versa).

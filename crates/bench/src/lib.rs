@@ -69,10 +69,7 @@ pub struct BenchRow {
 /// rows are appended. A missing or unparseable file (e.g. an older
 /// schema) starts from empty, so the file self-heals across versions.
 pub fn merge_bench_rows(path: &str, rows: Vec<BenchRow>) -> std::io::Result<()> {
-    let mut merged: Vec<BenchRow> = std::fs::read_to_string(path)
-        .ok()
-        .and_then(|text| serde_json::from_str(&text).ok())
-        .unwrap_or_default();
+    let mut merged = read_bench_rows(path);
     for row in rows {
         match merged
             .iter_mut()
@@ -84,6 +81,15 @@ pub fn merge_bench_rows(path: &str, rows: Vec<BenchRow>) -> std::io::Result<()> 
     }
     let json = serde_json::to_string_pretty(&merged).expect("bench rows serialize");
     std::fs::write(path, json + "\n")
+}
+
+/// Reads the `BenchRow` array at `path`; a missing or unparseable file
+/// (e.g. an older schema) reads as empty.
+pub fn read_bench_rows(path: &str) -> Vec<BenchRow> {
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok())
+        .unwrap_or_default()
 }
 
 /// Best-effort peak resident-set size of this process in kB (`VmHWM`

@@ -201,31 +201,181 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
         assert!(chunk_size > 0, "chunk size must be positive");
         ParChunksMut {
-            chunks: self.chunks_mut(chunk_size).collect(),
+            slice: self,
+            chunk_size,
+            min_len: 1,
         }
     }
+}
+
+/// Shared fan-out driver for the mutable iterators: visits every
+/// `(index, item)` pair exactly once, grouping `min_len.max(⌈n / 2·threads⌉)`
+/// consecutive items per job so tiny items don't drown in per-job
+/// bookkeeping. Work assignment depends only on `n`, `min_len` and the
+/// thread count — never on scheduling — so any writes a caller derives
+/// from the item index alone are deterministic.
+fn run_items<I, F>(items: Vec<I>, min_len: usize, f: F)
+where
+    I: Send,
+    F: Fn((usize, I)) + Sync,
+{
+    let n = items.len();
+    let threads = effective_parallelism(n, min_len);
+    if threads <= 1 {
+        for pair in items.into_iter().enumerate() {
+            f(pair);
+        }
+        return;
+    }
+    let group = n.div_ceil(threads * 2).max(min_len.max(1));
+    let f = &f;
+    let mut jobs: Vec<ScopedJob<'_>> = Vec::with_capacity(n.div_ceil(group));
+    let mut items = items.into_iter().enumerate();
+    loop {
+        let batch: Vec<(usize, I)> = items.by_ref().take(group).collect();
+        if batch.is_empty() {
+            break;
+        }
+        jobs.push(Box::new(move || {
+            for pair in batch {
+                f(pair);
+            }
+        }));
+    }
+    run_batch(threads, jobs);
 }
 
 /// Parallel iterator over disjoint mutable chunks of a slice.
+///
+/// The chunk list is materialised only when work actually fans out to the
+/// pool: on the inline path (one effective thread) `for_each` walks
+/// `chunks_mut` directly and performs **zero heap allocations** — the
+/// property the workspace's steady-state allocation tests pin for the
+/// fleet-dynamics round loop.
 pub struct ParChunksMut<'data, T> {
-    chunks: Vec<&'data mut [T]>,
+    slice: &'data mut [T],
+    chunk_size: usize,
+    min_len: usize,
 }
 
 impl<'data, T: Send> ParChunksMut<'data, T> {
+    /// Sets the minimum number of *chunks* a single job may process;
+    /// operations over fewer total chunks than this run inline. Mirrors
+    /// [`ParRange::with_min_len`] for the chunked iterator, letting hot
+    /// loops over many small chunks (e.g. fleet shards) pick a real work
+    /// granularity instead of one job per chunk.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
     /// Pairs every chunk with its index.
     pub fn enumerate(self) -> ParEnumChunksMut<'data, T> {
         ParEnumChunksMut {
-            chunks: self.chunks,
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+            min_len: self.min_len,
+        }
+    }
+
+    /// Runs `f` on every chunk. Each chunk is visited by exactly one
+    /// thread; use [`ParChunksMut::enumerate`] when the closure needs the
+    /// chunk's position.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'data mut [T]) + Sync,
+    {
+        let n = self.slice.len().div_ceil(self.chunk_size);
+        if effective_parallelism(n, self.min_len) <= 1 {
+            for chunk in self.slice.chunks_mut(self.chunk_size) {
+                f(chunk);
+            }
+            return;
+        }
+        let chunks: Vec<&mut [T]> = self.slice.chunks_mut(self.chunk_size).collect();
+        run_items(chunks, self.min_len, |(_, chunk)| f(chunk));
+    }
+}
+
+/// Types whose mutable references yield a parallel iterator.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The mutable item reference type.
+    type Item: 'data;
+    /// The parallel iterator type.
+    type Iter;
+    /// Mutably borrows `self` as a parallel iterator.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    type Iter = ParSliceMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> ParSliceMut<'data, T> {
+        ParSliceMut {
+            slice: self,
+            min_len: 1,
         }
     }
 }
 
-/// Enumerated disjoint mutable chunks.
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+    type Iter = ParSliceMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> ParSliceMut<'data, T> {
+        self.as_mut_slice().par_iter_mut()
+    }
+}
+
+/// Parallel iterator over mutable element references — the idiomatic
+/// shape for "one task owns one shard" loops (`shards.par_iter_mut()
+/// .for_each(..)`). Allocation-free on the inline path, like
+/// [`ParChunksMut`].
+pub struct ParSliceMut<'data, T> {
+    slice: &'data mut [T],
+    min_len: usize,
+}
+
+impl<'data, T: Send> ParSliceMut<'data, T> {
+    /// Sets the minimum number of elements a single job may process;
+    /// operations over fewer total elements than this run inline.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    /// Runs `f` on every element. Each element is visited by exactly one
+    /// thread, so writes depend only on the element — never on
+    /// scheduling.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'data mut T) + Sync,
+    {
+        if effective_parallelism(self.slice.len(), self.min_len) <= 1 {
+            for item in self.slice.iter_mut() {
+                f(item);
+            }
+            return;
+        }
+        let items: Vec<&mut T> = self.slice.iter_mut().collect();
+        run_items(items, self.min_len, |(_, item)| f(item));
+    }
+}
+
+/// Enumerated disjoint mutable chunks. Allocation-free on the inline
+/// path, like [`ParChunksMut`].
 pub struct ParEnumChunksMut<'data, T> {
-    chunks: Vec<&'data mut [T]>,
+    slice: &'data mut [T],
+    chunk_size: usize,
+    min_len: usize,
 }
 
 impl<'data, T: Send> ParEnumChunksMut<'data, T> {
+    /// See [`ParChunksMut::with_min_len`].
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
     /// Runs `f` on every `(index, chunk)` pair. Each chunk is visited by
     /// exactly one thread, so writes into a chunk depend only on its
     /// index — never on scheduling.
@@ -233,29 +383,14 @@ impl<'data, T: Send> ParEnumChunksMut<'data, T> {
     where
         F: Fn((usize, &'data mut [T])) + Sync,
     {
-        let n = self.chunks.len();
-        let threads = effective_parallelism(n, 1);
-        if threads <= 1 {
-            for pair in self.chunks.into_iter().enumerate() {
+        let n = self.slice.len().div_ceil(self.chunk_size);
+        if effective_parallelism(n, self.min_len) <= 1 {
+            for pair in self.slice.chunks_mut(self.chunk_size).enumerate() {
                 f(pair);
             }
             return;
         }
-        let group = n.div_ceil(threads * 2).max(1);
-        let f = &f;
-        let mut jobs: Vec<ScopedJob<'_>> = Vec::with_capacity(n.div_ceil(group));
-        let mut items = self.chunks.into_iter().enumerate();
-        loop {
-            let batch: Vec<(usize, &'data mut [T])> = items.by_ref().take(group).collect();
-            if batch.is_empty() {
-                break;
-            }
-            jobs.push(Box::new(move || {
-                for pair in batch {
-                    f(pair);
-                }
-            }));
-        }
-        run_batch(threads, jobs);
+        let chunks: Vec<&mut [T]> = self.slice.chunks_mut(self.chunk_size).collect();
+        run_items(chunks, self.min_len, f);
     }
 }

@@ -9,8 +9,11 @@
 //! * [`iter::IntoParallelIterator`] / [`iter::IntoParallelRefIterator`] —
 //!   `into_par_iter()` over `0..n` and `par_iter()` over slices, with
 //!   `map`, `with_min_len` and ordered `collect`,
-//! * [`iter::ParallelSliceMut`] — `par_chunks_mut(..).enumerate()
-//!   .for_each(..)` over disjoint output blocks,
+//! * [`iter::IntoParallelRefMutIterator`] — `par_iter_mut().for_each(..)`
+//!   over mutable elements (the "one task owns one shard" shape),
+//! * [`iter::ParallelSliceMut`] — `par_chunks_mut(..)` over disjoint
+//!   output blocks, with `with_min_len`, plain `for_each` and
+//!   `enumerate().for_each(..)`,
 //! * [`current_num_threads`] — the effective thread count.
 //!
 //! # Determinism contract
@@ -30,22 +33,26 @@
 //!
 //! The pool serves `AUTOFL_THREADS` threads (default: the machine's
 //! available parallelism; `1` bypasses the pool entirely and runs the
-//! exact sequential code path). The variable is re-read on every parallel
-//! call, so it can be flipped at runtime. Parallel calls issued from
-//! inside a worker run inline — nesting never oversubscribes or
-//! deadlocks, and the outermost fan-out (policy sweeps, per-client
-//! training) keeps all the threads busy.
+//! exact sequential code path). The variable is read once and cached —
+//! reading the environment allocates, and the fleet-dynamics round loop
+//! is pinned allocation-free in steady state — so tests and benches that
+//! flip it at runtime call [`refresh_thread_count`] afterwards. Parallel
+//! calls issued from inside a worker run inline — nesting never
+//! oversubscribes or deadlocks, and the outermost fan-out (policy sweeps,
+//! per-client training) keeps all the threads busy.
 
 #![warn(missing_docs)]
 
 pub mod iter;
 mod pool;
 
-pub use pool::{current_num_threads, join, MAX_WORKERS};
+pub use pool::{current_num_threads, join, refresh_thread_count, MAX_WORKERS};
 
 /// One-stop imports mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSliceMut,
+    };
 }
 
 #[cfg(test)]
@@ -63,11 +70,13 @@ mod tests {
         let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let prev = std::env::var("AUTOFL_THREADS").ok();
         std::env::set_var("AUTOFL_THREADS", n.to_string());
+        crate::refresh_thread_count();
         let r = f();
         match prev {
             Some(v) => std::env::set_var("AUTOFL_THREADS", v),
             None => std::env::remove_var("AUTOFL_THREADS"),
         }
+        crate::refresh_thread_count();
         r
     }
 
@@ -107,6 +116,43 @@ mod tests {
         });
         assert_eq!(visits.load(Ordering::Relaxed), 1000usize.div_ceil(64));
         assert!(data.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn chunks_mut_plain_for_each_and_min_len() {
+        let mut data = vec![0usize; 500];
+        with_threads(4, || {
+            data.par_chunks_mut(10)
+                .with_min_len(4)
+                .for_each(|chunk| chunk.fill(7));
+        });
+        assert!(data.iter().all(|&x| x == 7));
+        // Below the min_len threshold the loop runs inline; results are
+        // identical either way.
+        let mut small = vec![0usize; 30];
+        with_threads(4, || {
+            small
+                .par_chunks_mut(10)
+                .with_min_len(4)
+                .for_each(|chunk| chunk.fill(9));
+        });
+        assert!(small.iter().all(|&x| x == 9));
+    }
+
+    #[test]
+    fn par_iter_mut_visits_every_element_once() {
+        let mut data: Vec<usize> = (0..1000).collect();
+        let visits = AtomicUsize::new(0);
+        for threads in [1, 4] {
+            with_threads(threads, || {
+                data.par_iter_mut().for_each(|x| {
+                    visits.fetch_add(1, Ordering::Relaxed);
+                    *x += 1;
+                });
+            });
+        }
+        assert_eq!(visits.load(Ordering::Relaxed), 2000);
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i + 2));
     }
 
     #[test]
@@ -160,10 +206,12 @@ mod tests {
         let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let prev = std::env::var("AUTOFL_THREADS").ok();
         std::env::set_var("AUTOFL_THREADS", "not-a-number");
+        assert!(super::refresh_thread_count() >= 1);
         assert!(super::current_num_threads() >= 1);
         match prev {
             Some(v) => std::env::set_var("AUTOFL_THREADS", v),
             None => std::env::remove_var("AUTOFL_THREADS"),
         }
+        super::refresh_thread_count();
     }
 }

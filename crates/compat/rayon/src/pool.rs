@@ -76,25 +76,46 @@ fn ensure_workers(n: usize) {
     }
 }
 
+/// Cached thread count; `0` means "not read yet". Reading `AUTOFL_THREADS`
+/// through `std::env::var` allocates a `String`, and parallel operations
+/// consult the count on every call — caching keeps the steady-state round
+/// loop allocation-free (pinned by `tests/alloc_steady_state.rs`).
+static CACHED_THREADS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
 /// The number of threads a parallel operation submitted *now* may use,
 /// including the submitting thread itself.
 ///
-/// Reads `AUTOFL_THREADS` on every call (so tests and benches can change
-/// it at runtime); unset, empty, unparseable or `0` values fall back to
-/// the machine's available parallelism. Thread count never affects
+/// `AUTOFL_THREADS` is read once and cached (like real rayon, whose pool
+/// size is fixed when the pool is built); unset, empty, unparseable or
+/// `0` values fall back to the machine's available parallelism. Tests and
+/// benches that change the variable at runtime call
+/// [`refresh_thread_count`] afterwards. Thread count never affects
 /// results — only wall-clock time — so this is a pure tuning knob.
 pub fn current_num_threads() -> usize {
+    match CACHED_THREADS.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => refresh_thread_count(),
+        n => n,
+    }
+}
+
+/// Re-reads `AUTOFL_THREADS` and returns the new effective thread count.
+///
+/// Call this after changing the variable mid-process; the environment is
+/// otherwise consulted only on the first parallel operation.
+pub fn refresh_thread_count() -> usize {
     let configured = std::env::var("AUTOFL_THREADS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1);
-    configured
+    let n = configured
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)
         })
-        .min(MAX_WORKERS)
+        .min(MAX_WORKERS);
+    CACHED_THREADS.store(n, std::sync::atomic::Ordering::Relaxed);
+    n
 }
 
 /// One unit of work inside a batch; may borrow the caller's stack.

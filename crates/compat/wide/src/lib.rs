@@ -1,0 +1,208 @@
+//! Minimal, dependency-free stand-in for the `wide` crate (API subset).
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so the SIMD kernels in `autofl-nn` link against this in-tree
+//! implementation instead. Only the surface those kernels use is
+//! provided: [`f32x8`], a fixed eight-lane vector of `f32` with
+//! element-wise arithmetic.
+//!
+//! # Why a plain array, not intrinsics
+//!
+//! [`f32x8`] is a `#[repr(C, align(32))]` newtype over `[f32; 8]` whose
+//! operators are written as fixed-trip-count element-wise loops. LLVM
+//! reliably turns those loops into packed SIMD instructions for the
+//! target's vector width (two 128-bit ops on baseline x86-64, one
+//! 256-bit op with AVX) — without `unsafe`, nightly features, or
+//! per-architecture intrinsics. The newtype's job is to fix the *lane
+//! width* in the kernel source so blocking decisions (packing, tails)
+//! are explicit, while the instruction selection stays portable.
+//!
+//! # Bit-determinism contract
+//!
+//! Every lane is an independent IEEE-754 `f32` computation: lane `i` of
+//! `a * b + c` is exactly `a[i] * b[i] + c[i]` with one rounding per
+//! operation, identical to the scalar expression. There is **no fused
+//! multiply-add** anywhere (Rust never contracts `a * b + c` into an
+//! FMA), and no horizontal operation that would reorder additions.
+//! Kernels built on this type therefore produce bit-identical results to
+//! their scalar references as long as they keep each output element's
+//! accumulation order unchanged — the property `autofl-nn`'s kernel
+//! tests pin.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Eight lanes of `f32`, computed element-wise.
+///
+/// The lowercase name mirrors the real `wide` crate so swapping in the
+/// crates-io package is a one-line change in the workspace manifest.
+#[allow(non_camel_case_types)]
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+#[repr(C, align(32))]
+pub struct f32x8([f32; 8]);
+
+impl f32x8 {
+    /// Number of lanes.
+    pub const LANES: usize = 8;
+
+    /// All lanes zero.
+    pub const ZERO: f32x8 = f32x8([0.0; 8]);
+
+    /// Builds a vector from eight lane values.
+    #[inline(always)]
+    pub const fn new(lanes: [f32; 8]) -> Self {
+        f32x8(lanes)
+    }
+
+    /// Broadcasts `v` into every lane.
+    #[inline(always)]
+    pub const fn splat(v: f32) -> Self {
+        f32x8([v; 8])
+    }
+
+    /// Loads eight lanes from the front of `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() < 8`.
+    #[inline(always)]
+    pub fn from_slice(src: &[f32]) -> Self {
+        let mut lanes = [0.0f32; 8];
+        lanes.copy_from_slice(&src[..8]);
+        f32x8(lanes)
+    }
+
+    /// Stores the lanes into the front of `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() < 8`.
+    #[inline(always)]
+    pub fn write_to_slice(self, dst: &mut [f32]) {
+        dst[..8].copy_from_slice(&self.0);
+    }
+
+    /// The lanes as an array.
+    #[inline(always)]
+    pub const fn to_array(self) -> [f32; 8] {
+        self.0
+    }
+
+    /// Borrows the lanes as an array.
+    #[inline(always)]
+    pub const fn as_array_ref(&self) -> &[f32; 8] {
+        &self.0
+    }
+}
+
+impl From<[f32; 8]> for f32x8 {
+    #[inline(always)]
+    fn from(lanes: [f32; 8]) -> Self {
+        f32x8(lanes)
+    }
+}
+
+impl From<f32x8> for [f32; 8] {
+    #[inline(always)]
+    fn from(v: f32x8) -> Self {
+        v.0
+    }
+}
+
+macro_rules! elementwise_binop {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $assign_op:tt) => {
+        impl $trait for f32x8 {
+            type Output = f32x8;
+            #[inline(always)]
+            fn $method(mut self, rhs: f32x8) -> f32x8 {
+                for i in 0..8 {
+                    self.0[i] $assign_op rhs.0[i];
+                }
+                self
+            }
+        }
+
+        impl $assign_trait for f32x8 {
+            #[inline(always)]
+            fn $assign_method(&mut self, rhs: f32x8) {
+                for i in 0..8 {
+                    self.0[i] $assign_op rhs.0[i];
+                }
+            }
+        }
+    };
+}
+
+elementwise_binop!(Add, add, AddAssign, add_assign, +=);
+elementwise_binop!(Sub, sub, SubAssign, sub_assign, -=);
+elementwise_binop!(Mul, mul, MulAssign, mul_assign, *=);
+
+impl Neg for f32x8 {
+    type Output = f32x8;
+    #[inline(always)]
+    fn neg(mut self) -> f32x8 {
+        for lane in &mut self.0 {
+            *lane = -*lane;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_fills_all_lanes() {
+        assert_eq!(f32x8::splat(2.5).to_array(), [2.5; 8]);
+    }
+
+    #[test]
+    fn arithmetic_is_elementwise_and_bit_equal_to_scalar() {
+        let a = [0.1f32, -2.0, 3.5, 0.0, -0.0, 1e-30, 7.25, -9.5];
+        let b = [1.7f32, 0.3, -4.25, 5.0, 2.0, 3e10, -0.5, 0.125];
+        let va = f32x8::new(a);
+        let vb = f32x8::new(b);
+        let sum = (va + vb).to_array();
+        let dif = (va - vb).to_array();
+        let prd = (va * vb).to_array();
+        for i in 0..8 {
+            assert_eq!(sum[i].to_bits(), (a[i] + b[i]).to_bits());
+            assert_eq!(dif[i].to_bits(), (a[i] - b[i]).to_bits());
+            assert_eq!(prd[i].to_bits(), (a[i] * b[i]).to_bits());
+        }
+    }
+
+    #[test]
+    fn mul_then_add_matches_scalar_two_rounding_sequence() {
+        // The kernels rely on `acc += a * b` being exactly one multiply
+        // rounding followed by one add rounding per lane (no FMA
+        // contraction). Pin that against the scalar expression.
+        let a = f32x8::splat(1.000_000_1);
+        let b = f32x8::splat(3.000_000_2);
+        let mut acc = f32x8::splat(0.333_333_34);
+        acc += a * b;
+        let scalar = 0.333_333_34f32 + 1.000_000_1f32 * 3.000_000_2f32;
+        for lane in acc.to_array() {
+            assert_eq!(lane.to_bits(), scalar.to_bits());
+        }
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let src: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let v = f32x8::from_slice(&src[1..]);
+        assert_eq!(v.to_array(), [1., 2., 3., 4., 5., 6., 7., 8.]);
+        let mut dst = [0.0f32; 9];
+        v.write_to_slice(&mut dst);
+        assert_eq!(&dst[..8], v.as_array_ref());
+        assert_eq!(dst[8], 0.0);
+    }
+
+    #[test]
+    fn neg_flips_sign_bits() {
+        let v = -f32x8::new([1.0, -2.0, 0.0, -0.0, 3.5, -4.5, 5.0, -6.0]);
+        assert_eq!(v.to_array(), [-1.0, 2.0, -0.0, 0.0, -3.5, 4.5, -5.0, 6.0]);
+    }
+}

@@ -95,20 +95,16 @@ impl VarianceScenario {
     /// Panics if `out` does not cover exactly `fleet.len()` devices.
     pub fn sample_into(&self, fleet: &Fleet, round_seed: u64, out: &mut ConditionsStore) {
         assert_eq!(out.len(), fleet.len(), "store must cover the fleet");
-        out.shards_mut()
-            .par_chunks_mut(1)
-            .enumerate()
-            .for_each(|(_, shard_slot)| {
-                let shard = &mut shard_slot[0];
-                for j in 0..shard.len() {
-                    let i = shard.offset + j;
-                    let mut rng = SmallRng::seed_from_u64(
-                        round_seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                    );
-                    let c = self.sample(fleet.device(crate::fleet::DeviceId(i)), &mut rng);
-                    shard.set_lane(j, &c);
-                }
-            });
+        out.shards_mut().par_iter_mut().for_each(|shard| {
+            for j in 0..shard.len() {
+                let i = shard.offset + j;
+                let mut rng = SmallRng::seed_from_u64(
+                    round_seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                let c = self.sample(fleet.device(crate::fleet::DeviceId(i)), &mut rng);
+                shard.set_lane(j, &c);
+            }
+        });
     }
 
     /// Samples the whole fleet's conditions into a `Vec` of structs
@@ -198,13 +194,16 @@ mod tests {
         let mut par = Vec::new();
         let prev = std::env::var("AUTOFL_THREADS").ok();
         std::env::set_var("AUTOFL_THREADS", "1");
+        rayon::refresh_thread_count();
         sc.sample_fleet(&fleet, 0xabcd, &mut seq);
         std::env::set_var("AUTOFL_THREADS", "8");
+        rayon::refresh_thread_count();
         sc.sample_fleet(&fleet, 0xabcd, &mut par);
         match prev {
             Some(v) => std::env::set_var("AUTOFL_THREADS", v),
             None => std::env::remove_var("AUTOFL_THREADS"),
         }
+        rayon::refresh_thread_count();
         assert_eq!(seq, par);
         // And a different round seed must change *something*.
         let mut other = Vec::new();

@@ -16,6 +16,7 @@ use autofl_device::fleet::{DeviceId, Fleet};
 use autofl_device::idle_energy_j;
 use autofl_device::scenario::VarianceScenario;
 use autofl_device::store::ConditionsStore;
+use autofl_device::tier::DeviceTier;
 use autofl_nn::zoo::Workload;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -339,6 +340,10 @@ struct RoundScratch {
     tasks: Vec<TrainingTask>,
     /// Fleet-sized participant membership mask.
     is_participant: Vec<bool>,
+    /// Per-device tiers, one byte-sized entry per device in fleet order.
+    /// Filled once on first use: the idle-energy scan walks this compact
+    /// array instead of re-reading whole `Device` structs every round.
+    tiers: Vec<DeviceTier>,
     /// Sort buffer for the median.
     median: Vec<f64>,
 }
@@ -857,10 +862,28 @@ impl Simulation {
         for id in participants {
             is_participant[id.0] = true;
         }
+        if self.scratch.tiers.len() != self.fleet.len() {
+            self.scratch.tiers = self.fleet.iter().map(|d| d.tier()).collect();
+        }
+        // `idle_energy_j` is a pure function of the (three-valued) tier,
+        // so the three possible addends are computed once and the fleet
+        // walk reduces to a mask test plus a table lookup. The sum still
+        // visits devices in fleet order, one addition each — bit-identical
+        // to calling `idle_energy_j` per device.
+        let idle = |tier| idle_energy_j(tier, round_time_s);
+        let per_tier = [
+            idle(DeviceTier::High),
+            idle(DeviceTier::Mid),
+            idle(DeviceTier::Low),
+        ];
         let mut idle_energy = 0.0;
-        for device in self.fleet.iter() {
-            if !is_participant[device.id().0] {
-                idle_energy += idle_energy_j(device.tier(), round_time_s);
+        for (tier, participant) in self.scratch.tiers.iter().zip(&self.scratch.is_participant) {
+            if !participant {
+                idle_energy += per_tier[match tier {
+                    DeviceTier::High => 0,
+                    DeviceTier::Mid => 1,
+                    DeviceTier::Low => 2,
+                }];
             }
         }
         idle_energy

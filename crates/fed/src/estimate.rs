@@ -4,6 +4,7 @@
 use autofl_device::cost::{execute, idle_energy_j, ExecutionPlan, RoundCost, TrainingTask};
 use autofl_device::fleet::{DeviceId, Fleet};
 use autofl_device::store::ConditionsStore;
+use autofl_device::tier::DeviceTier;
 use rayon::prelude::*;
 
 /// Cost breakdown of a whole aggregation round across the fleet.
@@ -85,15 +86,27 @@ pub fn estimate_round(
         round_time_s = round_time_s.max(cost.total_time_s());
         active_energy_j += cost.total_energy_j();
     }
-    // O(N + K) membership mask instead of an O(N·K) `contains` scan.
-    let mut is_participant = vec![false; fleet.len()];
-    for id in participants {
-        is_participant[id.0] = true;
-    }
+    // K-sized sorted probe instead of a fleet-sized membership mask: the
+    // oracle calls this once per candidate cohort, so at million-device
+    // fleets the O(N) `vec![false; N]` rebuild dominated. Membership
+    // testing does not touch the accumulation order, and `idle_energy_j`
+    // is a pure function of the three-valued tier, so precomputing the
+    // addends keeps the sum bit-identical to the per-device-call loop.
+    let mut sorted_ids: Vec<usize> = participants.iter().map(|id| id.0).collect();
+    sorted_ids.sort_unstable();
+    let per_tier = [
+        idle_energy_j(DeviceTier::High, round_time_s),
+        idle_energy_j(DeviceTier::Mid, round_time_s),
+        idle_energy_j(DeviceTier::Low, round_time_s),
+    ];
     let mut idle = 0.0;
     for device in fleet.iter() {
-        if !is_participant[device.id().0] {
-            idle += idle_energy_j(device.tier(), round_time_s);
+        if sorted_ids.binary_search(&device.id().0).is_err() {
+            idle += per_tier[match device.tier() {
+                DeviceTier::High => 0,
+                DeviceTier::Mid => 1,
+                DeviceTier::Low => 2,
+            }];
         }
     }
     RoundEstimate {

@@ -441,54 +441,46 @@ impl FleetStore {
     /// shard count, thread count and schedule.
     pub fn begin_round(&mut self, config: &FleetDynamics, fleet: &Fleet, round: usize) -> usize {
         let seed = self.seed;
-        self.shards
-            .par_chunks_mut(1)
-            .enumerate()
-            .for_each(|(_, shard_slot)| {
-                let shard = &mut shard_slot[0];
-                let mut eligible_count = 0usize;
-                for j in 0..shard.len() {
-                    let i = shard.offset + j;
-                    let mut rng = SmallRng::seed_from_u64(device_stream_seed(
-                        seed,
-                        TAG_ROUND,
-                        round as u64,
-                        i,
-                    ));
-                    let device = fleet.device(DeviceId(i));
-                    // Fixed draw order per device: charging, foreground,
-                    // connectivity — three coins per round regardless of
-                    // state, so streams never drift.
-                    let p_charge = if shard.charging[j] {
-                        STAY_CHARGING
-                    } else {
-                        config.charge_prob
-                    };
-                    shard.charging[j] = rng.gen_bool(p_charge.clamp(0.0, 1.0));
-                    let p_fg = if shard.foreground[j] {
-                        STAY_FOREGROUND
-                    } else {
-                        (config.foreground_prob * device.interference_propensity()).clamp(0.0, 1.0)
-                    };
-                    shard.foreground[j] = rng.gen_bool(p_fg);
-                    let p_off = if shard.online[j] {
-                        (config.offline_prob * device.weak_signal_propensity()).clamp(0.0, 1.0)
-                    } else {
-                        STAY_OFFLINE
-                    };
-                    shard.online[j] = !rng.gen_bool(p_off);
-                    let eligible = autofl_device::lifecycle::check_in_eligible(
-                        shard.online[j],
-                        shard.foreground[j],
-                        shard.charging[j],
-                        shard.soc[j],
-                        config.min_soc,
-                    );
-                    shard.eligible[j] = eligible;
-                    eligible_count += usize::from(eligible);
-                }
-                shard.eligible_count = eligible_count;
-            });
+        self.shards.par_iter_mut().for_each(|shard| {
+            let mut eligible_count = 0usize;
+            for j in 0..shard.len() {
+                let i = shard.offset + j;
+                let mut rng =
+                    SmallRng::seed_from_u64(device_stream_seed(seed, TAG_ROUND, round as u64, i));
+                let device = fleet.device(DeviceId(i));
+                // Fixed draw order per device: charging, foreground,
+                // connectivity — three coins per round regardless of
+                // state, so streams never drift.
+                let p_charge = if shard.charging[j] {
+                    STAY_CHARGING
+                } else {
+                    config.charge_prob
+                };
+                shard.charging[j] = rng.gen_bool(p_charge.clamp(0.0, 1.0));
+                let p_fg = if shard.foreground[j] {
+                    STAY_FOREGROUND
+                } else {
+                    (config.foreground_prob * device.interference_propensity()).clamp(0.0, 1.0)
+                };
+                shard.foreground[j] = rng.gen_bool(p_fg);
+                let p_off = if shard.online[j] {
+                    (config.offline_prob * device.weak_signal_propensity()).clamp(0.0, 1.0)
+                } else {
+                    STAY_OFFLINE
+                };
+                shard.online[j] = !rng.gen_bool(p_off);
+                let eligible = autofl_device::lifecycle::check_in_eligible(
+                    shard.online[j],
+                    shard.foreground[j],
+                    shard.charging[j],
+                    shard.soc[j],
+                    config.min_soc,
+                );
+                shard.eligible[j] = eligible;
+                eligible_count += usize::from(eligible);
+            }
+            shard.eligible_count = eligible_count;
+        });
         self.len - self.eligible_count()
     }
 
@@ -578,43 +570,39 @@ impl FleetStore {
             self.participant_slot[id.0] = i;
         }
         let slots = std::mem::take(&mut self.participant_slot);
-        self.shards
-            .par_chunks_mut(1)
-            .enumerate()
-            .for_each(|(_, shard_slot)| {
-                let shard = &mut shard_slot[0];
-                // One pass, one clamp per device: a participant's net
-                // throttle change must be computed before clamping,
-                // otherwise the clamp floor would eat the cooling term
-                // and credit spurious heat.
-                for j in 0..shard.len() {
-                    let d = shard.offset + j;
-                    let i = slots[d];
-                    if i != usize::MAX {
-                        if shard.charging[j] {
-                            shard.soc[j] += config.charge_rate_per_s * round_time_s;
-                        } else {
-                            let capacity = fleet.device(DeviceId(d)).tier().battery_capacity_j()
-                                * config.battery_capacity_scale;
-                            shard.soc[j] -= energy_j[i] / capacity;
-                        }
-                        // Heats for its busy seconds, cools for the idle
-                        // remainder of the round.
-                        let busy = busy_s[i].min(round_time_s);
-                        shard.throttle[j] +=
-                            config.heat_per_s * busy - config.cool_per_s * (round_time_s - busy);
+        self.shards.par_iter_mut().for_each(|shard| {
+            // One pass, one clamp per device: a participant's net
+            // throttle change must be computed before clamping,
+            // otherwise the clamp floor would eat the cooling term
+            // and credit spurious heat.
+            for j in 0..shard.len() {
+                let d = shard.offset + j;
+                let i = slots[d];
+                if i != usize::MAX {
+                    if shard.charging[j] {
+                        shard.soc[j] += config.charge_rate_per_s * round_time_s;
                     } else {
-                        if shard.charging[j] {
-                            shard.soc[j] += config.charge_rate_per_s * round_time_s;
-                        } else {
-                            shard.soc[j] -= config.idle_drain_per_s * round_time_s;
-                        }
-                        shard.throttle[j] -= config.cool_per_s * round_time_s;
+                        let capacity = fleet.device(DeviceId(d)).tier().battery_capacity_j()
+                            * config.battery_capacity_scale;
+                        shard.soc[j] -= energy_j[i] / capacity;
                     }
-                    shard.soc[j] = shard.soc[j].clamp(0.0, 1.0);
-                    shard.throttle[j] = shard.throttle[j].clamp(0.0, 1.0);
+                    // Heats for its busy seconds, cools for the idle
+                    // remainder of the round.
+                    let busy = busy_s[i].min(round_time_s);
+                    shard.throttle[j] +=
+                        config.heat_per_s * busy - config.cool_per_s * (round_time_s - busy);
+                } else {
+                    if shard.charging[j] {
+                        shard.soc[j] += config.charge_rate_per_s * round_time_s;
+                    } else {
+                        shard.soc[j] -= config.idle_drain_per_s * round_time_s;
+                    }
+                    shard.throttle[j] -= config.cool_per_s * round_time_s;
                 }
-            });
+                shard.soc[j] = shard.soc[j].clamp(0.0, 1.0);
+                shard.throttle[j] = shard.throttle[j].clamp(0.0, 1.0);
+            }
+        });
         self.participant_slot = slots;
     }
 }
@@ -687,21 +675,33 @@ impl AvailabilityView<'_> {
 
     /// Ids of every eligible device, in fleet order. Walks availability
     /// bins and skips shards with no eligible devices, so a mostly-dark
-    /// fleet costs much less than a full scan.
+    /// fleet costs much less than a full scan. Shards are scanned in
+    /// parallel and their id runs concatenated in shard order — device
+    /// ids are integers, so the result is identical to a sequential scan
+    /// at any thread count.
     pub fn eligible_ids(&self) -> Vec<DeviceId> {
         match self {
             AvailabilityView::Ideal { devices } => (0..*devices).map(DeviceId).collect(),
             AvailabilityView::Dynamic(store) => {
-                let mut ids = Vec::with_capacity(store.eligible_count());
-                for shard in &store.shards {
-                    if shard.eligible_count == 0 {
-                        continue;
-                    }
-                    for (j, &e) in shard.eligible.iter().enumerate() {
-                        if e {
-                            ids.push(DeviceId(shard.offset + j));
+                let per_shard: Vec<Vec<DeviceId>> = store
+                    .shards
+                    .par_iter()
+                    .map(|shard| {
+                        if shard.eligible_count == 0 {
+                            return Vec::new();
                         }
-                    }
+                        let mut ids = Vec::with_capacity(shard.eligible_count);
+                        for (j, &e) in shard.eligible.iter().enumerate() {
+                            if e {
+                                ids.push(DeviceId(shard.offset + j));
+                            }
+                        }
+                        ids
+                    })
+                    .collect();
+                let mut ids = Vec::with_capacity(store.eligible_count());
+                for mut run in per_shard {
+                    ids.append(&mut run);
                 }
                 ids
             }
@@ -762,6 +762,7 @@ mod tests {
         let run = |threads: &str, shards: usize| {
             let prev = std::env::var("AUTOFL_THREADS").ok();
             std::env::set_var("AUTOFL_THREADS", threads);
+            rayon::refresh_thread_count();
             let mut store = FleetStore::new(&cfg, &f, 42, shards);
             let mut history = Vec::new();
             for round in 0..20 {
@@ -772,6 +773,7 @@ mod tests {
                 Some(v) => std::env::set_var("AUTOFL_THREADS", v),
                 None => std::env::remove_var("AUTOFL_THREADS"),
             }
+            rayon::refresh_thread_count();
             history
         };
         let base = run("1", 1);

@@ -4,6 +4,7 @@ use crate::init::xavier_uniform;
 use crate::layers::{Layer, LayerKind};
 use crate::tensor::Tensor;
 use rand::Rng;
+use wide::f32x8;
 
 /// A 2-D convolution over `[batch, in_c, h, w]` inputs.
 ///
@@ -85,6 +86,11 @@ impl Conv2d {
     }
 
     /// Expands `input` into `self.cols` (reusing its allocation).
+    ///
+    /// Every cell of the column matrix is written — padding taps store an
+    /// explicit `0.0` — so the scratch needs no up-front zeroing, and the
+    /// all-taps-in-bounds interior (the bulk of every row at `pad ≤ 1`)
+    /// takes a branch-free contiguous copy.
     fn im2col(&mut self, input: &Tensor) -> (usize, usize) {
         let s = input.shape();
         let (batch, in_c, h, w) = (s[0], s[1], s[2], s[3]);
@@ -93,27 +99,43 @@ impl Conv2d {
         let stride = self.stride;
         let pad = self.pad;
         let fan_in = in_c * kk * kk;
-        self.cols.reset(vec![batch * oh * ow, fan_in]);
+        self.cols.reset_unfilled(vec![batch * oh * ow, fan_in]);
         let cols = self.cols.data_mut();
         let data = input.data();
         for b in 0..batch {
             for oy in 0..oh {
                 for ox in 0..ow {
                     let row = ((b * oh + oy) * ow + ox) * fan_in;
+                    let x0 = ox * stride;
+                    let interior = x0 >= pad && x0 + kk <= w + pad;
                     for c in 0..in_c {
+                        let plane = ((b * in_c + c) * h) * w;
                         for ky in 0..kk {
+                            let dst = row + (c * kk + ky) * kk;
                             let iy = (oy * stride + ky) as isize - pad as isize;
                             if iy < 0 || iy >= h as isize {
+                                cols[dst..dst + kk].fill(0.0);
                                 continue;
                             }
-                            let src = ((b * in_c + c) * h + iy as usize) * w;
-                            let dst = row + (c * kk + ky) * kk;
-                            for kx in 0..kk {
-                                let ix = (ox * stride + kx) as isize - pad as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
+                            let src = plane + iy as usize * w;
+                            if interior {
+                                let s0 = src + x0 - pad;
+                                if kk == 3 {
+                                    // Fixed-length copy the compiler inlines
+                                    // (the dominant 3x3 kernel case).
+                                    cols[dst..dst + 3].copy_from_slice(&data[s0..s0 + 3]);
+                                } else {
+                                    cols[dst..dst + kk].copy_from_slice(&data[s0..s0 + kk]);
                                 }
-                                cols[dst + kx] = data[src + ix as usize];
+                            } else {
+                                for kx in 0..kk {
+                                    let ix = (x0 + kx) as isize - pad as isize;
+                                    cols[dst + kx] = if ix < 0 || ix >= w as isize {
+                                        0.0
+                                    } else {
+                                        data[src + ix as usize]
+                                    };
+                                }
                             }
                         }
                     }
@@ -136,20 +158,38 @@ impl Conv2d {
             for oy in 0..oh {
                 for ox in 0..ow {
                     let row = ((b * oh + oy) * ow + ox) * fan_in;
+                    let x0 = ox * self.stride;
+                    let interior = x0 >= self.pad && x0 + kk <= w + self.pad;
                     for c in 0..in_c {
+                        let plane = ((b * in_c + c) * h) * w;
                         for ky in 0..kk {
                             let iy = (oy * self.stride + ky) as isize - self.pad as isize;
                             if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            let dst = ((b * in_c + c) * h + iy as usize) * w;
+                            let dst = plane + iy as usize * w;
                             let src = row + (c * kk + ky) * kk;
-                            for kx in 0..kk {
-                                let ix = (ox * self.stride + kx) as isize - self.pad as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
+                            if interior {
+                                let d0 = dst + x0 - self.pad;
+                                if kk == 3 {
+                                    gdata[d0] += cols[src];
+                                    gdata[d0 + 1] += cols[src + 1];
+                                    gdata[d0 + 2] += cols[src + 2];
+                                } else {
+                                    for (g, &cv) in
+                                        gdata[d0..d0 + kk].iter_mut().zip(&cols[src..src + kk])
+                                    {
+                                        *g += cv;
+                                    }
                                 }
-                                gdata[dst + ix as usize] += cols[src + kx];
+                            } else {
+                                for kx in 0..kk {
+                                    let ix = (x0 + kx) as isize - self.pad as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    gdata[dst + ix as usize] += cols[src + kx];
+                                }
                             }
                         }
                     }
@@ -171,17 +211,16 @@ impl Layer for Conv2d {
         self.cols.matmul_nt_into(&self.w, &mut self.y2);
         let y2 = &self.y2;
         // Permute rows (b, oy, ox) x out_c into [batch, out_c, oh, ow].
-        let mut out = vec![0.0f32; batch * self.out_c * oh * ow];
+        // The (b, oc, position) sweep emits every output index exactly
+        // once in ascending order, so the buffer is built by extension —
+        // no up-front zero-fill of an output it fully overwrites.
+        let mut out = Vec::with_capacity(batch * self.out_c * oh * ow);
         let bias = self.b.data();
+        let y2d = y2.data();
         for b in 0..batch {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let row = (b * oh + oy) * ow + ox;
-                    for oc in 0..self.out_c {
-                        out[((b * self.out_c + oc) * oh + oy) * ow + ox] =
-                            y2.at2(row, oc) + bias[oc];
-                    }
-                }
+            for (oc, &bias_v) in bias.iter().enumerate().take(self.out_c) {
+                let src0 = (b * oh * ow) * self.out_c + oc;
+                out.extend((0..oh * ow).map(|p| y2d[src0 + p * self.out_c] + bias_v));
             }
         }
         // `self.cols` is shared scratch: any forward overwrites it, so a
@@ -202,25 +241,45 @@ impl Layer for Conv2d {
         let [batch, _, _, _] = cache.in_shape;
         let (oh, ow) = cache.out_hw;
         let out_c = self.out_c;
-        // Permute grad back to [batch*oh*ow, out_c] (reused scratch).
-        self.g2.reset(vec![batch * oh * ow, out_c]);
+        // Permute grad back to [batch*oh*ow, out_c] (reused scratch; every
+        // cell is written, so no zero-fill).
+        self.g2.reset_unfilled(vec![batch * oh * ow, out_c]);
         let g2 = self.g2.data_mut();
         let g = grad_out.data();
         for b in 0..batch {
             for oc in 0..out_c {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        g2[((b * oh + oy) * ow + ox) * out_c + oc] =
-                            g[((b * out_c + oc) * oh + oy) * ow + ox];
-                    }
+                let src0 = ((b * out_c + oc) * oh) * ow;
+                let dst0 = (b * oh * ow) * out_c + oc;
+                for p in 0..oh * ow {
+                    g2[dst0 + p * out_c] = g[src0 + p];
                 }
             }
         }
         self.g2.matmul_tn_into(&self.cols, &mut self.gw_acc);
         self.gw.add_assign(&self.gw_acc);
-        for r in 0..self.g2.rows() {
-            for oc in 0..out_c {
-                self.gb.data_mut()[oc] += self.g2.at2(r, oc);
+        // Bias gradient: column sums of g2, vectorised across output
+        // channels. Each channel's sum accumulates in ascending row order
+        // starting from the existing gb value — the exact addition
+        // sequence of the scalar loop it replaces.
+        {
+            let g2 = self.g2.data();
+            let rows = batch * oh * ow;
+            let gb = self.gb.data_mut();
+            let mut oc = 0;
+            while oc + f32x8::LANES <= out_c {
+                let mut acc = f32x8::from_slice(&gb[oc..]);
+                for r in 0..rows {
+                    acc += f32x8::from_slice(&g2[r * out_c + oc..]);
+                }
+                acc.write_to_slice(&mut gb[oc..]);
+                oc += f32x8::LANES;
+            }
+            for (j, gbv) in gb.iter_mut().enumerate().skip(oc) {
+                let mut acc = *gbv;
+                for r in 0..rows {
+                    acc += g2[r * out_c + j];
+                }
+                *gbv = acc;
             }
         }
         self.g2.matmul_into(&self.w, &mut self.gcols);

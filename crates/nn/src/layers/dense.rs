@@ -4,6 +4,7 @@ use crate::init::xavier_uniform;
 use crate::layers::{Layer, LayerKind};
 use crate::tensor::Tensor;
 use rand::Rng;
+use wide::f32x8;
 
 /// A fully-connected layer computing `y = x·W + b`.
 ///
@@ -63,9 +64,19 @@ impl Layer for Dense {
         assert_eq!(input.shape()[1], self.in_dim, "dense input dim mismatch");
         let mut y = input.matmul(&self.w);
         let out = self.out_dim;
-        for r in 0..y.rows() {
-            for c in 0..out {
-                *y.at2_mut(r, c) += self.b.data()[c];
+        let rows = y.rows();
+        let bdat = self.b.data();
+        let ydat = y.data_mut();
+        for r in 0..rows {
+            let row = &mut ydat[r * out..(r + 1) * out];
+            let mut c = 0;
+            while c + f32x8::LANES <= out {
+                let v = f32x8::from_slice(&row[c..]) + f32x8::from_slice(&bdat[c..]);
+                v.write_to_slice(&mut row[c..]);
+                c += f32x8::LANES;
+            }
+            for (slot, bias) in row.iter_mut().zip(bdat.iter()).skip(c) {
+                *slot += *bias;
             }
         }
         if train {
@@ -80,9 +91,24 @@ impl Layer for Dense {
             .take()
             .expect("Dense::backward called without training forward");
         self.gw.add_assign(&x.matmul_tn(grad_out));
-        for r in 0..grad_out.rows() {
-            for c in 0..self.out_dim {
-                self.gb.data_mut()[c] += grad_out.at2(r, c);
+        // Each lane reduces its own column in ascending row order, so the
+        // per-column addition sequence is identical to the scalar loop.
+        let out = self.out_dim;
+        let rows = grad_out.rows();
+        let gd = grad_out.data();
+        let gbd = self.gb.data_mut();
+        let mut c = 0;
+        while c + f32x8::LANES <= out {
+            let mut acc = f32x8::from_slice(&gbd[c..]);
+            for r in 0..rows {
+                acc += f32x8::from_slice(&gd[r * out + c..]);
+            }
+            acc.write_to_slice(&mut gbd[c..]);
+            c += f32x8::LANES;
+        }
+        for (cc, slot) in gbd.iter_mut().enumerate().skip(c) {
+            for r in 0..rows {
+                *slot += gd[r * out + cc];
             }
         }
         grad_out.matmul_nt(&self.w)

@@ -4,6 +4,7 @@ use crate::init::xavier_uniform;
 use crate::layers::{Layer, LayerKind};
 use crate::tensor::Tensor;
 use rand::Rng;
+use wide::f32x8;
 
 /// A depthwise 2-D convolution: each input channel is convolved with its own
 /// `k`×`k` filter (channel multiplier 1). Combined with a 1×1 [`Conv2d`]
@@ -65,27 +66,94 @@ impl Layer for DepthwiseConv2d {
         let mut out = vec![0.0f32; batch * c * oh * ow];
         let data = input.data();
         let wdat = self.w.data();
+        let bdat = self.b.data();
+        let (k, stride, pad) = (self.k, self.stride, self.pad);
+        // Interior columns need no per-tap bounds checks: every kx tap stays
+        // inside the row. Taps are added in the same ascending (ky, kx) order
+        // as the border path, so interior and border results are bit-equal to
+        // the naive triple loop.
+        let ox_lo = pad.div_ceil(stride).min(ow);
+        let ox_hi = if w + pad >= k {
+            (((w + pad - k) / stride) + 1).min(ow)
+        } else {
+            0
+        };
+        // Degenerate shapes (kernel wider than the padded input) have no
+        // interior; treat every column as border.
+        let (ox_lo, ox_hi) = if ox_lo <= ox_hi {
+            (ox_lo, ox_hi)
+        } else {
+            (0, 0)
+        };
         for b in 0..batch {
             for ch in 0..c {
-                let wbase = ch * self.k * self.k;
+                let wrow = &wdat[ch * k * k..(ch + 1) * k * k];
+                let bias = bdat[ch];
+                let plane = &data[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+                let out_plane = &mut out[(b * c + ch) * oh * ow..(b * c + ch + 1) * oh * ow];
                 for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = self.b.data()[ch];
-                        for ky in 0..self.k {
-                            let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                    let out_row = &mut out_plane[oy * ow..(oy + 1) * ow];
+                    let border = |out_row: &mut [f32], ox: usize| {
+                        let mut acc = bias;
+                        for ky in 0..k {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
                             if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            for kx in 0..self.k {
-                                let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                            for kx in 0..k {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
-                                acc += data[((b * c + ch) * h + iy as usize) * w + ix as usize]
-                                    * wdat[wbase + ky * self.k + kx];
+                                acc += plane[iy as usize * w + ix as usize] * wrow[ky * k + kx];
                             }
                         }
-                        out[((b * c + ch) * oh + oy) * ow + ox] = acc;
+                        out_row[ox] = acc;
+                    };
+                    for ox in 0..ox_lo {
+                        border(out_row, ox);
+                    }
+                    let mut ox = ox_lo;
+                    if stride == 1 && ox_lo < ox_hi {
+                        // Unit stride: eight consecutive outputs read eight
+                        // consecutive inputs per tap, so a whole lane of
+                        // independent accumulators advances together.
+                        while ox + f32x8::LANES <= ox_hi {
+                            let mut acc = f32x8::splat(bias);
+                            for ky in 0..k {
+                                let iy = (oy + ky) as isize - pad as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                let row = &plane[iy as usize * w..(iy as usize + 1) * w];
+                                for kx in 0..k {
+                                    let ix = ox + kx - pad;
+                                    acc += f32x8::splat(wrow[ky * k + kx])
+                                        * f32x8::from_slice(&row[ix..]);
+                                }
+                            }
+                            acc.write_to_slice(&mut out_row[ox..]);
+                            ox += f32x8::LANES;
+                        }
+                    }
+                    while ox < ox_hi {
+                        let mut acc = bias;
+                        for ky in 0..k {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let row_base = iy as usize * w;
+                            let ix0 = ox * stride - pad;
+                            for kx in 0..k {
+                                acc += plane[row_base + ix0 + kx] * wrow[ky * k + kx];
+                            }
+                        }
+                        out_row[ox] = acc;
+                        ox += 1;
+                    }
+                    for ox in ox_hi..ow {
+                        border(out_row, ox);
                     }
                 }
             }
@@ -105,33 +173,49 @@ impl Layer for DepthwiseConv2d {
         let (batch, c, h, w) = (s[0], s[1], s[2], s[3]);
         let (oh, ow) = self.out_hw(h, w);
         let mut gx = Tensor::zeros(vec![batch, c, h, w]);
+        let gxd = gx.data_mut();
         let xd = x.data();
         let gd = grad_out.data();
-        let wdat = self.w.data().to_vec();
+        let wdat = self.w.data();
+        let gwd = self.gw.data_mut();
+        let gbd = self.gb.data_mut();
+        let (k, stride, pad) = (self.k, self.stride, self.pad);
+        // The weight and bias gradients are reductions over every output
+        // position, so the (oy, ox, ky, kx) accumulation order below must stay
+        // identical to the naive loop for bit-reproducibility. The win here is
+        // hoisting the per-channel slices out of the pixel loop instead of
+        // re-borrowing the gradient tensors once per tap.
         for b in 0..batch {
             for ch in 0..c {
-                let wbase = ch * self.k * self.k;
+                let wrow = &wdat[ch * k * k..(ch + 1) * k * k];
+                let gwrow = &mut gwd[ch * k * k..(ch + 1) * k * k];
+                let xplane = &xd[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+                let gxplane = &mut gxd[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+                let gplane = &gd[(b * c + ch) * oh * ow..(b * c + ch + 1) * oh * ow];
+                let mut gb_acc = gbd[ch];
                 for oy in 0..oh {
                     for ox in 0..ow {
-                        let g = gd[((b * c + ch) * oh + oy) * ow + ox];
-                        self.gb.data_mut()[ch] += g;
-                        for ky in 0..self.k {
-                            let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                        let g = gplane[oy * ow + ox];
+                        gb_acc += g;
+                        for ky in 0..k {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
                             if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            for kx in 0..self.k {
-                                let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                            let row_base = iy as usize * w;
+                            for kx in 0..k {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
-                                let xi = ((b * c + ch) * h + iy as usize) * w + ix as usize;
-                                self.gw.data_mut()[wbase + ky * self.k + kx] += g * xd[xi];
-                                gx.data_mut()[xi] += g * wdat[wbase + ky * self.k + kx];
+                                let xi = row_base + ix as usize;
+                                gwrow[ky * k + kx] += g * xplane[xi];
+                                gxplane[xi] += g * wrow[ky * k + kx];
                             }
                         }
                     }
                 }
+                gbd[ch] = gb_acc;
             }
         }
         gx

@@ -4,6 +4,7 @@ use crate::init::xavier_uniform;
 use crate::layers::{Layer, LayerKind};
 use crate::tensor::Tensor;
 use rand::Rng;
+use wide::f32x8;
 
 /// A single LSTM layer consuming `[batch, seq, input_dim]` sequences and
 /// emitting the final hidden state `[batch, hidden]`.
@@ -92,47 +93,68 @@ impl Layer for Lstm {
             tanh_c: Vec::with_capacity(seq),
         });
 
+        let input_d = input.data();
+        let bdat = self.b.data();
+        // Scratch reused across timesteps. In eval mode `z` is also reused;
+        // in training it is moved into the BPTT cache each step, so a fresh
+        // buffer is unavoidable there.
+        let mut z_reuse = Tensor::zeros(vec![0]);
+        let mut a = Tensor::zeros(vec![0]);
         for t in 0..seq {
             // z = [h_{t-1}, x_t]
-            let mut z = vec![0.0f32; batch * cols];
+            let mut z = if train {
+                Tensor::zeros(vec![batch, cols])
+            } else {
+                let mut zt = std::mem::replace(&mut z_reuse, Tensor::zeros(vec![0]));
+                zt.reset_unfilled(vec![batch, cols]);
+                zt
+            };
+            let zd = z.data_mut();
             for bi in 0..batch {
-                z[bi * cols..bi * cols + hid].copy_from_slice(&h[bi * hid..(bi + 1) * hid]);
+                zd[bi * cols..bi * cols + hid].copy_from_slice(&h[bi * hid..(bi + 1) * hid]);
                 let xoff = (bi * seq + t) * x_dim;
-                z[bi * cols + hid..(bi + 1) * cols]
-                    .copy_from_slice(&input.data()[xoff..xoff + x_dim]);
+                zd[bi * cols + hid..(bi + 1) * cols].copy_from_slice(&input_d[xoff..xoff + x_dim]);
             }
-            let z = Tensor::from_vec(vec![batch, cols], z);
-            let mut a = z.matmul_nt(&self.w); // [batch, 4H]
+            z.matmul_nt_into(&self.w, &mut a); // [batch, 4H]
+            let adat = a.data_mut();
             for bi in 0..batch {
-                for j in 0..4 * hid {
-                    *a.at2_mut(bi, j) += self.b.data()[j];
+                let arow = &mut adat[bi * 4 * hid..(bi + 1) * 4 * hid];
+                let mut j = 0;
+                while j + f32x8::LANES <= 4 * hid {
+                    let v = f32x8::from_slice(&arow[j..]) + f32x8::from_slice(&bdat[j..]);
+                    v.write_to_slice(&mut arow[j..]);
+                    j += f32x8::LANES;
                 }
-            }
-            let mut gate_i = vec![0.0f32; batch * hid];
-            let mut gate_f = vec![0.0f32; batch * hid];
-            let mut gate_o = vec![0.0f32; batch * hid];
-            let mut gate_g = vec![0.0f32; batch * hid];
-            let c_prev = c.clone();
-            let mut tanh_c = vec![0.0f32; batch * hid];
-            for bi in 0..batch {
-                for j in 0..hid {
-                    let iv = sigmoid(a.at2(bi, j));
-                    let fv = sigmoid(a.at2(bi, hid + j));
-                    let ov = sigmoid(a.at2(bi, 2 * hid + j));
-                    let gv = a.at2(bi, 3 * hid + j).tanh();
-                    let idx = bi * hid + j;
-                    let cv = fv * c_prev[idx] + iv * gv;
-                    let tc = cv.tanh();
-                    gate_i[idx] = iv;
-                    gate_f[idx] = fv;
-                    gate_o[idx] = ov;
-                    gate_g[idx] = gv;
-                    c[idx] = cv;
-                    tanh_c[idx] = tc;
-                    h[idx] = ov * tc;
+                for (slot, bias) in arow.iter_mut().zip(bdat.iter()).skip(j) {
+                    *slot += *bias;
                 }
             }
             if let Some(cc) = cache.as_mut() {
+                let mut gate_i = vec![0.0f32; batch * hid];
+                let mut gate_f = vec![0.0f32; batch * hid];
+                let mut gate_o = vec![0.0f32; batch * hid];
+                let mut gate_g = vec![0.0f32; batch * hid];
+                let c_prev = c.clone();
+                let mut tanh_c = vec![0.0f32; batch * hid];
+                for bi in 0..batch {
+                    let arow = &adat[bi * 4 * hid..(bi + 1) * 4 * hid];
+                    for j in 0..hid {
+                        let iv = sigmoid(arow[j]);
+                        let fv = sigmoid(arow[hid + j]);
+                        let ov = sigmoid(arow[2 * hid + j]);
+                        let gv = arow[3 * hid + j].tanh();
+                        let idx = bi * hid + j;
+                        let cv = fv * c_prev[idx] + iv * gv;
+                        let tc = cv.tanh();
+                        gate_i[idx] = iv;
+                        gate_f[idx] = fv;
+                        gate_o[idx] = ov;
+                        gate_g[idx] = gv;
+                        c[idx] = cv;
+                        tanh_c[idx] = tc;
+                        h[idx] = ov * tc;
+                    }
+                }
                 cc.z.push(z);
                 cc.i.push(gate_i);
                 cc.f.push(gate_f);
@@ -140,6 +162,23 @@ impl Layer for Lstm {
                 cc.g.push(gate_g);
                 cc.c_prev.push(c_prev);
                 cc.tanh_c.push(tanh_c);
+            } else {
+                // Inference keeps no per-gate state: each cell only needs its
+                // own previous value, which is read before being overwritten.
+                for bi in 0..batch {
+                    let arow = &adat[bi * 4 * hid..(bi + 1) * 4 * hid];
+                    for j in 0..hid {
+                        let iv = sigmoid(arow[j]);
+                        let fv = sigmoid(arow[hid + j]);
+                        let ov = sigmoid(arow[2 * hid + j]);
+                        let gv = arow[3 * hid + j].tanh();
+                        let idx = bi * hid + j;
+                        let cv = fv * c[idx] + iv * gv;
+                        c[idx] = cv;
+                        h[idx] = ov * cv.tanh();
+                    }
+                }
+                z_reuse = z;
             }
         }
         self.cache = cache;
@@ -158,10 +197,18 @@ impl Layer for Lstm {
         let mut dh: Vec<f32> = grad_out.data().to_vec();
         let mut dc = vec![0.0f32; batch * hid];
         let mut gx = Tensor::zeros(vec![batch, seq, x_dim]);
+        let gxd = gx.data_mut();
+
+        // Step-invariant scratch: reused for all `seq` iterations instead of
+        // reallocating `da`, the weight-gradient product, and `dz` each step.
+        let mut da = Tensor::zeros(vec![batch, 4 * hid]);
+        let mut gw_step = Tensor::zeros(vec![0]);
+        let mut dz = Tensor::zeros(vec![0]);
 
         for t in (0..seq).rev() {
-            let mut da = vec![0.0f32; batch * 4 * hid];
+            let dad = da.data_mut();
             for bi in 0..batch {
+                let darow = &mut dad[bi * 4 * hid..(bi + 1) * 4 * hid];
                 for j in 0..hid {
                     let idx = bi * hid + j;
                     let (iv, fv, ov, gv) = (
@@ -176,29 +223,41 @@ impl Layer for Lstm {
                     let div = dct * gv;
                     let dgv = dct * iv;
                     let dfv = dct * cache.c_prev[t][idx];
-                    da[bi * 4 * hid + j] = div * iv * (1.0 - iv);
-                    da[bi * 4 * hid + hid + j] = dfv * fv * (1.0 - fv);
-                    da[bi * 4 * hid + 2 * hid + j] = dov * ov * (1.0 - ov);
-                    da[bi * 4 * hid + 3 * hid + j] = dgv * (1.0 - gv * gv);
+                    darow[j] = div * iv * (1.0 - iv);
+                    darow[hid + j] = dfv * fv * (1.0 - fv);
+                    darow[2 * hid + j] = dov * ov * (1.0 - ov);
+                    darow[3 * hid + j] = dgv * (1.0 - gv * gv);
                     dc[idx] = dct * fv;
                 }
             }
-            let da = Tensor::from_vec(vec![batch, 4 * hid], da);
-            self.gw.add_assign(&da.matmul_tn(&cache.z[t]));
-            for bi in 0..batch {
-                for j in 0..4 * hid {
-                    self.gb.data_mut()[j] += da.at2(bi, j);
+            da.matmul_tn_into(&cache.z[t], &mut gw_step);
+            self.gw.add_assign(&gw_step);
+            // Each lane reduces its own gate column in ascending batch order,
+            // matching the scalar accumulation sequence bit-for-bit.
+            let dad = da.data();
+            let gbd = self.gb.data_mut();
+            let mut j = 0;
+            while j + f32x8::LANES <= 4 * hid {
+                let mut acc = f32x8::from_slice(&gbd[j..]);
+                for bi in 0..batch {
+                    acc += f32x8::from_slice(&dad[bi * 4 * hid + j..]);
+                }
+                acc.write_to_slice(&mut gbd[j..]);
+                j += f32x8::LANES;
+            }
+            for (jj, slot) in gbd.iter_mut().enumerate().skip(j) {
+                for bi in 0..batch {
+                    *slot += dad[bi * 4 * hid + jj];
                 }
             }
-            let dz = da.matmul(&self.w); // [batch, cols]
+            da.matmul_into(&self.w, &mut dz); // [batch, cols]
+            let dzd = dz.data();
+            let cols = hid + x_dim;
             for bi in 0..batch {
-                for j in 0..hid {
-                    dh[bi * hid + j] = dz.at2(bi, j);
-                }
+                let dzrow = &dzd[bi * cols..(bi + 1) * cols];
+                dh[bi * hid..(bi + 1) * hid].copy_from_slice(&dzrow[..hid]);
                 let xoff = (bi * seq + t) * x_dim;
-                for j in 0..x_dim {
-                    gx.data_mut()[xoff + j] = dz.at2(bi, hid + j);
-                }
+                gxd[xoff..xoff + x_dim].copy_from_slice(&dzrow[hid..]);
             }
         }
         gx

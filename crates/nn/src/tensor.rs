@@ -18,13 +18,31 @@
 
 use rayon::prelude::*;
 use std::fmt;
+use wide::f32x8;
 
-/// Column-panel width of the cache-blocked kernels: a `k × NC` panel of
-/// the right-hand operand stays resident in L1/L2 while a row sweeps it.
-const NC: usize = 256;
+/// SIMD lane width of the register-blocked kernels. Every vectorised loop
+/// below is a map over *independent output elements* — lanes never share
+/// an accumulation — so lane width is a pure speed knob: results are
+/// bit-identical to the scalar reference at any width.
+const L: usize = f32x8::LANES;
+/// Columns per register strip: four `f32x8` accumulators stay in
+/// registers while a full `k` sweep runs over them.
+const JR: usize = 4 * L;
+/// `k`-block length of the packed `rhsᵀ` panel in [`mm_nt`]: the panel
+/// (`KB × L` floats, 8 KiB) lives on the stack and is reused across every
+/// row of the band.
+const KB: usize = 256;
 /// Rows per parallel band. Bands are fixed-size and each output element is
 /// produced entirely inside one band, so banding never changes results.
 const MC: usize = 64;
+
+std::thread_local! {
+    /// Per-thread packing scratch for [`mm_tn`]'s transposed `a` block
+    /// (at most `MC × KB` floats). Reused across calls, so steady-state
+    /// matmuls allocate nothing; each worker thread of the parallel
+    /// banded sweep owns its own buffer.
+    static TN_PACK: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
 /// Below this many FLOPs a matmul runs single-threaded: the fan-out
 /// bookkeeping would cost more than the arithmetic.
 const PAR_FLOPS: usize = 1 << 21;
@@ -53,76 +71,238 @@ fn run_banded(
         .for_each(|(band, chunk)| kernel(band * MC, chunk));
 }
 
-/// `out_band[r][jb..] += Σ_k a[row0+r][k] · b[k][jb..]` — the `self · rhs`
-/// kernel, j-panelled for cache reuse, accumulating in ascending-`k` order
-/// per output element (the bit-determinism contract).
+/// One register-strip pass for the `nn`/`tn` kernels: accumulates
+/// `out[j] += av · b[kbase + j]` over ascending `kk` for a strip of `W`
+/// columns held in `W / L` vector registers, with the sparse-skip rule
+/// (`av == 0.0` contributes nothing, exactly like the scalar reference).
+///
+/// Each lane is one output element whose additions happen in the same
+/// ascending-`k` order as the scalar loop, so the strip is bit-identical
+/// to it; keeping the accumulators in registers merely removes the per-`k`
+/// load/store of the output row.
+#[inline(always)]
+fn strip_axpy<const W: usize>(
+    out: &mut [f32],
+    b: &[f32],
+    col: usize,
+    n: usize,
+    av_of: impl Fn(usize) -> f32,
+    k: usize,
+) {
+    let blocks = W / L;
+    let mut acc = [f32x8::ZERO; 8];
+    for (i, slot) in acc.iter_mut().take(blocks).enumerate() {
+        *slot = f32x8::from_slice(&out[i * L..]);
+    }
+    for kk in 0..k {
+        let av = av_of(kk);
+        if av == 0.0 {
+            continue;
+        }
+        let avv = f32x8::splat(av);
+        let brow = &b[kk * n + col..kk * n + col + W];
+        for (i, slot) in acc.iter_mut().take(blocks).enumerate() {
+            *slot += avv * f32x8::from_slice(&brow[i * L..]);
+        }
+    }
+    for (i, slot) in acc.iter().take(blocks).enumerate() {
+        slot.write_to_slice(&mut out[i * L..]);
+    }
+}
+
+/// Scalar column tail shared by [`mm_nn`] and [`mm_tn`].
+#[inline(always)]
+fn tail_axpy(
+    out: &mut [f32],
+    b: &[f32],
+    col: usize,
+    n: usize,
+    av_of: impl Fn(usize) -> f32,
+    k: usize,
+) {
+    for (j, o) in out.iter_mut().enumerate() {
+        let mut acc = *o;
+        for kk in 0..k {
+            let av = av_of(kk);
+            if av == 0.0 {
+                continue;
+            }
+            acc += av * b[kk * n + col + j];
+        }
+        *o = acc;
+    }
+}
+
+/// `out_band[r][j] += Σ_k a[row0+r][k] · b[k][j]` — the `self · rhs`
+/// kernel. `k` is processed in `KB` blocks whose `KB × strip` window of
+/// `b` stays cache-resident across every row of the band; within a block,
+/// column strips of `JR` (then `L`, then scalar) run a full ascending-`k`
+/// register sweep. Partial sums round-trip through the output bit-exactly
+/// between blocks, so per output element the addition order is exactly
+/// the scalar reference's.
 fn mm_nn(a: &[f32], b: &[f32], out_band: &mut [f32], row0: usize, k: usize, n: usize) {
     let rows = out_band.len() / n;
-    let mut jb = 0;
-    while jb < n {
-        let je = (jb + NC).min(n);
-        for r in 0..rows {
-            let arow = &a[(row0 + r) * k..(row0 + r + 1) * k];
-            let orow = &mut out_band[r * n + jb..r * n + je];
-            for (kk, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[kk * n + jb..kk * n + je];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
+    let mut kb = 0;
+    while kb < k {
+        let ke = (kb + KB).min(k);
+        let kl = ke - kb;
+        let bblk = &b[kb * n..ke * n];
+        let mut j = 0;
+        while j + JR <= n {
+            for r in 0..rows {
+                let arow = &a[(row0 + r) * k + kb..(row0 + r) * k + ke];
+                let orow = &mut out_band[r * n + j..r * n + j + JR];
+                strip_axpy::<JR>(orow, bblk, j, n, |kk| arow[kk], kl);
+            }
+            j += JR;
+        }
+        while j + L <= n {
+            for r in 0..rows {
+                let arow = &a[(row0 + r) * k + kb..(row0 + r) * k + ke];
+                let orow = &mut out_band[r * n + j..r * n + j + L];
+                strip_axpy::<L>(orow, bblk, j, n, |kk| arow[kk], kl);
+            }
+            j += L;
+        }
+        if j < n {
+            for r in 0..rows {
+                let arow = &a[(row0 + r) * k + kb..(row0 + r) * k + ke];
+                let orow = &mut out_band[r * n + j..r * n + n];
+                tail_axpy(orow, bblk, j, n, |kk| arow[kk], kl);
             }
         }
-        jb = je;
+        kb = ke;
     }
 }
 
-/// The `self · rhsᵀ` kernel: row-by-row dot products, j-panelled so a
-/// panel of `rhs` rows stays cached across the band.
+/// The `self · rhsᵀ` kernel: each output element is the ascending-`k` dot
+/// product of an `a` row and a `b` row. An `L`-column panel of `b` is
+/// packed transposed into a stack buffer (`KB` rows at a time) so the
+/// eight dots of a strip run as one vector accumulator — eight
+/// *independent* dependency chains where the scalar loop had one. The
+/// output must be zeroed on entry (callers go through
+/// [`Tensor::matmul_nt_into`], which resets it): `k`-blocks accumulate
+/// into it, which round-trips each partial sum through memory bit-exactly.
 fn mm_nt(a: &[f32], b: &[f32], out_band: &mut [f32], row0: usize, k: usize, n: usize) {
     let rows = out_band.len() / n;
-    let mut jb = 0;
-    while jb < n {
-        let je = (jb + NC).min(n);
-        for r in 0..rows {
-            let arow = &a[(row0 + r) * k..(row0 + r + 1) * k];
-            for j in jb..je {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&x, &y) in arow.iter().zip(brow) {
-                    acc += x * y;
+    let mut pack = [0.0f32; KB * L];
+    let mut j = 0;
+    while j + L <= n {
+        let mut kb = 0;
+        while kb < k {
+            let ke = (kb + KB).min(k);
+            let kl = ke - kb;
+            for lane in 0..L {
+                let col = &b[(j + lane) * k + kb..(j + lane) * k + ke];
+                for (i, &v) in col.iter().enumerate() {
+                    pack[i * L + lane] = v;
                 }
-                out_band[r * n + j] = acc;
             }
+            // Four rows at a time: the packed vector load is shared and
+            // the four accumulators form independent dependency chains,
+            // hiding FP-add latency. Each row's lane still accumulates in
+            // ascending-`k` order, bit-equal to the scalar dot.
+            let mut r = 0;
+            while r + 4 <= rows {
+                let base = (row0 + r) * k + kb;
+                let a0 = &a[base..base + kl];
+                let a1 = &a[base + k..base + k + kl];
+                let a2 = &a[base + 2 * k..base + 2 * k + kl];
+                let a3 = &a[base + 3 * k..base + 3 * k + kl];
+                let mut c0 = f32x8::from_slice(&out_band[r * n + j..]);
+                let mut c1 = f32x8::from_slice(&out_band[(r + 1) * n + j..]);
+                let mut c2 = f32x8::from_slice(&out_band[(r + 2) * n + j..]);
+                let mut c3 = f32x8::from_slice(&out_band[(r + 3) * n + j..]);
+                for i in 0..kl {
+                    let pv = f32x8::from_slice(&pack[i * L..]);
+                    c0 += f32x8::splat(a0[i]) * pv;
+                    c1 += f32x8::splat(a1[i]) * pv;
+                    c2 += f32x8::splat(a2[i]) * pv;
+                    c3 += f32x8::splat(a3[i]) * pv;
+                }
+                c0.write_to_slice(&mut out_band[r * n + j..]);
+                c1.write_to_slice(&mut out_band[(r + 1) * n + j..]);
+                c2.write_to_slice(&mut out_band[(r + 2) * n + j..]);
+                c3.write_to_slice(&mut out_band[(r + 3) * n + j..]);
+                r += 4;
+            }
+            while r < rows {
+                let arow = &a[(row0 + r) * k + kb..(row0 + r) * k + ke];
+                let mut acc = f32x8::from_slice(&out_band[r * n + j..]);
+                for (i, &av) in arow.iter().enumerate() {
+                    acc += f32x8::splat(av) * f32x8::from_slice(&pack[i * L..]);
+                }
+                acc.write_to_slice(&mut out_band[r * n + j..]);
+                r += 1;
+            }
+            kb = ke;
         }
-        jb = je;
+        j += L;
+    }
+    // Scalar tail columns (n % L): the original dot-product loop.
+    for r in 0..rows {
+        let arow = &a[(row0 + r) * k..(row0 + r + 1) * k];
+        for jj in j..n {
+            let brow = &b[jj * k..(jj + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            out_band[r * n + jj] = acc;
+        }
     }
 }
 
-/// The `selfᵀ · rhs` kernel (`a` is `[k, m]`): ascending-`k` rank-1
-/// updates into the band, j-panelled.
+/// The `selfᵀ · rhs` kernel (`a` is `[k, m]`). Same `KB`-blocked strip
+/// structure as [`mm_nn`]; the `a` operand is read down a column (stride
+/// `m`), which stays cache-resident across the block's strips. Per output
+/// element the additions are ascending-`k` with the sparse-skip rule —
+/// the same sequence the previous rank-1-update formulation performed.
 fn mm_tn(a: &[f32], b: &[f32], out_band: &mut [f32], row0: usize, k: usize, m: usize, n: usize) {
     let rows = out_band.len() / n;
-    let mut jb = 0;
-    while jb < n {
-        let je = (jb + NC).min(n);
-        for kk in 0..k {
-            let arow = &a[kk * m..(kk + 1) * m];
-            let brow = &b[kk * n + jb..kk * n + je];
+    TN_PACK.with(|cell| {
+        let mut pack = cell.borrow_mut();
+        let mut kb = 0;
+        while kb < k {
+            let ke = (kb + KB).min(k);
+            let kl = ke - kb;
+            let bblk = &b[kb * n..ke * n];
+            // Transpose-pack the band's `a` columns once per block: the
+            // strided stride-`m` walk happens a single time and every
+            // strip below reads the packed row contiguously.
+            pack.resize(rows * kl, 0.0);
             for r in 0..rows {
-                let av = arow[row0 + r];
-                if av == 0.0 {
-                    continue;
-                }
-                let orow = &mut out_band[r * n + jb..r * n + je];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
+                for (i, slot) in pack[r * kl..(r + 1) * kl].iter_mut().enumerate() {
+                    *slot = a[(kb + i) * m + row0 + r];
                 }
             }
+            let mut j = 0;
+            while j + JR <= n {
+                for r in 0..rows {
+                    let arow = &pack[r * kl..(r + 1) * kl];
+                    let orow = &mut out_band[r * n + j..r * n + j + JR];
+                    strip_axpy::<JR>(orow, bblk, j, n, |kk| arow[kk], kl);
+                }
+                j += JR;
+            }
+            while j + L <= n {
+                for r in 0..rows {
+                    let arow = &pack[r * kl..(r + 1) * kl];
+                    let orow = &mut out_band[r * n + j..r * n + j + L];
+                    strip_axpy::<L>(orow, bblk, j, n, |kk| arow[kk], kl);
+                }
+                j += L;
+            }
+            if j < n {
+                for r in 0..rows {
+                    let arow = &pack[r * kl..(r + 1) * kl];
+                    let orow = &mut out_band[r * n + j..r * n + n];
+                    tail_axpy(orow, bblk, j, n, |kk| arow[kk], kl);
+                }
+            }
+            kb = ke;
         }
-        jb = je;
-    }
+    });
 }
 
 /// A dense, row-major tensor of `f32` values.
@@ -282,6 +462,17 @@ impl Tensor {
     pub(crate) fn reset(&mut self, shape: Vec<usize>) {
         let n: usize = shape.iter().product();
         self.data.clear();
+        self.data.resize(n, 0.0);
+        self.shape = shape;
+    }
+
+    /// Like [`Tensor::reset`] but skips the zero-fill of retained
+    /// contents: only newly grown elements are zeroed. For scratch
+    /// buffers whose every element the caller overwrites before reading
+    /// (e.g. the im2col expansion, which writes padding cells
+    /// explicitly) — this drops a full-buffer memset from the hot loop.
+    pub(crate) fn reset_unfilled(&mut self, shape: Vec<usize>) {
+        let n: usize = shape.iter().product();
         self.data.resize(n, 0.0);
         self.shape = shape;
     }
@@ -563,13 +754,16 @@ mod tests {
         let b = pseudo(vec![96, 128], 8);
         let prev = std::env::var("AUTOFL_THREADS").ok();
         std::env::set_var("AUTOFL_THREADS", "1");
+        rayon::refresh_thread_count();
         let seq = a.matmul(&b);
         std::env::set_var("AUTOFL_THREADS", "8");
+        rayon::refresh_thread_count();
         let par = a.matmul(&b);
         match prev {
             Some(v) => std::env::set_var("AUTOFL_THREADS", v),
             None => std::env::remove_var("AUTOFL_THREADS"),
         }
+        rayon::refresh_thread_count();
         assert_bits_equal(&seq, &par);
     }
 

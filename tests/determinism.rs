@@ -21,11 +21,13 @@ use autofl_fed::selection::{RandomSelector, Selector};
 fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     let prev = std::env::var("AUTOFL_THREADS").ok();
     std::env::set_var("AUTOFL_THREADS", threads.to_string());
+    rayon::refresh_thread_count();
     let result = f();
     match prev {
         Some(v) => std::env::set_var("AUTOFL_THREADS", v),
         None => std::env::remove_var("AUTOFL_THREADS"),
     }
+    rayon::refresh_thread_count();
     result
 }
 

@@ -17,10 +17,12 @@ use autofl::fed::algorithms::{AggregationAlgorithm, ClientUpdate, ExactF32Sum};
 use autofl::fed::engine::{SimConfig, SimResult, Simulation};
 use autofl::fed::fleet::FleetDynamics;
 use autofl::fed::policy::Policy;
+use autofl::fed::runtime::AsyncRuntime;
 use autofl::standard_registry;
 use autofl_data::partition::DataDistribution;
 use autofl_data::FlData;
 use autofl_device::scenario::VarianceScenario;
+use autofl_nn::tensor::Tensor;
 use autofl_nn::zoo::Workload;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -30,11 +32,13 @@ use rand::{Rng, SeedableRng};
 fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
     let prev = std::env::var("AUTOFL_THREADS").ok();
     std::env::set_var("AUTOFL_THREADS", threads.to_string());
+    rayon::refresh_thread_count();
     let result = f();
     match prev {
         Some(v) => std::env::set_var("AUTOFL_THREADS", v),
         None => std::env::remove_var("AUTOFL_THREADS"),
     }
+    rayon::refresh_thread_count();
     result
 }
 
@@ -60,6 +64,16 @@ fn assert_bit_identical(a: &SimResult, b: &SimResult, label: &str) {
         assert_eq!(
             ra.round_time_s.to_bits(),
             rb.round_time_s.to_bits(),
+            "{label}"
+        );
+        assert_eq!(
+            ra.logical_time_s.to_bits(),
+            rb.logical_time_s.to_bits(),
+            "{label}"
+        );
+        assert_eq!(
+            ra.mean_staleness.to_bits(),
+            rb.mean_staleness.to_bits(),
             "{label}"
         );
     }
@@ -103,6 +117,47 @@ fn ten_k_device_run_is_bit_identical_across_shards_and_threads() {
                 let other = with_threads(threads, || run_policy_at(scale_config(shards), policy));
                 assert_bit_identical(&base, &other, &format!("{name} s{shards} t{threads}"));
             }
+        }
+    }
+}
+
+#[test]
+fn hundred_k_device_async_run_is_bit_identical_across_shards_and_threads() {
+    // The full digest matrix at the next fleet-size decade: 100k devices
+    // with fleet dynamics AND the event-driven runtime (a 3-deep buffered
+    // pipeline, so staleness weighting and out-of-order completion are
+    // live) at AUTOFL_THREADS ∈ {1, 2, 4} × shards ∈ {1, 4, 16}.
+    let config = |shards: usize| {
+        Simulation::builder(Workload::CnnMnist)
+            .devices(100_000)
+            .shards(shards)
+            .samples_per_device(4)
+            .test_samples(32)
+            .scenario(VarianceScenario::realistic())
+            .fleet_dynamics(FleetDynamics::with_dropout_rate(0.25))
+            .runtime(AsyncRuntime::buffered(8, 0.5).concurrent_cohorts(3))
+            .max_rounds(3)
+            .target_accuracy(1.1)
+            .seed(1701)
+            .build_config()
+            .expect("100k async scale config is valid")
+    };
+    let policy = standard_registry();
+    let policy = policy.expect("FedAvg-Random");
+    let base = with_threads(1, || run_policy_at(config(1), policy));
+    let dropouts: usize = base.records.iter().map(|r| r.dropouts.len()).sum();
+    assert!(dropouts > 0, "churn must actually drop devices");
+    assert!(
+        base.records.iter().any(|r| r.mean_staleness > 0.0),
+        "the buffered pipeline must produce stale updates"
+    );
+    for shards in [1, 4, 16] {
+        for threads in [1, 2, 4] {
+            if (shards, threads) == (1, 1) {
+                continue;
+            }
+            let other = with_threads(threads, || run_policy_at(config(shards), policy));
+            assert_bit_identical(&base, &other, &format!("100k async s{shards} t{threads}"));
         }
     }
 }
@@ -174,6 +229,51 @@ fn stats_only_data_matches_the_full_generator_partition() {
     }
 }
 
+/// Reference ikj product with ascending-k accumulation and the SIMD
+/// kernels' sparse-skip rule — the exact FP addition order the lane-width
+/// kernels must reproduce bit for bit, at *any* shape.
+fn scalar_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a.data()[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[i * n + j] += av * b.data()[kk * n + j];
+            }
+        }
+    }
+    Tensor::from_vec(vec![m, n], out)
+}
+
+fn random_tensor(rng: &mut SmallRng, shape: Vec<usize>) -> Tensor {
+    let len = shape.iter().product();
+    Tensor::from_vec(
+        shape,
+        (0..len)
+            .map(|_| {
+                // A sprinkle of exact zeros exercises the sparse-skip rule.
+                if rng.gen_bool(0.1) {
+                    0.0
+                } else {
+                    rng.gen::<f32>() - 0.5
+                }
+            })
+            .collect(),
+    )
+}
+
+fn assert_tensor_bits_equal(a: &Tensor, b: &Tensor, label: &str) {
+    assert_eq!(a.shape(), b.shape(), "{label}");
+    for (x, y) in a.data().iter().zip(b.data()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{label}: {x} vs {y}");
+    }
+}
+
 fn random_updates(rng: &mut SmallRng, k: usize, params: usize) -> Vec<ClientUpdate> {
     (0..k)
         .map(|_| ClientUpdate {
@@ -224,6 +324,28 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The SIMD matmul trio (`matmul`, `matmul_tn`, `matmul_nt`) is
+    /// bit-equal to the scalar ascending-k reference at arbitrary odd
+    /// shapes — ranges chosen so tails not divisible by the f32x8 lane
+    /// width (and sub-lane-width dimensions) dominate the cases.
+    #[test]
+    fn simd_matmul_trio_is_bit_equal_to_scalar_at_odd_shapes(
+        seed in 0u64..1_000_000,
+        m in 1usize..30,
+        k in 1usize..30,
+        n in 1usize..30,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = random_tensor(&mut rng, vec![m, k]);
+        let b = random_tensor(&mut rng, vec![k, n]);
+        let expect = scalar_matmul(&a, &b);
+        assert_tensor_bits_equal(&a.matmul(&b), &expect, "matmul");
+        let at = a.transpose();
+        assert_tensor_bits_equal(&at.matmul_tn(&b), &expect, "matmul_tn");
+        let bt = b.transpose();
+        assert_tensor_bits_equal(&a.matmul_nt(&bt), &expect, "matmul_nt");
     }
 
     /// The exact accumulator is invariant to summation order and
