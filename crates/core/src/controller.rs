@@ -419,6 +419,7 @@ impl Selector for AutoFl {
                         prev_accuracy: feedback.prev_accuracy,
                         outcome: outcomes[d],
                         staleness: feedback.mean_staleness,
+                        uplink_bytes: feedback.bytes_uplinked as f64,
                     },
                 )
             })

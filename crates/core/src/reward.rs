@@ -34,6 +34,12 @@ pub struct RewardConfig {
     /// staleness 0, and the default 0 reproduces the paper's reward
     /// bit for bit.
     pub staleness_penalty: f64,
+    /// Penalty per megabyte the cohort uplinked, subtracted as
+    /// `bytes_penalty × uplink_bytes / 1e6`. Byte accounting comes from
+    /// the network fabric (`autofl_fed::fabric`); without a fabric the
+    /// uplink reads 0, and the default 0 reproduces the paper's reward
+    /// bit for bit either way.
+    pub bytes_penalty: f64,
 }
 
 impl Default for RewardConfig {
@@ -46,6 +52,7 @@ impl Default for RewardConfig {
             straggler_penalty: 0.0,
             dropout_penalty: 0.0,
             staleness_penalty: 0.0,
+            bytes_penalty: 0.0,
         }
     }
 }
@@ -84,6 +91,9 @@ pub struct RewardInputs {
     /// updates when they were folded in. Always 0 under the lockstep
     /// engine; positive only under buffered asynchronous aggregation.
     pub staleness: f64,
+    /// Bytes the cohort uplinked this round (encoded updates). Always 0
+    /// without a network fabric.
+    pub uplink_bytes: f64,
 }
 
 /// Computes Eq. (7).
@@ -101,7 +111,8 @@ pub fn reward(config: &RewardConfig, inputs: &RewardInputs) -> f64 {
         ParticipationOutcome::DeadlineMiss => config.straggler_penalty,
         ParticipationOutcome::Dropout => config.dropout_penalty,
         ParticipationOutcome::Idle | ParticipationOutcome::Completed => 0.0,
-    } + config.staleness_penalty * inputs.staleness;
+    } + config.staleness_penalty * inputs.staleness
+        + config.bytes_penalty * (inputs.uplink_bytes / 1e6);
     let acc_pct = inputs.accuracy * 100.0;
     let prev_pct = inputs.prev_accuracy * 100.0;
     if acc_pct - prev_pct <= 0.0 {
@@ -126,6 +137,7 @@ mod tests {
             prev_accuracy: 0.80,
             outcome: ParticipationOutcome::Completed,
             staleness: 0.0,
+            uplink_bytes: 0.0,
         }
     }
 
@@ -200,6 +212,7 @@ mod tests {
                 global_energy_j: 3_000.0,
                 outcome: ParticipationOutcome::Completed,
                 staleness: 0.0,
+                uplink_bytes: 0.0,
             },
         );
         assert!(success > fail, "success {} vs fail {}", success, fail);
@@ -256,6 +269,35 @@ mod tests {
             ..flat
         };
         assert_eq!(reward(&cfg, &flat) - reward(&cfg, &flat_stale), 6.0);
+    }
+
+    #[test]
+    fn bytes_penalty_scales_per_megabyte_and_defaults_off() {
+        let heavy = RewardInputs {
+            uplink_bytes: 25e6,
+            ..base_inputs()
+        };
+        // Off by default: uplink bytes cost nothing (paper reward).
+        let cfg = RewardConfig::default();
+        assert_eq!(
+            reward(&cfg, &heavy).to_bits(),
+            reward(&cfg, &base_inputs()).to_bits()
+        );
+        // On: reward drops by penalty × megabytes, in both branches.
+        let cfg = RewardConfig {
+            bytes_penalty: 0.2,
+            ..RewardConfig::default()
+        };
+        assert_eq!(reward(&cfg, &base_inputs()) - reward(&cfg, &heavy), 5.0);
+        let flat = RewardInputs {
+            accuracy: 0.80,
+            ..base_inputs()
+        };
+        let flat_heavy = RewardInputs {
+            uplink_bytes: 25e6,
+            ..flat
+        };
+        assert_eq!(reward(&cfg, &flat) - reward(&cfg, &flat_heavy), 5.0);
     }
 
     #[test]

@@ -62,10 +62,23 @@ pub struct NetworkObservation {
 
 impl NetworkObservation {
     /// Samples a per-round observation for the given signal regime.
+    ///
+    /// Invariant: a `Weak` observation never classifies as `Regular`.
+    /// The Weak Gaussian (mean 14, std 6) has a ~4.3σ tail above the
+    /// 40 Mbps threshold, so an unclamped draw could land a weak-signal
+    /// device in the paper's `Regular` network state — contradicting the
+    /// Table 1 binning that ties signal regime to network state. Weak
+    /// draws are therefore capped at [`BANDWIDTH_THRESHOLD_MBPS`];
+    /// exactly one Gaussian sample is consumed either way, so RNG stream
+    /// positions are unaffected.
     pub fn sample(signal: SignalStrength, rng: &mut impl Rng) -> Self {
         let normal = Normal::new(signal.mean_bandwidth_mbps(), signal.bandwidth_std_mbps())
             .expect("finite bandwidth parameters");
-        let bandwidth_mbps = normal.sample(rng).max(1.0);
+        let raw = normal.sample(rng).max(1.0);
+        let bandwidth_mbps = match signal {
+            SignalStrength::Strong => raw,
+            SignalStrength::Weak => raw.min(BANDWIDTH_THRESHOLD_MBPS),
+        };
         NetworkObservation {
             signal,
             bandwidth_mbps,
@@ -73,6 +86,8 @@ impl NetworkObservation {
     }
 
     /// Whether the paper's `S_Network` state is `Regular` (> 40 Mbps).
+    /// [`Self::sample`] guarantees this is `false` for every `Weak`
+    /// observation.
     pub fn is_regular(&self) -> bool {
         self.bandwidth_mbps > BANDWIDTH_THRESHOLD_MBPS
     }
@@ -136,5 +151,20 @@ mod tests {
             .filter(|_| !NetworkObservation::sample(SignalStrength::Weak, &mut rng).is_regular())
             .count();
         assert!(below > 450, "only {}/500 weak draws below 40 Mbps", below);
+    }
+
+    #[test]
+    fn weak_observations_are_never_regular() {
+        // The Table 1 binning invariant: Weak signal implies the Bad
+        // network state, even on far-tail Gaussian draws.
+        for seed in 0..64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for _ in 0..1_000 {
+                let o = NetworkObservation::sample(SignalStrength::Weak, &mut rng);
+                assert!(!o.is_regular(), "weak draw classified Regular: {o:?}");
+                assert!(o.bandwidth_mbps <= BANDWIDTH_THRESHOLD_MBPS);
+                assert!(o.bandwidth_mbps >= 1.0);
+            }
+        }
     }
 }

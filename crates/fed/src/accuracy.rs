@@ -15,6 +15,7 @@
 //!   training.
 
 use crate::algorithms::{AggregationAlgorithm, ClientUpdate};
+use crate::fabric::UpdateCodec;
 use autofl_data::FlData;
 use autofl_device::fleet::DeviceId;
 use autofl_nn::optim::Sgd;
@@ -243,6 +244,10 @@ pub struct RealTrainingEngine {
     /// results at any value — see
     /// [`AggregationAlgorithm::aggregate_sharded`]).
     shards: usize,
+    /// Network-fabric update codec: each client delta goes through the
+    /// real encode→decode round trip before aggregation. `None` without
+    /// a fabric.
+    codec: Option<Box<dyn UpdateCodec>>,
 }
 
 impl std::fmt::Debug for RealTrainingEngine {
@@ -258,7 +263,10 @@ impl std::fmt::Debug for RealTrainingEngine {
 impl RealTrainingEngine {
     /// Creates the engine around a federated dataset. `shards` sets the
     /// hierarchical-aggregation tree width (1 = flat; results are
-    /// bit-identical at any value).
+    /// bit-identical at any value). `codec` — when a network fabric is
+    /// attached — runs every client delta through the real encode→decode
+    /// round trip before aggregation.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         workload: Workload,
         data: FlData,
@@ -267,6 +275,7 @@ impl RealTrainingEngine {
         eval_samples: usize,
         seed: u64,
         shards: usize,
+        codec: Option<Box<dyn UpdateCodec>>,
     ) -> Self {
         let mut model = workload.build_trainable(seed);
         let global = model.param_vector();
@@ -282,6 +291,7 @@ impl RealTrainingEngine {
             prev_global_grad: Vec::new(),
             rounds_applied: 0,
             shards: shards.max(1),
+            codec,
         };
         engine.acc = engine.evaluate();
         engine
@@ -401,6 +411,11 @@ impl AccuracyEngine for RealTrainingEngine {
             .wrapping_mul(0xa076_1d64_78bd_642f)
             .wrapping_add(self.rounds_applied.wrapping_mul(0x9e37_79b9_7f4a_7c15))
             .wrapping_add(stats.participants.len() as u64);
+        // The codec's stochastic-rounding streams are keyed on the
+        // aggregation step (not the dispatch round — under the async
+        // runtime several cohorts may share a step), matching how this
+        // engine keys its own minibatch seeds.
+        let agg_step = self.rounds_applied as usize;
         self.rounds_applied += 1;
         // Local epochs scale the work fraction: fraction 1.0 means E
         // epochs. Every client trains against the same frozen global
@@ -409,16 +424,28 @@ impl AccuracyEngine for RealTrainingEngine {
         // updates — collected in participant order — are bit-identical at
         // any thread count.
         let this: &Self = self;
-        let updates: Vec<ClientUpdate> = (0..stats.participants.len())
+        let mut maybe_updates: Vec<Option<ClientUpdate>> = (0..stats.participants.len())
             .into_par_iter()
             .map(|i| {
                 let work = stats.update_fractions[i] * stats.local_epochs as f64;
                 this.train_client(stats.participants[i], work, stats.batch_size, round_seed)
             })
-            .collect::<Vec<Option<ClientUpdate>>>()
-            .into_iter()
-            .flatten()
             .collect();
+        // Fabric codec: each delta takes the real encode→decode round
+        // trip before it touches the aggregator (so FEDL's gradient
+        // estimate sees the transported bits too). Per-device tagged
+        // streams (`TAG_CODEC`), sequential in participant order —
+        // bit-identical at any thread or shard count.
+        if let Some(codec) = &self.codec {
+            for (i, update) in maybe_updates.iter_mut().enumerate() {
+                if let Some(u) = update {
+                    let mut rng =
+                        crate::fabric::codec_stream(self.seed, agg_step, stats.participants[i].0);
+                    codec.transcode(&mut u.delta, agg_step, &mut rng);
+                }
+            }
+        }
+        let updates: Vec<ClientUpdate> = maybe_updates.into_iter().flatten().collect();
         if updates.is_empty() {
             return self.acc;
         }
@@ -565,6 +592,7 @@ mod tests {
             64,
             5,
             1,
+            None,
         );
         let start = e.accuracy();
         let stats = CohortStats {

@@ -30,6 +30,7 @@
 
 use crate::algorithms::AggregationAlgorithm;
 use crate::engine::{Fidelity, SimConfig, Simulation};
+use crate::fabric::{CodecSpec, NetworkFabric};
 use crate::fleet::{FleetDynamics, StragglerPolicy};
 use crate::global::GlobalParams;
 use crate::runtime::AsyncRuntime;
@@ -109,6 +110,28 @@ pub enum ConfigError {
     /// The async runtime keeps zero cohorts in flight, so no round
     /// would ever dispatch.
     NoConcurrency,
+    /// A network-fabric link parameter (latency mean/spread, weak-signal
+    /// factor) that must be finite and non-negative is not.
+    BadLinkParameter(f64),
+    /// A network-fabric drop probability outside `[0, 1]`.
+    BadDropProbability(f64),
+    /// A sparsifying codec's kept fraction outside `(0, 1]`.
+    BadCodecFraction(f64),
+    /// A periodic full-sync cadence of zero rounds (omit `full_sync_every`
+    /// to disable full syncs instead).
+    NoSyncPeriod,
+    /// A partition rule with an empty round span, an empty device span,
+    /// or a device span reaching past the fleet.
+    BadPartitionRule {
+        /// First partitioned round (inclusive).
+        from_round: usize,
+        /// First round after the partition heals (exclusive).
+        until_round: usize,
+        /// First unreachable device id (inclusive).
+        device_begin: usize,
+        /// First reachable device id after the span (exclusive).
+        device_end: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -190,6 +213,32 @@ impl std::fmt::Display for ConfigError {
             ConfigError::NoConcurrency => {
                 write!(f, "async runtime concurrent_cohorts must be positive")
             }
+            ConfigError::BadLinkParameter(v) => write!(
+                f,
+                "network link parameters must be finite and non-negative, got {v}"
+            ),
+            ConfigError::BadDropProbability(v) => {
+                write!(f, "network drop probability must lie in [0, 1], got {v}")
+            }
+            ConfigError::BadCodecFraction(v) => {
+                write!(f, "codec kept fraction k_frac must lie in (0, 1], got {v}")
+            }
+            ConfigError::NoSyncPeriod => write!(
+                f,
+                "full_sync_every must be at least one round (None = never full-sync)"
+            ),
+            ConfigError::BadPartitionRule {
+                from_round,
+                until_round,
+                device_begin,
+                device_end,
+            } => write!(
+                f,
+                "partition rule needs from_round < until_round and \
+                 device_begin < device_end <= fleet size, got rounds \
+                 [{from_round}, {until_round}) over devices \
+                 [{device_begin}, {device_end})"
+            ),
         }
     }
 }
@@ -338,6 +387,45 @@ impl SimConfig {
                 return Err(ConfigError::NoConcurrency);
             }
         }
+        if let Some(net) = &self.network {
+            for v in [
+                net.link.latency_mean_s,
+                net.link.latency_std_s,
+                net.link.weak_latency_factor,
+                net.link.weak_drop_factor,
+            ] {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(ConfigError::BadLinkParameter(v));
+                }
+            }
+            if !(0.0..=1.0).contains(&net.link.drop_prob) {
+                return Err(ConfigError::BadDropProbability(net.link.drop_prob));
+            }
+            match net.codec {
+                CodecSpec::Identity | CodecSpec::Int8Quant => {}
+                CodecSpec::TopK { k_frac } | CodecSpec::TopKInt8 { k_frac } => {
+                    if !k_frac.is_finite() || k_frac <= 0.0 || k_frac > 1.0 {
+                        return Err(ConfigError::BadCodecFraction(k_frac));
+                    }
+                }
+            }
+            if net.full_sync_every == Some(0) {
+                return Err(ConfigError::NoSyncPeriod);
+            }
+            for rule in &net.partitions.rules {
+                if rule.from_round >= rule.until_round
+                    || rule.device_begin >= rule.device_end
+                    || rule.device_end > self.num_devices
+                {
+                    return Err(ConfigError::BadPartitionRule {
+                        from_round: rule.from_round,
+                        until_round: rule.until_round,
+                        device_begin: rule.device_begin,
+                        device_end: rule.device_end,
+                    });
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -427,6 +515,25 @@ impl SimBuilder {
     #[must_use]
     pub fn lockstep(mut self) -> Self {
         self.config.runtime = None;
+        self
+    }
+
+    /// Attaches a network fabric ([`crate::fabric`]) between dispatch and
+    /// aggregation: per-device link latency and loss, scripted partitions,
+    /// and a communication-efficient update codec with exact byte
+    /// accounting.
+    #[must_use]
+    pub fn network(mut self, fabric: NetworkFabric) -> Self {
+        self.config.network = Some(fabric);
+        self
+    }
+
+    /// Removes the network fabric (the default): instantaneous, lossless
+    /// links and uncompressed updates, bit-identical to the pre-fabric
+    /// engine.
+    #[must_use]
+    pub fn no_network(mut self) -> Self {
+        self.config.network = None;
         self
     }
 
@@ -608,6 +715,13 @@ mod tests {
             let mut dynamics = FleetDynamics::realistic();
             f(&mut dynamics);
             cfg.fleet = Some(dynamics);
+            cfg
+        };
+        let with_net = |f: fn(&mut NetworkFabric)| {
+            let mut cfg = base.clone();
+            let mut fabric = NetworkFabric::ideal();
+            f(&mut fabric);
+            cfg.network = Some(fabric);
             cfg
         };
         let cases: Vec<(SimConfig, ConfigError)> = vec![
@@ -805,6 +919,39 @@ mod tests {
                 },
                 ConfigError::NoConcurrency,
             ),
+            (
+                with_net(|n| n.link.latency_mean_s = -0.5),
+                ConfigError::BadLinkParameter(-0.5),
+            ),
+            (
+                with_net(|n| n.link.drop_prob = 1.5),
+                ConfigError::BadDropProbability(1.5),
+            ),
+            (
+                with_net(|n| n.codec = CodecSpec::TopK { k_frac: 0.0 }),
+                ConfigError::BadCodecFraction(0.0),
+            ),
+            (
+                with_net(|n| n.full_sync_every = Some(0)),
+                ConfigError::NoSyncPeriod,
+            ),
+            (
+                with_net(|n| {
+                    n.partitions =
+                        crate::fabric::PartitionSchedule::single(crate::fabric::PartitionRule {
+                            from_round: 5,
+                            until_round: 5,
+                            device_begin: 0,
+                            device_end: 4,
+                        })
+                }),
+                ConfigError::BadPartitionRule {
+                    from_round: 5,
+                    until_round: 5,
+                    device_begin: 0,
+                    device_end: 4,
+                },
+            ),
         ];
         for (config, expected) in cases {
             let err = config.validate().expect_err(&format!("{expected:?}"));
@@ -875,6 +1022,45 @@ mod tests {
             .build_config()
             .expect("lockstep is valid");
         assert_eq!(cfg.runtime, None);
+    }
+
+    #[test]
+    fn network_block_validates_and_builder_roundtrips() {
+        let fabric = NetworkFabric::new(crate::fabric::LinkModel::calm())
+            .with_codec(CodecSpec::TopK { k_frac: 0.1 })
+            .with_full_sync(25);
+        let cfg = Simulation::builder(Workload::TinyTest)
+            .network(fabric.clone())
+            .build_config()
+            .expect("calm fabric with TopK is valid");
+        assert_eq!(cfg.network, Some(fabric));
+        let cfg = Simulation::builder(Workload::TinyTest)
+            .network(NetworkFabric::ideal())
+            .no_network()
+            .build_config()
+            .expect("no_network is valid");
+        assert_eq!(cfg.network, None);
+        // Partition spans past the fleet are rejected, in-fleet spans pass.
+        let rule = |end| crate::fabric::PartitionRule {
+            from_round: 2,
+            until_round: 6,
+            device_begin: 0,
+            device_end: end,
+        };
+        let at = |end| {
+            Simulation::builder(Workload::TinyTest)
+                .network(
+                    NetworkFabric::ideal()
+                        .with_partitions(crate::fabric::PartitionSchedule::single(rule(end))),
+                )
+                .build_config()
+        };
+        let devices = SimConfig::paper_default(Workload::TinyTest).num_devices;
+        assert!(at(devices).is_ok(), "span reaching exactly N must validate");
+        assert!(matches!(
+            at(devices + 1),
+            Err(ConfigError::BadPartitionRule { .. })
+        ));
     }
 
     #[test]

@@ -6,7 +6,8 @@ use crate::accuracy::{
 };
 use crate::algorithms::AggregationAlgorithm;
 use crate::estimate::participant_costs;
-use crate::fleet::{AvailabilityView, FleetDynamics, FleetStore, StragglerPolicy};
+use crate::fabric::{NetworkFabric, RoundNetStats, UpdateCodec};
+use crate::fleet::{AvailabilityView, FleetDynamics, FleetStore, ShardBin, StragglerPolicy};
 use crate::global::GlobalParams;
 use crate::selection::{RoundContext, RoundFeedback, SelectionDecision, Selector};
 use autofl_data::partition::DataDistribution;
@@ -66,6 +67,12 @@ pub struct SimConfig {
     /// Deserializes to `None` when absent from serialized specs, so
     /// pre-runtime spec files keep loading.
     pub runtime: Option<crate::runtime::AsyncRuntime>,
+    /// Network fabric between dispatch and aggregation: per-device link
+    /// latency/loss, scripted partitions and update codecs
+    /// ([`crate::fabric`]). `None` — the default — bypasses every fabric
+    /// code path and reproduces pre-fabric runs bit for bit. Deserializes
+    /// to `None` when absent from serialized specs.
+    pub network: Option<NetworkFabric>,
     /// Aggregation algorithm.
     pub algorithm: AggregationAlgorithm,
     /// Accuracy engine.
@@ -104,6 +111,7 @@ impl SimConfig {
             scenario: VarianceScenario::calm(),
             fleet: None,
             runtime: None,
+            network: None,
             algorithm: AggregationAlgorithm::FedAvg,
             fidelity: Fidelity::Surrogate,
             num_devices: 200,
@@ -127,6 +135,7 @@ impl SimConfig {
             scenario: VarianceScenario::calm(),
             fleet: None,
             runtime: None,
+            network: None,
             algorithm: AggregationAlgorithm::FedAvg,
             fidelity: Fidelity::Surrogate,
             num_devices: 12,
@@ -163,7 +172,13 @@ impl SimConfig {
 }
 
 /// Everything measured in one aggregation round.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serialization is hand-written (not derived) with one quirk: the `net`
+/// field is *omitted* — not `null` — when no fabric is attached, so
+/// fabric-less round traces stay byte-identical to pre-fabric releases
+/// (pinned by the golden `smoke_trace.jsonl`). Absent `net` deserializes
+/// to `None`, so pre-fabric traces keep loading.
+#[derive(Debug, Clone)]
 pub struct RoundRecord {
     /// Round index (0-based).
     pub round: usize,
@@ -205,6 +220,68 @@ pub struct RoundRecord {
     /// at the moment they were aggregated. Always 0 under the lockstep
     /// loop and the full-barrier runtime with one cohort in flight.
     pub mean_staleness: f64,
+    /// Network-fabric accounting (bytes, drops, partitions). `Some` iff
+    /// [`SimConfig::network`] is attached.
+    pub net: Option<RoundNetStats>,
+}
+
+impl Serialize for RoundRecord {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("round".to_string(), self.round.to_value()),
+            ("participants".to_string(), self.participants.to_value()),
+            ("plans".to_string(), self.plans.to_value()),
+            ("round_time_s".to_string(), self.round_time_s.to_value()),
+            (
+                "active_energy_j".to_string(),
+                self.active_energy_j.to_value(),
+            ),
+            ("idle_energy_j".to_string(), self.idle_energy_j.to_value()),
+            ("accuracy".to_string(), self.accuracy.to_value()),
+            ("dropped".to_string(), self.dropped.to_value()),
+            (
+                "update_fractions".to_string(),
+                self.update_fractions.to_value(),
+            ),
+            ("dropouts".to_string(), self.dropouts.to_value()),
+            ("ineligible".to_string(), self.ineligible.to_value()),
+            (
+                "dispatch_time_s".to_string(),
+                self.dispatch_time_s.to_value(),
+            ),
+            ("logical_time_s".to_string(), self.logical_time_s.to_value()),
+            ("mean_staleness".to_string(), self.mean_staleness.to_value()),
+        ];
+        if let Some(net) = &self.net {
+            fields.push(("net".to_string(), net.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl Deserialize for RoundRecord {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        fn field<T: Deserialize>(value: &serde::Value, name: &str) -> Result<T, serde::Error> {
+            T::from_value(serde::field_or_null(value, name)).map_err(|e| e.at(name))
+        }
+        Ok(RoundRecord {
+            round: field(value, "round")?,
+            participants: field(value, "participants")?,
+            plans: field(value, "plans")?,
+            round_time_s: field(value, "round_time_s")?,
+            active_energy_j: field(value, "active_energy_j")?,
+            idle_energy_j: field(value, "idle_energy_j")?,
+            accuracy: field(value, "accuracy")?,
+            dropped: field(value, "dropped")?,
+            update_fractions: field(value, "update_fractions")?,
+            dropouts: field(value, "dropouts")?,
+            ineligible: field(value, "ineligible")?,
+            dispatch_time_s: field(value, "dispatch_time_s")?,
+            logical_time_s: field(value, "logical_time_s")?,
+            mean_staleness: field(value, "mean_staleness")?,
+            net: field(value, "net")?,
+        })
+    }
 }
 
 impl RoundRecord {
@@ -346,6 +423,13 @@ struct RoundScratch {
     tiers: Vec<DeviceTier>,
     /// Sort buffer for the median.
     median: Vec<f64>,
+    /// Fleet-sized reachability mask under active network partitions
+    /// (eligible *and* not partitioned). Only touched when a fabric with
+    /// an active partition rule is attached.
+    reachable: Vec<bool>,
+    /// Shard bins with per-bin eligible counts recomputed under the
+    /// partition mask, backing [`AvailabilityView::Masked`].
+    masked_bins: Vec<ShardBin>,
 }
 
 /// Everything a dispatched cohort carries between check-in/execution
@@ -377,6 +461,12 @@ pub(crate) struct DispatchOutcome {
     pub round_time_s: f64,
     /// Total active energy across the cohort.
     pub active_energy_j: f64,
+    /// Network-fabric accounting; `Some` iff a fabric is attached.
+    pub net: Option<RoundNetStats>,
+    /// The codec's surrogate update-quality multiplier for this round.
+    /// Exactly `1.0` without a fabric (or on full-sync rounds), so
+    /// multiplying update fractions by it is bit-exact a no-op.
+    pub codec_fidelity: f64,
 }
 
 /// The simulation: owns the fleet, the data, the accuracy engine and the
@@ -507,6 +597,7 @@ impl Simulation {
                 eval_samples,
                 config.seed,
                 config.shards,
+                config.network.as_ref().map(|f| f.build_codec()),
             )),
         };
         let rng = SmallRng::seed_from_u64(config.seed ^ 0x51b);
@@ -587,11 +678,17 @@ impl Simulation {
             .filter(|(_, &f)| f > 0.0)
             .map(|(id, _)| *id)
             .collect();
+        // The codec's surrogate fidelity scales the surviving update
+        // fractions at the aggregation input (and only there — records
+        // report raw fractions): a lossy uplink contributes a slightly
+        // weaker update. Exactly 1.0 without a fabric, so the multiply is
+        // a bit-exact pass-through.
         let survivor_fractions: Vec<f64> = outcome
             .fractions
             .iter()
             .copied()
             .filter(|&f| f > 0.0)
+            .map(|f| f * outcome.codec_fidelity)
             .collect();
         let accuracy = self.aggregate_update(survivors, survivor_fractions);
 
@@ -620,6 +717,7 @@ impl Simulation {
             dropped: &outcome.dropped,
             dropouts: &outcome.dropouts,
             mean_staleness: 0.0,
+            bytes_uplinked: outcome.net.map_or(0, |n| n.bytes_uplinked),
         });
 
         let dispatch_time_s = self.clock_s;
@@ -640,6 +738,7 @@ impl Simulation {
             dispatch_time_s,
             logical_time_s,
             mean_staleness: 0.0,
+            net: outcome.net,
         };
         (record, shadow_decision)
     }
@@ -682,11 +781,51 @@ impl Simulation {
         if let Some(store) = &self.fleet_state {
             store.overlay_throttle(&mut self.scratch.conditions);
         }
-        let availability = match &self.fleet_state {
+        let base_availability = match &self.fleet_state {
             Some(store) => AvailabilityView::Dynamic(store),
             None => AvailabilityView::Ideal {
                 devices: self.fleet.len(),
             },
+        };
+        // 1b. Scripted network partitions: devices inside an active rule
+        // cannot reach the server this round, so they fail check-in on
+        // top of whatever the fleet dynamics decided. Rounds without an
+        // active rule (and every run without a fabric) use the base view
+        // untouched — no mask is built, no allocation happens.
+        let partition_active = self
+            .config
+            .network
+            .as_ref()
+            .is_some_and(|f| f.partitions.is_active(round));
+        let mut partitioned = 0usize;
+        let availability = if partition_active {
+            let fabric = self.config.network.as_ref().expect("partition_active");
+            self.scratch.reachable.clear();
+            self.scratch.reachable.resize(self.fleet.len(), false);
+            self.scratch.masked_bins.clear();
+            self.scratch.masked_bins.extend(base_availability.bins());
+            let mut count = 0usize;
+            for bin in &mut self.scratch.masked_bins {
+                let mut eligible_in_bin = 0usize;
+                for j in 0..bin.len {
+                    let id = bin.offset + j;
+                    let ok = base_availability.is_eligible(id)
+                        && !fabric.partitions.unreachable(round, id);
+                    self.scratch.reachable[id] = ok;
+                    eligible_in_bin += ok as usize;
+                }
+                bin.eligible = eligible_in_bin;
+                count += eligible_in_bin;
+            }
+            partitioned = base_availability.eligible_count() - count;
+            AvailabilityView::Masked {
+                eligible: &self.scratch.reachable,
+                bins: &self.scratch.masked_bins,
+                count,
+                store: self.fleet_state.as_ref(),
+            }
+        } else {
+            base_availability
         };
 
         // 2. Ask the policy for participants + execution plans. Under
@@ -742,6 +881,19 @@ impl Simulation {
         self.scratch
             .tasks
             .extend(participants.iter().map(|id| ctx.task_for(*id)));
+        // 2b. Fabric codec: the uplink carries the *encoded* update, so
+        // the communication time/energy path (Eq. 3) prices the exact
+        // encoded byte count and compression savings flow into PPW.
+        let codec: Option<Box<dyn UpdateCodec>> =
+            self.config.network.as_ref().map(|f| f.build_codec());
+        let model_params = (self.config.workload.reference_model_bytes() / 4) as usize;
+        let encoded_bytes = codec.as_ref().map(|c| c.encoded_bytes(model_params, round));
+        let codec_fidelity = codec.as_ref().map_or(1.0, |c| c.fidelity(round));
+        if let Some(bytes) = encoded_bytes {
+            for task in &mut self.scratch.tasks {
+                task.upload_bytes = bytes;
+            }
+        }
 
         // 3. Execute: per-device costs (parallel fan-out), straggler
         // deadline, drops/partials. The engine reduces times and energies
@@ -755,6 +907,26 @@ impl Simulation {
             &self.scratch.conditions,
         );
         let mut completion: Vec<f64> = costs.iter().map(|c| c.total_time_s()).collect();
+        // 3b. Fabric link: per-participant latency and loss drawn on the
+        // tagged `(seed, TAG_NET, round, id)` streams of
+        // `docs/determinism.md`. Latency lands in the completion time
+        // *before* the median, so a slow link makes a straggler exactly
+        // like slow compute does; the loss coin is applied after the
+        // mid-round dropouts below.
+        let mut net_lost: Vec<bool> = Vec::new();
+        if let Some(fabric) = self.config.network.as_ref() {
+            net_lost.resize(participants.len(), false);
+            for (i, id) in participants.iter().enumerate() {
+                let mut link_rng = crate::fabric::net_stream(self.config.seed, round, id.0);
+                let weak = self.scratch.conditions.get(id.0).network.signal
+                    == autofl_device::network::SignalStrength::Weak;
+                let draw = fabric
+                    .link
+                    .draw(self.fleet.device(*id).tier(), weak, &mut link_rng);
+                completion[i] += draw.latency_s;
+                net_lost[i] = draw.dropped;
+            }
+        }
         // The deadline is *projected*: the median of the completion times
         // the server estimates at dispatch, before any mid-round dropout
         // truncates a device's actual runtime. This is deliberate — a
@@ -799,6 +971,23 @@ impl Simulation {
                 }
             }
         }
+        // (c) Fabric message loss: the device trained and transmitted —
+        // full energy, full completion time — but its upload was lost on
+        // the wire, so it contributes no update. Routed through the
+        // dropout path so downstream accounting (records, feedback,
+        // lifecycle) needs no new case; devices that already died
+        // mid-round never transmitted, so their loss coin is moot.
+        let mut net_drops = 0usize;
+        for i in 0..net_lost.len() {
+            if net_lost[i] && !is_dropout[i] {
+                fractions[i] = 0.0;
+                is_dropout[i] = true;
+                dropouts.push(participants[i]);
+                net_drops += 1;
+            } else {
+                net_lost[i] = false;
+            }
+        }
         // (b) Straggler deadline over the devices that are still there.
         for i in 0..completion.len() {
             if is_dropout[i] {
@@ -837,8 +1026,29 @@ impl Simulation {
             per_participant_energy.push(e);
         }
 
+        // Byte accounting: everyone who actually transmitted pays the
+        // encoded uplink — survivors, partial stragglers, deadline-cut
+        // stragglers (the device uploads; the *server* discards the late
+        // update — the same "energy burned, update dropped" semantics the
+        // straggler reward penalty documents), and uploads the fabric
+        // lost after transmission. Only mid-round dropouts never finished
+        // sending (`is_dropout` without `net_lost`). Every participant
+        // received the full model on the downlink at dispatch.
+        let net = encoded_bytes.map(|bytes| {
+            let transmitted = (0..participants.len())
+                .filter(|&i| !is_dropout[i] || net_lost[i])
+                .count() as u64;
+            RoundNetStats {
+                bytes_uplinked: transmitted * bytes,
+                bytes_downlinked: participants.len() as u64
+                    * self.config.workload.reference_model_bytes(),
+                net_drops,
+                partitioned,
+            }
+        });
+
         let outcome = DispatchOutcome {
-            ineligible,
+            ineligible: ineligible + partitioned,
             prev_accuracy,
             participants,
             plans,
@@ -849,6 +1059,8 @@ impl Simulation {
             dropouts,
             round_time_s,
             active_energy_j,
+            net,
+            codec_fidelity,
         };
         (outcome, shadow_decision)
     }

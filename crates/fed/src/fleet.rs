@@ -214,7 +214,7 @@ fn mix(mut z: u64) -> u64 {
 }
 
 /// Seed of device `id`'s RNG stream for `(tag, round)`.
-fn device_stream_seed(seed: u64, tag: u64, round: u64, id: usize) -> u64 {
+pub(crate) fn device_stream_seed(seed: u64, tag: u64, round: u64, id: usize) -> u64 {
     mix(seed
         .wrapping_add(tag)
         .wrapping_add(round.wrapping_mul(0x9e37_79b9_7f4a_7c15))
@@ -225,6 +225,10 @@ const TAG_INIT: u64 = 0x11fe;
 const TAG_ROUND: u64 = 0x10fe;
 const TAG_DROP: u64 = 0xd109;
 const TAG_SHADOW: u64 = 0x5ad0;
+/// Per-device link draws (latency + message loss) of the network fabric.
+pub(crate) const TAG_NET: u64 = 0x7e70;
+/// Stochastic-rounding streams of the update codecs (`Int8Quant`).
+pub(crate) const TAG_CODEC: u64 = 0xc0de;
 
 /// Seed of the shadow selector's per-round RNG stream (`TAG_SHADOW`).
 ///
@@ -623,6 +627,26 @@ pub enum AvailabilityView<'a> {
     },
     /// A live fleet-dynamics store.
     Dynamic(&'a FleetStore),
+    /// A network-partition overlay: the base availability (the dynamics
+    /// store, or an ideal fleet when `store` is `None`) intersected with
+    /// the round's partition reachability
+    /// ([`crate::fabric::PartitionSchedule`]). The engine precomputes the
+    /// combined mask once per partitioned round; rounds without an active
+    /// partition rule use the plain variants above, so the fabric-disabled
+    /// path is untouched.
+    Masked {
+        /// Per-device combined eligibility (base check-in ∧ reachable),
+        /// indexed by raw device id.
+        eligible: &'a [bool],
+        /// Per-shard bins over the combined mask, same geometry as the
+        /// base view's bins.
+        bins: &'a [ShardBin],
+        /// Total combined-eligible devices (Σ `bins[..].eligible`).
+        count: usize,
+        /// The dynamics store backing availability materialisation;
+        /// `None` when the fleet block is disabled.
+        store: Option<&'a FleetStore>,
+    },
 }
 
 impl AvailabilityView<'_> {
@@ -631,6 +655,7 @@ impl AvailabilityView<'_> {
         match self {
             AvailabilityView::Ideal { devices } => *devices,
             AvailabilityView::Dynamic(store) => store.len(),
+            AvailabilityView::Masked { eligible, .. } => eligible.len(),
         }
     }
 
@@ -640,15 +665,34 @@ impl AvailabilityView<'_> {
         match self {
             AvailabilityView::Ideal { .. } => true,
             AvailabilityView::Dynamic(store) => store.is_eligible(i),
+            AvailabilityView::Masked { eligible, .. } => eligible[i],
         }
     }
 
-    /// Materialises device `i`'s availability.
+    /// Materialises device `i`'s availability. Under a partition mask an
+    /// unreachable device reports `eligible: false` (and, with no
+    /// dynamics store, `online: false` — the partition is a connectivity
+    /// outage) on top of its base state.
     #[inline]
     pub fn get(&self, i: usize) -> DeviceAvailability {
         match self {
             AvailabilityView::Ideal { .. } => DeviceAvailability::ideal(),
             AvailabilityView::Dynamic(store) => store.availability(i),
+            AvailabilityView::Masked {
+                eligible, store, ..
+            } => {
+                let mut a = match store {
+                    Some(store) => store.availability(i),
+                    None => DeviceAvailability::ideal(),
+                };
+                if !eligible[i] {
+                    a.eligible = false;
+                    if store.is_none() {
+                        a.online = false;
+                    }
+                }
+                a
+            }
         }
     }
 
@@ -657,6 +701,7 @@ impl AvailabilityView<'_> {
         match self {
             AvailabilityView::Ideal { devices } => *devices,
             AvailabilityView::Dynamic(store) => store.eligible_count(),
+            AvailabilityView::Masked { count, .. } => *count,
         }
     }
 
@@ -670,6 +715,7 @@ impl AvailabilityView<'_> {
                 eligible: *devices,
             }],
             AvailabilityView::Dynamic(store) => store.bins(),
+            AvailabilityView::Masked { bins, .. } => bins.to_vec(),
         }
     }
 
@@ -682,6 +728,28 @@ impl AvailabilityView<'_> {
     pub fn eligible_ids(&self) -> Vec<DeviceId> {
         match self {
             AvailabilityView::Ideal { devices } => (0..*devices).map(DeviceId).collect(),
+            AvailabilityView::Masked {
+                eligible,
+                bins,
+                count,
+                ..
+            } => {
+                let mut ids = Vec::with_capacity(*count);
+                for bin in bins.iter() {
+                    if bin.eligible == 0 {
+                        continue;
+                    }
+                    for (j, &e) in eligible[bin.offset..bin.offset + bin.len]
+                        .iter()
+                        .enumerate()
+                    {
+                        if e {
+                            ids.push(DeviceId(bin.offset + j));
+                        }
+                    }
+                }
+                ids
+            }
             AvailabilityView::Dynamic(store) => {
                 let per_shard: Vec<Vec<DeviceId>> = store
                     .shards

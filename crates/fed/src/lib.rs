@@ -25,6 +25,11 @@
 //!   time: FedBuff-style buffered aggregation with staleness-weighted
 //!   updates ([`runtime::AsyncRuntime`]), whose full-barrier special case
 //!   reproduces the lockstep engine bit for bit.
+//! * [`fabric`] — the opt-in network fabric between dispatch and
+//!   aggregation: per-device link latency/loss on tagged RNG streams,
+//!   scripted [`fabric::PartitionSchedule`]s, and communication-efficient
+//!   [`fabric::UpdateCodec`]s (top-k, int8/QSGD, periodic full-sync) with
+//!   exact byte accounting wired into the Eq. 3 comm-energy path.
 //!
 //! The experiment-facing API layers on top:
 //!
@@ -67,6 +72,7 @@ pub mod builder;
 pub mod clusters;
 pub mod engine;
 pub mod estimate;
+pub mod fabric;
 pub mod fleet;
 pub mod global;
 pub mod observe;
@@ -80,6 +86,10 @@ pub use algorithms::{AggregationAlgorithm, ExactF32Sum};
 pub use builder::{ConfigError, SimBuilder};
 pub use clusters::CharacterizationCluster;
 pub use engine::{Fidelity, RoundRecord, SimConfig, SimResult, Simulation};
+pub use fabric::{
+    CodecSpec, IdentityCodec, Int8Quant, LinkModel, NetworkFabric, PartitionRule,
+    PartitionSchedule, PeriodicFullSync, RoundNetStats, TopK, TopKInt8, UpdateCodec,
+};
 pub use fleet::{
     survivor_weights, AvailabilityView, DeviceAvailability, FleetDynamics, FleetState, FleetStore,
     ShardBin, StragglerPolicy,

@@ -98,14 +98,17 @@ impl<W: Write> RoundObserver for CsvSink<W> {
                 self.out,
                 "round,accuracy,round_time_s,active_energy_j,idle_energy_j,\
                  participants,dropped,dropouts,ineligible,logical_time_s,\
-                 mean_staleness"
+                 mean_staleness,bytes_up,bytes_down,net_drops,partitioned"
             )
             .expect("CSV sink write");
             self.wrote_header = true;
         }
+        // The four network columns read 0 when no fabric is attached
+        // (`record.net` is `None`), keeping every row the same width.
+        let net = record.net.unwrap_or_default();
         writeln!(
             self.out,
-            "{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             record.round,
             record.accuracy,
             record.round_time_s,
@@ -117,6 +120,10 @@ impl<W: Write> RoundObserver for CsvSink<W> {
             record.ineligible,
             record.logical_time_s,
             record.mean_staleness,
+            net.bytes_uplinked,
+            net.bytes_downlinked,
+            net.net_drops,
+            net.partitioned,
         )
         .expect("CSV sink write");
     }

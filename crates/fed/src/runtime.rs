@@ -245,7 +245,16 @@ impl EventLoop {
             fl.staleness_sum += staleness as f64;
             fl.aggregated += 1;
             ids.push(e.id);
-            fractions.push(e.fraction * staleness_weight(staleness, self.rt.staleness_exponent));
+            // Both discounts are exactly 1.0 in their disabled cases
+            // (fresh update / no fabric), so each multiply passes the
+            // fraction through bit-unchanged — the barrier-equivalence
+            // and fabric-off contracts rest on this. `codec_fidelity` is
+            // read per entry: a mixed flush may span cohorts.
+            fractions.push(
+                e.fraction
+                    * staleness_weight(staleness, self.rt.staleness_exponent)
+                    * fl.outcome.codec_fidelity,
+            );
         }
         let accuracy = sim.aggregate_update(ids, fractions);
         self.version += 1;
@@ -365,6 +374,7 @@ pub(crate) fn run_event_driven(
                     dropped: &outcome.dropped,
                     dropouts: &outcome.dropouts,
                     mean_staleness,
+                    bytes_uplinked: outcome.net.map_or(0, |n| n.bytes_uplinked),
                 });
                 let record = RoundRecord {
                     round,
@@ -381,6 +391,7 @@ pub(crate) fn run_event_driven(
                     dispatch_time_s: fl.dispatch_time_s,
                     logical_time_s: now,
                     mean_staleness,
+                    net: outcome.net,
                 };
                 for obs in observers.iter_mut() {
                     obs.on_round_end(&record);

@@ -171,6 +171,10 @@ pub struct RoundFeedback<'a> {
     /// the lockstep engine and the event runtime's full barrier; positive
     /// only under buffered asynchronous aggregation.
     pub mean_staleness: f64,
+    /// Bytes the cohort uplinked (encoded updates that finished
+    /// transmitting). Exactly `0` when no network fabric is attached —
+    /// byte accounting needs [`crate::fabric::NetworkFabric`].
+    pub bytes_uplinked: u64,
 }
 
 /// A participant-selection (and execution-target) policy.
