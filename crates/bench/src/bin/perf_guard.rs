@@ -17,6 +17,10 @@
 //! deliberately loose — 30% by default — because CI runners are noisy;
 //! the guard exists to catch structural regressions (an accidental O(N)
 //! reintroduction), not scheduling jitter.
+//!
+//! Exit codes: `0` within threshold, `1` regression beyond `--max-drop`,
+//! `2` unusable inputs (missing baseline/current file or no comparable
+//! rows) — run `perf_report` to produce the files.
 
 use autofl_bench::read_bench_rows;
 
@@ -40,11 +44,17 @@ fn main() {
 
     let baseline = read_bench_rows(&baseline_path);
     let current = read_bench_rows(&current_path);
-    assert!(
-        !baseline.is_empty(),
-        "no baseline rows at {baseline_path} — commit a BENCH_autofl.json first"
-    );
-    assert!(!current.is_empty(), "no fresh rows at {current_path}");
+    // Missing inputs are a setup problem, not a perf regression: exit 2
+    // so CI can tell "fix your pipeline" apart from "you got slower"
+    // (exit 1) without parsing stderr.
+    if baseline.is_empty() {
+        eprintln!("perf_guard: no baseline rows at {baseline_path}; run perf_report to create one");
+        std::process::exit(2);
+    }
+    if current.is_empty() {
+        eprintln!("perf_guard: no fresh rows at {current_path}; run perf_report to create one");
+        std::process::exit(2);
+    }
 
     let mut compared = 0usize;
     let mut failures = Vec::new();
@@ -73,11 +83,13 @@ fn main() {
             failures.push(base.bench.clone());
         }
     }
-    assert!(
-        compared > 0,
-        "no comparable rows matched --bench {bench}: baseline and current \
-         must both carry rounds_per_s for at least one (bench, threads) pair"
-    );
+    if compared == 0 {
+        eprintln!(
+            "perf_guard: no comparable rows matched --bench {bench}: baseline and current \
+             must both carry rounds_per_s for at least one (bench, threads) pair"
+        );
+        std::process::exit(2);
+    }
     if !failures.is_empty() {
         eprintln!(
             "perf_guard: {} bench(es) regressed more than {:.0}%: {}",

@@ -84,9 +84,16 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = trace_path {
-        let policy = registry
-            .get(&spec.policies[0])
-            .expect("resolved above by spec.run");
+        // `spec.run` already resolved every policy name, so a miss here
+        // is unreachable in practice — but a registry change between the
+        // two lookups should fail cleanly, not panic.
+        let Some(policy) = registry.get(&spec.policies[0]) else {
+            eprintln!(
+                "spec_run: policy `{}` vanished from the registry",
+                spec.policies[0]
+            );
+            return ExitCode::FAILURE;
+        };
         let file = match std::fs::File::create(&path) {
             Ok(f) => f,
             Err(e) => {
@@ -95,7 +102,13 @@ fn main() -> ExitCode {
             }
         };
         let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
-        let result = run_policy_observed(&spec.config, policy, &mut [&mut sink]);
+        let result = match run_policy_observed(&spec.config, policy, &mut [&mut sink]) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("spec_run: trace write to {path} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         println!(
             "\ntraced {} rounds of {} into {path}",
             result.records.len(),

@@ -12,6 +12,27 @@ pub struct SmallRng {
     s: [u64; 4],
 }
 
+impl SmallRng {
+    /// The generator's full internal state. Together with
+    /// [`SmallRng::from_state`] this lets a checkpoint capture the exact
+    /// stream position, so a resumed simulation draws the same tail of
+    /// values an uninterrupted run would have.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator at an exact stream position captured by
+    /// [`SmallRng::state`]. The all-zero state is a fixed point of
+    /// xoshiro and can never be produced by a seeded generator, so it is
+    /// nudged the same way `from_seed` does.
+    pub fn from_state(mut s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            s = [0x9e37_79b9_7f4a_7c15, 1, 2, 3];
+        }
+        SmallRng { s }
+    }
+}
+
 #[inline]
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);

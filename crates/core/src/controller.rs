@@ -12,6 +12,7 @@ use autofl_fed::selection::{top_k_by, RoundContext, RoundFeedback, SelectionDeci
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Hyper-parameters of the AutoFL agent.
@@ -455,6 +456,106 @@ impl Selector for AutoFl {
 
     fn name(&self) -> &'static str {
         "AutoFL"
+    }
+
+    // Everything the agent has learned — Q-tables, in-flight decisions,
+    // exploration RNG position, reward history and the resolved reward
+    // scales — so a resumed run continues the exact learning trajectory.
+    // The wall-clock overhead counters are profiling, not simulation
+    // state, and restart from zero on resume.
+    fn state_snapshot(&self) -> Option<serde::Value> {
+        let pending = serde::Value::Seq(
+            self.pending
+                .iter()
+                .map(|(round, p)| {
+                    serde::Value::Map(vec![
+                        ("round".to_string(), round.to_value()),
+                        ("global_state".to_string(), p.global_state.to_value()),
+                        (
+                            "per_device".to_string(),
+                            serde::Value::Seq(
+                                p.per_device
+                                    .iter()
+                                    .map(|(l, a)| {
+                                        serde::Value::Map(vec![
+                                            ("l".to_string(), l.to_value()),
+                                            ("a".to_string(), a.to_value()),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        Some(serde::Value::Map(vec![
+            ("tables".to_string(), self.tables.to_value()),
+            ("pending".to_string(), pending),
+            ("rng".to_string(), self.rng.state().to_vec().to_value()),
+            ("reward_history".to_string(), self.reward_history.to_value()),
+            (
+                "resolved_reward".to_string(),
+                self.resolved_reward.to_value(),
+            ),
+        ]))
+    }
+
+    fn state_restore(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        let tables = Option::<QTableSet>::from_value(serde::field_or_null(state, "tables"))
+            .map_err(|e| e.at("tables"))?;
+        let pending_rows = match serde::field_or_null(state, "pending") {
+            serde::Value::Seq(items) => items,
+            other => return Err(serde::Error::invalid_type("sequence", other).at("pending")),
+        };
+        let mut pending = Vec::with_capacity(pending_rows.len());
+        for (i, entry) in pending_rows.iter().enumerate() {
+            let in_entry = |e: serde::Error| e.at(&format!("pending[{i}]"));
+            let round = usize::from_value(serde::field_or_null(entry, "round"))
+                .map_err(|e| in_entry(e.at("round")))?;
+            let global_state = GlobalState::from_value(serde::field_or_null(entry, "global_state"))
+                .map_err(|e| in_entry(e.at("global_state")))?;
+            let device_rows = match serde::field_or_null(entry, "per_device") {
+                serde::Value::Seq(items) => items,
+                other => {
+                    return Err(in_entry(
+                        serde::Error::invalid_type("sequence", other).at("per_device"),
+                    ))
+                }
+            };
+            let mut per_device = Vec::with_capacity(device_rows.len());
+            for (j, d) in device_rows.iter().enumerate() {
+                let in_device = |e: serde::Error| in_entry(e.at(&format!("per_device[{j}]")));
+                let l = LocalState::from_value(serde::field_or_null(d, "l"))
+                    .map_err(|e| in_device(e.at("l")))?;
+                let a = Action::from_value(serde::field_or_null(d, "a"))
+                    .map_err(|e| in_device(e.at("a")))?;
+                per_device.push((l, a));
+            }
+            pending.push((
+                round,
+                PendingRound {
+                    global_state,
+                    per_device,
+                },
+            ));
+        }
+        let words =
+            Vec::<u64>::from_value(serde::field_or_null(state, "rng")).map_err(|e| e.at("rng"))?;
+        let rng_state: [u64; 4] = words.try_into().map_err(|w: Vec<u64>| {
+            serde::Error::custom(format!("rng state needs 4 words, found {}", w.len())).at("rng")
+        })?;
+        let reward_history = Vec::<f64>::from_value(serde::field_or_null(state, "reward_history"))
+            .map_err(|e| e.at("reward_history"))?;
+        let resolved_reward =
+            Option::<RewardConfig>::from_value(serde::field_or_null(state, "resolved_reward"))
+                .map_err(|e| e.at("resolved_reward"))?;
+        self.tables = tables;
+        self.pending = pending;
+        self.rng = SmallRng::from_state(rng_state);
+        self.reward_history = reward_history;
+        self.resolved_reward = resolved_reward;
+        Ok(())
     }
 }
 

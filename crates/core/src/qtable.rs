@@ -6,6 +6,7 @@ use autofl_device::fleet::{DeviceId, Fleet};
 use autofl_device::tier::DeviceTier;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One lookup table `Q(S_global, S_local, A)`.
@@ -93,8 +94,76 @@ impl QTable {
     }
 }
 
+impl Serialize for QTable {
+    fn to_value(&self) -> serde::Value {
+        // `HashMap` iteration order is nondeterministic, so checkpoints
+        // sort rows by their state bytes — equal tables always serialize
+        // to equal bytes, which the checkpoint digest relies on.
+        let mut rows: Vec<_> = self.entries.iter().collect();
+        rows.sort_by_key(|((g, l), _)| {
+            (
+                [g.conv, g.fc, g.rc, g.batch, g.epochs, g.k],
+                [l.co_cpu, l.co_mem, l.network, l.data, l.avail],
+            )
+        });
+        serde::Value::Map(vec![
+            (
+                "rows".to_string(),
+                serde::Value::Seq(
+                    rows.into_iter()
+                        .map(|((g, l), q)| {
+                            serde::Value::Map(vec![
+                                ("g".to_string(), g.to_value()),
+                                ("l".to_string(), l.to_value()),
+                                ("q".to_string(), q.to_value()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("rng".to_string(), self.rng.state().to_vec().to_value()),
+        ])
+    }
+}
+
+impl Deserialize for QTable {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let rows = match serde::field_or_null(value, "rows") {
+            serde::Value::Seq(items) => items,
+            other => return Err(serde::Error::invalid_type("sequence", other).at("rows")),
+        };
+        let mut entries = HashMap::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let in_row = |e: serde::Error| e.at(&format!("rows[{i}]"));
+            let g = GlobalState::from_value(serde::field_or_null(row, "g"))
+                .map_err(|e| in_row(e.at("g")))?;
+            let l = LocalState::from_value(serde::field_or_null(row, "l"))
+                .map_err(|e| in_row(e.at("l")))?;
+            let q = Vec::<f64>::from_value(serde::field_or_null(row, "q"))
+                .map_err(|e| in_row(e.at("q")))?;
+            if q.len() != Action::COUNT {
+                return Err(in_row(serde::Error::custom(format!(
+                    "Q row holds {} values but the action space has {}",
+                    q.len(),
+                    Action::COUNT
+                ))));
+            }
+            entries.insert((g, l), q);
+        }
+        let words =
+            Vec::<u64>::from_value(serde::field_or_null(value, "rng")).map_err(|e| e.at("rng"))?;
+        let state: [u64; 4] = words.try_into().map_err(|w: Vec<u64>| {
+            serde::Error::custom(format!("rng state needs 4 words, found {}", w.len())).at("rng")
+        })?;
+        Ok(QTable {
+            entries,
+            rng: SmallRng::from_state(state),
+        })
+    }
+}
+
 /// How Q-tables are shared across devices (Section 6.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum QSharing {
     /// One table per device (highest fidelity, slowest to warm up).
     PerDevice,
@@ -167,6 +236,39 @@ impl QTableSet {
     /// Number of distinct tables.
     pub fn num_tables(&self) -> usize {
         self.tables.len()
+    }
+}
+
+impl Serialize for QTableSet {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("sharing".to_string(), self.sharing.to_value()),
+            ("tables".to_string(), self.tables.to_value()),
+            ("index".to_string(), self.index.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for QTableSet {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let sharing = QSharing::from_value(serde::field_or_null(value, "sharing"))
+            .map_err(|e| e.at("sharing"))?;
+        let tables = Vec::<QTable>::from_value(serde::field_or_null(value, "tables"))
+            .map_err(|e| e.at("tables"))?;
+        let index = Vec::<usize>::from_value(serde::field_or_null(value, "index"))
+            .map_err(|e| e.at("index"))?;
+        if let Some(bad) = index.iter().find(|&&i| i >= tables.len()) {
+            return Err(serde::Error::custom(format!(
+                "device maps to table {bad} but only {} tables exist",
+                tables.len()
+            ))
+            .at("index"));
+        }
+        Ok(QTableSet {
+            sharing,
+            tables,
+            index,
+        })
     }
 }
 

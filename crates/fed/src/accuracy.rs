@@ -23,6 +23,7 @@ use autofl_nn::zoo::Workload;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use serde::Serialize;
 
 /// Statistics of the cohort whose updates were aggregated in a round.
 #[derive(Debug, Clone)]
@@ -62,6 +63,20 @@ pub trait AccuracyEngine: Send {
 
     /// Engine name for reports.
     fn name(&self) -> &'static str;
+
+    /// Serializes the engine's mutable state (whatever `apply_round`
+    /// advances) for a checkpoint: the surrogate's accuracy + noise
+    /// stream, the real engine's global model + optimizer carry-overs.
+    fn state_snapshot(&self) -> serde::Value;
+
+    /// Restores state captured by
+    /// [`AccuracyEngine::state_snapshot`] onto an engine freshly built
+    /// from the same configuration.
+    fn state_restore(&mut self, value: &serde::Value) -> Result<(), serde::Error>;
+}
+
+fn state_field<T: serde::Deserialize>(value: &serde::Value, name: &str) -> Result<T, serde::Error> {
+    T::from_value(serde::field_or_null(value, name)).map_err(|e| e.at(name))
 }
 
 /// Cohort drift below this level is benign: oppositely-skewed updates
@@ -221,6 +236,23 @@ impl AccuracyEngine for SurrogateEngine {
 
     fn name(&self) -> &'static str {
         "surrogate"
+    }
+
+    fn state_snapshot(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("acc".to_string(), self.acc.to_value()),
+            ("rng".to_string(), self.rng.state().to_vec().to_value()),
+        ])
+    }
+
+    fn state_restore(&mut self, value: &serde::Value) -> Result<(), serde::Error> {
+        self.acc = state_field(value, "acc")?;
+        let words: Vec<u64> = state_field(value, "rng")?;
+        let state: [u64; 4] = words
+            .try_into()
+            .map_err(|_| serde::Error::custom("surrogate rng state must have 4 words").at("rng"))?;
+        self.rng = SmallRng::from_state(state);
+        Ok(())
     }
 }
 
@@ -470,6 +502,35 @@ impl AccuracyEngine for RealTrainingEngine {
 
     fn name(&self) -> &'static str {
         "real-training"
+    }
+
+    fn state_snapshot(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("acc".to_string(), self.acc.to_value()),
+            ("global".to_string(), self.global.to_value()),
+            (
+                "prev_global_grad".to_string(),
+                self.prev_global_grad.to_value(),
+            ),
+            ("rounds_applied".to_string(), self.rounds_applied.to_value()),
+        ])
+    }
+
+    fn state_restore(&mut self, value: &serde::Value) -> Result<(), serde::Error> {
+        let global: Vec<f32> = state_field(value, "global")?;
+        if global.len() != self.global.len() {
+            return Err(serde::Error::custom(format!(
+                "global model has {} parameters, checkpoint holds {}",
+                self.global.len(),
+                global.len()
+            ))
+            .at("global"));
+        }
+        self.acc = state_field(value, "acc")?;
+        self.global = global;
+        self.prev_global_grad = state_field(value, "prev_global_grad")?;
+        self.rounds_applied = state_field(value, "rounds_applied")?;
+        Ok(())
     }
 }
 

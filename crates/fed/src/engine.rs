@@ -437,7 +437,9 @@ struct RoundScratch {
 /// feedback steps that complete it. The lockstep loop completes a cohort
 /// immediately; the event-driven runtime ([`crate::runtime`]) holds the
 /// outcome in flight until its scheduled upload/completion events fire.
-#[derive(Debug)]
+/// Serializable so a checkpoint ([`crate::serve`]) can capture cohorts
+/// that are in flight when the process dies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct DispatchOutcome {
     /// Devices excluded from this round's pool by fleet dynamics.
     pub ineligible: usize,
@@ -1189,17 +1191,20 @@ impl Simulation {
     /// `max_rounds`, whichever comes first, and returns the result.
     pub fn run(&mut self, selector: &mut dyn Selector) -> SimResult {
         self.run_with(selector, &mut [])
+            .expect("a run without observers cannot fail")
     }
 
     /// Like [`Simulation::run`], with [`crate::observe::RoundObserver`]s
     /// seeing every round as it completes (and the final result, if the
     /// run converges). Observers cannot perturb the simulation: they only
-    /// borrow the records the run produces anyway.
+    /// borrow the records the run produces anyway. An observer whose
+    /// writer fails (closed pipe, full disk) stops the run at that round
+    /// and surfaces the error.
     pub fn run_with(
         &mut self,
         selector: &mut dyn Selector,
         observers: &mut [&mut dyn crate::observe::RoundObserver],
-    ) -> SimResult {
+    ) -> std::io::Result<SimResult> {
         let label = selector.name().to_string();
         self.run_labeled(selector, label, observers)
     }
@@ -1214,7 +1219,7 @@ impl Simulation {
         selector: &mut dyn Selector,
         policy: String,
         observers: &mut [&mut dyn crate::observe::RoundObserver],
-    ) -> SimResult {
+    ) -> std::io::Result<SimResult> {
         if self.config.runtime.is_some() {
             // Event-driven scheduling on logical time; the full-barrier
             // special case reproduces this lockstep loop bit for bit
@@ -1225,11 +1230,11 @@ impl Simulation {
         let mut records = Vec::new();
         for round in 0..self.config.max_rounds {
             for obs in observers.iter_mut() {
-                obs.on_round_start(round);
+                obs.on_round_start(round)?;
             }
             let record = self.run_round(selector, round);
             for obs in observers.iter_mut() {
-                obs.on_round_end(&record);
+                obs.on_round_end(&record)?;
             }
             let reached = record.accuracy >= target;
             records.push(record);
@@ -1244,10 +1249,85 @@ impl Simulation {
         };
         if result.converged() {
             for obs in observers.iter_mut() {
-                obs.on_converged(&result);
+                obs.on_converged(&result)?;
             }
         }
-        result
+        Ok(result)
+    }
+
+    /// Replaces the global training parameters `(B, E, K)` mid-run — the
+    /// mutation hook behind per-round convergence control
+    /// ([`crate::serve::ConvergenceController`] driving
+    /// [`crate::policy::Policy::tune`] each round). The surrogate
+    /// engine's nominal cohort mass stays pinned to the *initial*
+    /// parameters, so tuning `K` shifts the effective-sample factor
+    /// exactly as fielding a smaller cohort would.
+    pub fn set_params(&mut self, params: GlobalParams) {
+        self.config.params = params;
+    }
+
+    /// Serializes the simulation's live mutable state — the sequential
+    /// engine RNG position, the accuracy engine (global model or
+    /// surrogate curve + noise stream), the fleet lifecycle store, the
+    /// logical clock and the (possibly controller-tuned) global
+    /// parameters. Everything else (fleet, dataset, scratch, condition
+    /// streams) is a deterministic function of [`SimConfig`] and is
+    /// rebuilt by [`Simulation::new`] on resume, not checkpointed.
+    pub fn state_snapshot(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("clock_s".to_string(), self.clock_s.to_value()),
+            ("rng".to_string(), self.rng.state().to_vec().to_value()),
+            ("params".to_string(), self.config.params.to_value()),
+            ("engine".to_string(), self.engine.state_snapshot()),
+            (
+                "fleet_state".to_string(),
+                match &self.fleet_state {
+                    Some(store) => store.state_snapshot(),
+                    None => serde::Value::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Restores the state captured by [`Simulation::state_snapshot`] onto
+    /// a freshly built simulation of the *same* [`SimConfig`]. After
+    /// this, continuing the run reproduces the uninterrupted run bit for
+    /// bit (pinned in `tests/checkpoint.rs`).
+    pub fn state_restore(&mut self, value: &serde::Value) -> Result<(), serde::Error> {
+        fn field<T: Deserialize>(value: &serde::Value, name: &str) -> Result<T, serde::Error> {
+            T::from_value(serde::field_or_null(value, name)).map_err(|e| e.at(name))
+        }
+        self.clock_s = field(value, "clock_s")?;
+        let rng_words: Vec<u64> = field(value, "rng")?;
+        let rng_state: [u64; 4] = rng_words
+            .try_into()
+            .map_err(|_| serde::Error::custom("engine rng state must have 4 words").at("rng"))?;
+        self.rng = SmallRng::from_state(rng_state);
+        self.config.params = field(value, "params")?;
+        self.engine
+            .state_restore(serde::field_or_null(value, "engine"))
+            .map_err(|e| e.at("engine"))?;
+        match (
+            &mut self.fleet_state,
+            serde::field_or_null(value, "fleet_state"),
+        ) {
+            (Some(store), v @ serde::Value::Map(_)) => {
+                store.state_restore(v).map_err(|e| e.at("fleet_state"))?
+            }
+            (None, serde::Value::Null) => {}
+            (state, v) => {
+                return Err(serde::Error::custom(format!(
+                    "fleet_state mismatch: config {} dynamics, checkpoint holds {}",
+                    if state.is_some() {
+                        "enables"
+                    } else {
+                        "disables"
+                    },
+                    v.kind(),
+                )))
+            }
+        }
+        Ok(())
     }
 }
 

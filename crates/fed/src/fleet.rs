@@ -245,7 +245,7 @@ pub(crate) fn shadow_stream_seed(seed: u64, round: usize) -> u64 {
 
 /// One contiguous range of devices' lifecycle state, one field per array.
 /// Device `offset + j` lives at lane `j` of every array.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct FleetShard {
     offset: usize,
     soc: Vec<f64>,
@@ -433,6 +433,47 @@ impl FleetStore {
             })
             .sum::<usize>()
             + self.participant_slot.capacity() * 8
+    }
+
+    /// Serializes the carried lifecycle state (per-device SoC, throttle,
+    /// session flags, eligibility) for a checkpoint. The seed and shard
+    /// geometry are *not* captured: both are deterministic functions of
+    /// the simulation config, and [`FleetStore::state_restore`] verifies
+    /// the geometry instead of trusting the file.
+    pub fn state_snapshot(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("len".to_string(), self.len.to_value()),
+            ("shards".to_string(), self.shards.to_value()),
+        ])
+    }
+
+    /// Restores state captured by [`FleetStore::state_snapshot`] onto a
+    /// store freshly built from the same config (same fleet size and
+    /// shard count).
+    pub fn state_restore(&mut self, value: &serde::Value) -> Result<(), serde::Error> {
+        let len: usize =
+            Deserialize::from_value(serde::field_or_null(value, "len")).map_err(|e| e.at("len"))?;
+        let shards: Vec<FleetShard> =
+            Deserialize::from_value(serde::field_or_null(value, "shards"))
+                .map_err(|e| e.at("shards"))?;
+        if len != self.len || shards.len() != self.shards.len() {
+            return Err(serde::Error::custom(format!(
+                "fleet geometry mismatch: store is {} devices / {} shards, checkpoint holds {} / {}",
+                self.len,
+                self.shards.len(),
+                len,
+                shards.len()
+            )));
+        }
+        for (have, got) in self.shards.iter().zip(&shards) {
+            if have.offset != got.offset || have.len() != got.len() {
+                return Err(serde::Error::custom(
+                    "fleet shard extents do not match the checkpoint",
+                ));
+            }
+        }
+        self.shards = shards;
+        Ok(())
     }
 
     /// Draws this round's charging / foreground / connectivity sessions

@@ -40,6 +40,11 @@
 //! * [`observe`] — [`observe::RoundObserver`] hooks with CSV/JSONL sinks
 //!   and live progress.
 //! * [`spec`] — declarative, serde-backed [`spec::ExperimentSpec`] files.
+//! * [`mod@serve`] — the checkpoint/resume experiment daemon: a queue of spec
+//!   files streamed to JSONL traces with bit-identical crash recovery,
+//!   plus per-round convergence control ([`serve::ConvergenceController`])
+//!   driving [`policy::Policy::tune`] toward an energy budget or accuracy
+//!   floor.
 //!
 //! # Examples
 //!
@@ -80,6 +85,7 @@ pub mod oracle;
 pub mod policy;
 pub mod runtime;
 pub mod selection;
+pub mod serve;
 pub mod spec;
 
 pub use algorithms::{AggregationAlgorithm, ExactF32Sum};
@@ -105,5 +111,9 @@ pub use runtime::{staleness_weight, AsyncRuntime};
 pub use selection::{
     top_k_by, ClusterSelector, RandomSelector, RoundContext, RoundFeedback, SelectionDecision,
     Selector,
+};
+pub use serve::{
+    serve, Controlled, ControllerState, ConvergeTarget, ConvergenceController, ExperimentRun,
+    ServeError, ServeOptions, ServeReport, UnitSummary,
 };
 pub use spec::{ExperimentSpec, SpecError, SpecRun};

@@ -19,32 +19,39 @@
 //!     .samples_per_device(24).test_samples(48)
 //!     .max_rounds(5).target_accuracy(1.1).seed(1)
 //!     .build().unwrap();
-//! let result = sim.run_with(&mut RandomSelector::new(), &mut [&mut sink]);
+//! let result = sim.run_with(&mut RandomSelector::new(), &mut [&mut sink]).unwrap();
 //! let lines = String::from_utf8(sink.into_inner()).unwrap();
 //! assert_eq!(lines.lines().count(), result.records.len());
 //! ```
 
 use crate::engine::{RoundRecord, SimResult};
-use std::io::Write;
+use std::io::{self, Write};
 
 /// Observes the lifecycle of a simulation run.
 ///
 /// All methods default to no-ops so observers implement only what they
-/// need.
+/// need. Each hook returns [`io::Result`]: a sink whose writer fails (a
+/// closed pipe, a full disk) surfaces the error through
+/// [`crate::engine::Simulation::run_with`] instead of panicking
+/// mid-experiment, and the run stops at the failing round (fail-fast — no
+/// further rounds execute once an observer errors).
 pub trait RoundObserver {
     /// Called before the round's conditions are sampled.
-    fn on_round_start(&mut self, round: usize) {
+    fn on_round_start(&mut self, round: usize) -> io::Result<()> {
         let _ = round;
+        Ok(())
     }
 
     /// Called with the completed round's record.
-    fn on_round_end(&mut self, record: &RoundRecord) {
+    fn on_round_end(&mut self, record: &RoundRecord) -> io::Result<()> {
         let _ = record;
+        Ok(())
     }
 
     /// Called once if (and when) the run reaches its convergence target.
-    fn on_converged(&mut self, result: &SimResult) {
+    fn on_converged(&mut self, result: &SimResult) -> io::Result<()> {
         let _ = result;
+        Ok(())
     }
 }
 
@@ -92,15 +99,14 @@ fn join_ids(ids: &[autofl_device::fleet::DeviceId]) -> String {
 }
 
 impl<W: Write> RoundObserver for CsvSink<W> {
-    fn on_round_end(&mut self, record: &RoundRecord) {
+    fn on_round_end(&mut self, record: &RoundRecord) -> io::Result<()> {
         if !self.wrote_header {
             writeln!(
                 self.out,
                 "round,accuracy,round_time_s,active_energy_j,idle_energy_j,\
                  participants,dropped,dropouts,ineligible,logical_time_s,\
                  mean_staleness,bytes_up,bytes_down,net_drops,partitioned"
-            )
-            .expect("CSV sink write");
+            )?;
             self.wrote_header = true;
         }
         // The four network columns read 0 when no fabric is attached
@@ -125,7 +131,6 @@ impl<W: Write> RoundObserver for CsvSink<W> {
             net.net_drops,
             net.partitioned,
         )
-        .expect("CSV sink write");
     }
 }
 
@@ -154,9 +159,11 @@ impl<W: Write> JsonlSink<W> {
 }
 
 impl<W: Write> RoundObserver for JsonlSink<W> {
-    fn on_round_end(&mut self, record: &RoundRecord) {
+    fn on_round_end(&mut self, record: &RoundRecord) -> io::Result<()> {
+        // Serialization itself is infallible (every record field maps to a
+        // JSON value); only the writer can fail.
         let line = serde_json::to_string(record).expect("round record serializes");
-        writeln!(self.out, "{line}").expect("JSONL sink write");
+        writeln!(self.out, "{line}")
     }
 }
 
@@ -179,7 +186,7 @@ impl Progress {
 }
 
 impl RoundObserver for Progress {
-    fn on_round_end(&mut self, record: &RoundRecord) {
+    fn on_round_end(&mut self, record: &RoundRecord) -> io::Result<()> {
         if record.round % self.every == 0 {
             eprintln!(
                 "[{}] round {:>4}  acc {:>5.1}%  {:>6.1} s/round  {:>8.0} J",
@@ -190,9 +197,10 @@ impl RoundObserver for Progress {
                 record.total_energy_j(),
             );
         }
+        Ok(())
     }
 
-    fn on_converged(&mut self, result: &SimResult) {
+    fn on_converged(&mut self, result: &SimResult) -> io::Result<()> {
         eprintln!(
             "[{}] converged at round {} ({:.1}% >= {:.1}%)",
             self.label,
@@ -202,6 +210,7 @@ impl RoundObserver for Progress {
             result.final_accuracy() * 100.0,
             result.target_accuracy * 100.0,
         );
+        Ok(())
     }
 }
 
@@ -221,7 +230,9 @@ mod tests {
     #[test]
     fn csv_sink_writes_header_and_one_row_per_round() {
         let mut sink = CsvSink::new(Vec::new());
-        let result = short_sim().run_with(&mut RandomSelector::new(), &mut [&mut sink]);
+        let result = short_sim()
+            .run_with(&mut RandomSelector::new(), &mut [&mut sink])
+            .unwrap();
         let text = String::from_utf8(sink.into_inner()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), result.records.len() + 1);
@@ -232,7 +243,9 @@ mod tests {
     #[test]
     fn jsonl_sink_rows_parse_back_to_records() {
         let mut sink = JsonlSink::new(Vec::new());
-        let result = short_sim().run_with(&mut RandomSelector::new(), &mut [&mut sink]);
+        let result = short_sim()
+            .run_with(&mut RandomSelector::new(), &mut [&mut sink])
+            .unwrap();
         let text = String::from_utf8(sink.into_inner()).unwrap();
         for (line, record) in text.lines().zip(&result.records) {
             let parsed: RoundRecord = serde_json::from_str(line).expect("JSONL line parses");
@@ -247,7 +260,9 @@ mod tests {
     fn observers_do_not_perturb_the_run() {
         let plain = short_sim().run(&mut RandomSelector::new());
         let mut sink = CsvSink::new(Vec::new());
-        let observed = short_sim().run_with(&mut RandomSelector::new(), &mut [&mut sink]);
+        let observed = short_sim()
+            .run_with(&mut RandomSelector::new(), &mut [&mut sink])
+            .unwrap();
         assert_eq!(plain.records.len(), observed.records.len());
         for (a, b) in plain.records.iter().zip(&observed.records) {
             assert_eq!(a.participants, b.participants);
@@ -259,18 +274,96 @@ mod tests {
     fn on_converged_fires_only_on_reached_targets() {
         struct Count(usize);
         impl RoundObserver for Count {
-            fn on_converged(&mut self, _: &SimResult) {
+            fn on_converged(&mut self, _: &SimResult) -> io::Result<()> {
                 self.0 += 1;
+                Ok(())
             }
         }
         let mut count = Count(0);
         let mut sim = Simulation::new(SimConfig::tiny_test(1));
-        let result = sim.run_with(&mut RandomSelector::new(), &mut [&mut count]);
+        let result = sim
+            .run_with(&mut RandomSelector::new(), &mut [&mut count])
+            .unwrap();
         assert!(result.converged());
         assert_eq!(count.0, 1);
 
         let mut count = Count(0);
-        let _ = short_sim().run_with(&mut RandomSelector::new(), &mut [&mut count]);
+        let _ = short_sim()
+            .run_with(&mut RandomSelector::new(), &mut [&mut count])
+            .unwrap();
         assert_eq!(count.0, 0, "unreachable target must not fire on_converged");
+    }
+
+    /// A writer that accepts `ok_bytes` bytes, then fails every write —
+    /// the closed-pipe / full-disk case the sinks must surface instead of
+    /// panicking.
+    struct FailingWriter {
+        ok_bytes: usize,
+        written: usize,
+    }
+
+    impl Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.written + buf.len() > self.ok_bytes {
+                return Err(io::Error::new(io::ErrorKind::WriteZero, "disk full"));
+            }
+            self.written += buf.len();
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn failing_writer_surfaces_an_error_instead_of_panicking() {
+        for ok_bytes in [0usize, 200] {
+            let mut sink = CsvSink::new(FailingWriter {
+                ok_bytes,
+                written: 0,
+            });
+            let err = short_sim()
+                .run_with(&mut RandomSelector::new(), &mut [&mut sink])
+                .unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        }
+        let mut sink = JsonlSink::new(FailingWriter {
+            ok_bytes: 0,
+            written: 0,
+        });
+        let err = short_sim()
+            .run_with(&mut RandomSelector::new(), &mut [&mut sink])
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+    }
+
+    #[test]
+    fn failing_writer_stops_the_run_at_the_failing_round() {
+        // Enough budget for the header + first row only: the run must
+        // stop after round 0's record errors, not execute all 8 rounds.
+        struct CountingSelector(RandomSelector, usize);
+        impl crate::selection::Selector for CountingSelector {
+            fn select(
+                &mut self,
+                ctx: &crate::selection::RoundContext<'_>,
+                rng: &mut rand::rngs::SmallRng,
+            ) -> crate::selection::SelectionDecision {
+                self.1 += 1;
+                self.0.select(ctx, rng)
+            }
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+        }
+        let mut sel = CountingSelector(RandomSelector::new(), 0);
+        let mut sink = CsvSink::new(FailingWriter {
+            ok_bytes: 200,
+            written: 0,
+        });
+        let err = short_sim()
+            .run_with(&mut sel, &mut [&mut sink])
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        assert!(sel.1 <= 2, "run must fail fast, ran {} rounds", sel.1);
     }
 }

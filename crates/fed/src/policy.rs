@@ -50,10 +50,11 @@ impl std::fmt::Debug for dyn Policy {
 /// Runs one policy on one configuration (applying its tuning hook) and
 /// labels the result with the policy's name.
 pub fn run_policy(config: &SimConfig, policy: &dyn Policy) -> SimResult {
-    run_policy_observed(config, policy, &mut [])
+    run_policy_observed(config, policy, &mut []).expect("a run without observers cannot fail")
 }
 
-/// Like [`run_policy`], with [`RoundObserver`]s attached to the run.
+/// Like [`run_policy`], with [`RoundObserver`]s attached to the run. An
+/// observer whose writer fails stops the run and surfaces the error.
 ///
 /// # Panics
 ///
@@ -65,7 +66,7 @@ pub fn run_policy_observed(
     config: &SimConfig,
     policy: &dyn Policy,
     observers: &mut [&mut dyn RoundObserver],
-) -> SimResult {
+) -> std::io::Result<SimResult> {
     let mut config = config.clone();
     if let Some(params) = policy.tune(&config) {
         config.params = params;
@@ -452,8 +453,9 @@ mod tests {
     fn observers_see_the_policy_label_not_the_selector_name() {
         struct CaptureLabel(Option<String>);
         impl RoundObserver for CaptureLabel {
-            fn on_converged(&mut self, result: &SimResult) {
+            fn on_converged(&mut self, result: &SimResult) -> std::io::Result<()> {
                 self.0 = Some(result.policy.clone());
+                Ok(())
             }
         }
         let relabeled = TunedPolicy::new(
@@ -466,7 +468,8 @@ mod tests {
             &SimConfig::tiny_test(1),
             &relabeled,
             &mut [&mut capture],
-        );
+        )
+        .unwrap();
         assert!(result.converged());
         assert_eq!(result.policy, "Random@S-tiny");
         assert_eq!(capture.0.as_deref(), Some("Random@S-tiny"));

@@ -100,7 +100,7 @@ pub fn staleness_weight(staleness: u64, exponent: f64) -> f64 {
 }
 
 /// What the scheduler does when an event fires.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum EventKind {
     /// One participant's update arrives at the server (buffered mode
     /// only; the barrier aggregates whole cohorts at `CohortDone`).
@@ -113,7 +113,7 @@ enum EventKind {
 /// A timestamped event. Ordered by `(time, seq)`: `seq` is the global
 /// scheduling counter, so simultaneous events fire in the deterministic
 /// order they were scheduled (uploads before their cohort's completion).
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Event {
     time: f64,
     seq: u64,
@@ -140,7 +140,7 @@ impl Ord for Event {
 }
 
 /// A dispatched cohort waiting for its events to fire.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct InFlight {
     /// Logical time the cohort was dispatched.
     dispatch_time_s: f64,
@@ -156,7 +156,7 @@ struct InFlight {
 }
 
 /// One update sitting in the server's aggregation buffer.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct BufferedUpdate {
     round: usize,
     slot: usize,
@@ -193,9 +193,9 @@ impl EventLoop {
         observers: &mut [&mut dyn RoundObserver],
         round: usize,
         at: f64,
-    ) {
+    ) -> std::io::Result<()> {
         for obs in observers.iter_mut() {
-            obs.on_round_start(round);
+            obs.on_round_start(round)?;
         }
         let (outcome, _) = sim.dispatch_round(selector, round, None);
         if self.rt.buffer_size.is_some() {
@@ -222,6 +222,7 @@ impl EventLoop {
                 outcome,
             },
         );
+        Ok(())
     }
 
     /// Folds `entries` into the global model as one aggregation step and
@@ -262,6 +263,281 @@ impl EventLoop {
     }
 }
 
+/// A resumable event-driven run: the scheduler state of
+/// [`run_event_driven`] lifted into a struct that can stop after any
+/// emitted record, serialize itself into a checkpoint
+/// ([`crate::serve`]), and continue — on this process or a later one —
+/// bit-identically to a run that never stopped.
+pub(crate) struct EventDrivenRun {
+    ev: EventLoop,
+    target: f64,
+    max_rounds: usize,
+    barrier: bool,
+    /// Completed records in *emission* order (completion order, not round
+    /// order): the order round traces stream in, and therefore the order
+    /// a checkpoint must replay them in.
+    records: Vec<RoundRecord>,
+    next_round: usize,
+    dispatching: bool,
+}
+
+impl EventDrivenRun {
+    /// An empty scheduler for `sim` (nothing dispatched yet). Call
+    /// [`EventDrivenRun::prime`] to start a fresh run, or
+    /// [`EventDrivenRun::state_restore`] to continue a checkpointed one.
+    pub(crate) fn new(sim: &Simulation) -> Self {
+        let rt = sim
+            .config()
+            .runtime
+            .expect("EventDrivenRun requires config.runtime");
+        EventDrivenRun {
+            ev: EventLoop {
+                rt,
+                heap: BinaryHeap::new(),
+                seq: 0,
+                in_flight: BTreeMap::new(),
+                buffer: Vec::new(),
+                version: 0,
+            },
+            target: sim.config().target(),
+            max_rounds: sim.config().max_rounds,
+            barrier: rt.buffer_size.is_none(),
+            records: Vec::new(),
+            next_round: 0,
+            dispatching: true,
+        }
+    }
+
+    /// Primes the pipeline: `concurrent_cohorts` cohorts dispatched at
+    /// t = 0 in round order.
+    pub(crate) fn prime(
+        &mut self,
+        sim: &mut Simulation,
+        selector: &mut dyn Selector,
+        observers: &mut [&mut dyn RoundObserver],
+    ) -> std::io::Result<()> {
+        let initial = self.ev.rt.concurrent_cohorts.max(1).min(self.max_rounds);
+        for _ in 0..initial {
+            self.ev
+                .dispatch(sim, selector, observers, self.next_round, 0.0)?;
+            self.next_round += 1;
+        }
+        Ok(())
+    }
+
+    /// Records emitted so far, in emission order.
+    pub(crate) fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// Fires events until the next cohort completes and returns its
+    /// record (also appended to [`EventDrivenRun::records`]), or `None`
+    /// when the run has drained. The state between two `step` calls is
+    /// exactly what [`EventDrivenRun::state_snapshot`] captures.
+    pub(crate) fn step(
+        &mut self,
+        sim: &mut Simulation,
+        selector: &mut dyn Selector,
+        observers: &mut [&mut dyn RoundObserver],
+    ) -> std::io::Result<Option<RoundRecord>> {
+        while let Some(Reverse(event)) = self.ev.heap.pop() {
+            let now = event.time;
+            match event.kind {
+                EventKind::Upload { round, slot } => {
+                    let fl = &self.ev.in_flight[&round];
+                    self.ev.buffer.push(BufferedUpdate {
+                        round,
+                        slot,
+                        id: fl.outcome.participants[slot],
+                        fraction: fl.outcome.fractions[slot],
+                    });
+                    if let Some(m) = self.ev.rt.buffer_size {
+                        if self.ev.buffer.len() >= m {
+                            let entries = std::mem::take(&mut self.ev.buffer);
+                            self.ev.flush(sim, entries);
+                        }
+                    }
+                }
+                EventKind::CohortDone { round } => {
+                    // The closing aggregation step: the cohort's own
+                    // survivors under a barrier; everything still buffered
+                    // (this cohort's tail plus any other cohort's early
+                    // uploads) under buffered aggregation.
+                    let entries: Vec<BufferedUpdate> = if self.barrier {
+                        let fl = &self.ev.in_flight[&round];
+                        fl.outcome
+                            .participants
+                            .iter()
+                            .enumerate()
+                            .filter(|(slot, _)| fl.outcome.fractions[*slot] > 0.0)
+                            .map(|(slot, &id)| BufferedUpdate {
+                                round,
+                                slot,
+                                id,
+                                fraction: fl.outcome.fractions[slot],
+                            })
+                            .collect()
+                    } else {
+                        std::mem::take(&mut self.ev.buffer)
+                    };
+                    let accuracy = self.ev.flush(sim, entries);
+                    let fl = self
+                        .ev
+                        .in_flight
+                        .remove(&round)
+                        .expect("completed cohort not in flight");
+                    let outcome = fl.outcome;
+                    let idle_energy =
+                        sim.idle_energy_for(&outcome.participants, outcome.round_time_s);
+                    sim.end_round_lifecycle(
+                        outcome.round_time_s,
+                        &outcome.participants,
+                        &outcome.completion,
+                        &outcome.per_participant_energy,
+                    );
+                    let mean_staleness = if fl.aggregated > 0 {
+                        fl.staleness_sum / fl.aggregated as f64
+                    } else {
+                        0.0
+                    };
+                    let idle_per_device = if sim.fleet().len() > outcome.participants.len() {
+                        idle_energy / (sim.fleet().len() - outcome.participants.len()) as f64
+                    } else {
+                        0.0
+                    };
+                    selector.observe(&RoundFeedback {
+                        round,
+                        participants: &outcome.participants,
+                        per_participant_energy_j: &outcome.per_participant_energy,
+                        idle_energy_per_device_j: idle_per_device,
+                        global_energy_j: outcome.active_energy_j + idle_energy,
+                        round_time_s: outcome.round_time_s,
+                        accuracy,
+                        prev_accuracy: outcome.prev_accuracy,
+                        dropped: &outcome.dropped,
+                        dropouts: &outcome.dropouts,
+                        mean_staleness,
+                        bytes_uplinked: outcome.net.map_or(0, |n| n.bytes_uplinked),
+                    });
+                    let record = RoundRecord {
+                        round,
+                        participants: outcome.participants,
+                        plans: outcome.plans,
+                        round_time_s: outcome.round_time_s,
+                        active_energy_j: outcome.active_energy_j,
+                        idle_energy_j: idle_energy,
+                        accuracy,
+                        dropped: outcome.dropped,
+                        update_fractions: outcome.fractions,
+                        dropouts: outcome.dropouts,
+                        ineligible: outcome.ineligible,
+                        dispatch_time_s: fl.dispatch_time_s,
+                        logical_time_s: now,
+                        mean_staleness,
+                        net: outcome.net,
+                    };
+                    for obs in observers.iter_mut() {
+                        obs.on_round_end(&record)?;
+                    }
+                    if record.accuracy >= self.target {
+                        // Stop dispatching; cohorts already in flight
+                        // drain to completion so no consumed device work
+                        // is lost.
+                        self.dispatching = false;
+                    }
+                    self.records.push(record.clone());
+                    if self.dispatching && self.next_round < self.max_rounds {
+                        self.ev
+                            .dispatch(sim, selector, observers, self.next_round, now)?;
+                        self.next_round += 1;
+                    }
+                    return Ok(Some(record));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Finishes the run: sorts the emitted records by round (cohorts can
+    /// complete out of dispatch order; reports and sinks expect
+    /// round-ordered records — logical times stay monotone in
+    /// `logical_time_s`, not in round index) and wraps them in a
+    /// [`SimResult`].
+    pub(crate) fn into_result(self, policy: String) -> SimResult {
+        let mut records = self.records;
+        records.sort_by_key(|r| r.round);
+        SimResult {
+            policy,
+            target_accuracy: self.target,
+            records,
+        }
+    }
+
+    /// Serializes the full scheduler state — pending events in pop
+    /// order, in-flight cohorts (with their execution outcomes), the
+    /// aggregation buffer and version, the dispatch cursor, and every
+    /// record emitted so far (in emission order, so a resumed trace
+    /// replays byte-identically).
+    pub(crate) fn state_snapshot(&self) -> serde::Value {
+        let mut events: Vec<&Event> = self.ev.heap.iter().map(|Reverse(e)| e).collect();
+        events.sort_by(|a, b| a.time.total_cmp(&b.time).then_with(|| a.seq.cmp(&b.seq)));
+        let in_flight: Vec<serde::Value> = self
+            .ev
+            .in_flight
+            .iter()
+            .map(|(round, fl)| {
+                serde::Value::Map(vec![
+                    ("round".to_string(), round.to_value()),
+                    ("state".to_string(), fl.to_value()),
+                ])
+            })
+            .collect();
+        serde::Value::Map(vec![
+            ("seq".to_string(), self.ev.seq.to_value()),
+            ("version".to_string(), self.ev.version.to_value()),
+            ("events".to_string(), events.to_value()),
+            ("in_flight".to_string(), serde::Value::Seq(in_flight)),
+            ("buffer".to_string(), self.ev.buffer.to_value()),
+            ("records".to_string(), self.records.to_value()),
+            ("next_round".to_string(), self.next_round.to_value()),
+            ("dispatching".to_string(), self.dispatching.to_value()),
+        ])
+    }
+
+    /// Restores the state captured by
+    /// [`EventDrivenRun::state_snapshot`] onto a fresh
+    /// [`EventDrivenRun::new`] for the same config. Do *not* call
+    /// [`EventDrivenRun::prime`] afterwards: the snapshot's cohorts are
+    /// already dispatched.
+    pub(crate) fn state_restore(&mut self, value: &serde::Value) -> Result<(), serde::Error> {
+        fn field<T: Deserialize>(value: &serde::Value, name: &str) -> Result<T, serde::Error> {
+            T::from_value(serde::field_or_null(value, name)).map_err(|e| e.at(name))
+        }
+        self.ev.seq = field(value, "seq")?;
+        self.ev.version = field(value, "version")?;
+        let events: Vec<Event> = field(value, "events")?;
+        self.ev.heap = events.into_iter().map(Reverse).collect();
+        self.ev.in_flight = match serde::field_or_null(value, "in_flight") {
+            serde::Value::Seq(items) => items
+                .iter()
+                .map(|item| {
+                    Ok((
+                        field::<usize>(item, "round")?,
+                        field::<InFlight>(item, "state")?,
+                    ))
+                })
+                .collect::<Result<BTreeMap<usize, InFlight>, serde::Error>>()
+                .map_err(|e| e.at("in_flight"))?,
+            other => return Err(serde::Error::invalid_type("sequence", other).at("in_flight")),
+        };
+        self.ev.buffer = field(value, "buffer")?;
+        self.records = field(value, "records")?;
+        self.next_round = field(value, "next_round")?;
+        self.dispatching = field(value, "dispatching")?;
+        Ok(())
+    }
+}
+
 /// Runs `sim` to convergence (or `max_rounds` dispatches) through the
 /// event-driven scheduler. Called by [`Simulation::run`] and friends when
 /// [`crate::engine::SimConfig::runtime`] is set.
@@ -270,161 +546,17 @@ pub(crate) fn run_event_driven(
     selector: &mut dyn Selector,
     policy: String,
     observers: &mut [&mut dyn RoundObserver],
-) -> SimResult {
-    let rt = sim
-        .config()
-        .runtime
-        .expect("run_event_driven requires config.runtime");
-    let target = sim.config().target();
-    let max_rounds = sim.config().max_rounds;
-    let barrier = rt.buffer_size.is_none();
-
-    let mut ev = EventLoop {
-        rt,
-        heap: BinaryHeap::new(),
-        seq: 0,
-        in_flight: BTreeMap::new(),
-        buffer: Vec::new(),
-        version: 0,
-    };
-    let mut records: Vec<RoundRecord> = Vec::new();
-    let mut next_round = 0usize;
-    let mut dispatching = true;
-
-    // Prime the pipeline: `concurrent_cohorts` cohorts dispatched at
-    // t = 0 in round order.
-    let initial = rt.concurrent_cohorts.max(1).min(max_rounds);
-    for _ in 0..initial {
-        ev.dispatch(sim, selector, observers, next_round, 0.0);
-        next_round += 1;
-    }
-
-    while let Some(Reverse(event)) = ev.heap.pop() {
-        let now = event.time;
-        match event.kind {
-            EventKind::Upload { round, slot } => {
-                let fl = &ev.in_flight[&round];
-                ev.buffer.push(BufferedUpdate {
-                    round,
-                    slot,
-                    id: fl.outcome.participants[slot],
-                    fraction: fl.outcome.fractions[slot],
-                });
-                if let Some(m) = rt.buffer_size {
-                    if ev.buffer.len() >= m {
-                        let entries = std::mem::take(&mut ev.buffer);
-                        ev.flush(sim, entries);
-                    }
-                }
-            }
-            EventKind::CohortDone { round } => {
-                // The closing aggregation step: the cohort's own
-                // survivors under a barrier; everything still buffered
-                // (this cohort's tail plus any other cohort's early
-                // uploads) under buffered aggregation.
-                let entries: Vec<BufferedUpdate> = if barrier {
-                    let fl = &ev.in_flight[&round];
-                    fl.outcome
-                        .participants
-                        .iter()
-                        .enumerate()
-                        .filter(|(slot, _)| fl.outcome.fractions[*slot] > 0.0)
-                        .map(|(slot, &id)| BufferedUpdate {
-                            round,
-                            slot,
-                            id,
-                            fraction: fl.outcome.fractions[slot],
-                        })
-                        .collect()
-                } else {
-                    std::mem::take(&mut ev.buffer)
-                };
-                let accuracy = ev.flush(sim, entries);
-                let fl = ev
-                    .in_flight
-                    .remove(&round)
-                    .expect("completed cohort not in flight");
-                let outcome = fl.outcome;
-                let idle_energy = sim.idle_energy_for(&outcome.participants, outcome.round_time_s);
-                sim.end_round_lifecycle(
-                    outcome.round_time_s,
-                    &outcome.participants,
-                    &outcome.completion,
-                    &outcome.per_participant_energy,
-                );
-                let mean_staleness = if fl.aggregated > 0 {
-                    fl.staleness_sum / fl.aggregated as f64
-                } else {
-                    0.0
-                };
-                let idle_per_device = if sim.fleet().len() > outcome.participants.len() {
-                    idle_energy / (sim.fleet().len() - outcome.participants.len()) as f64
-                } else {
-                    0.0
-                };
-                selector.observe(&RoundFeedback {
-                    round,
-                    participants: &outcome.participants,
-                    per_participant_energy_j: &outcome.per_participant_energy,
-                    idle_energy_per_device_j: idle_per_device,
-                    global_energy_j: outcome.active_energy_j + idle_energy,
-                    round_time_s: outcome.round_time_s,
-                    accuracy,
-                    prev_accuracy: outcome.prev_accuracy,
-                    dropped: &outcome.dropped,
-                    dropouts: &outcome.dropouts,
-                    mean_staleness,
-                    bytes_uplinked: outcome.net.map_or(0, |n| n.bytes_uplinked),
-                });
-                let record = RoundRecord {
-                    round,
-                    participants: outcome.participants,
-                    plans: outcome.plans,
-                    round_time_s: outcome.round_time_s,
-                    active_energy_j: outcome.active_energy_j,
-                    idle_energy_j: idle_energy,
-                    accuracy,
-                    dropped: outcome.dropped,
-                    update_fractions: outcome.fractions,
-                    dropouts: outcome.dropouts,
-                    ineligible: outcome.ineligible,
-                    dispatch_time_s: fl.dispatch_time_s,
-                    logical_time_s: now,
-                    mean_staleness,
-                    net: outcome.net,
-                };
-                for obs in observers.iter_mut() {
-                    obs.on_round_end(&record);
-                }
-                if record.accuracy >= target {
-                    // Stop dispatching; cohorts already in flight drain
-                    // to completion so no consumed device work is lost.
-                    dispatching = false;
-                }
-                records.push(record);
-                if dispatching && next_round < max_rounds {
-                    ev.dispatch(sim, selector, observers, next_round, now);
-                    next_round += 1;
-                }
-            }
-        }
-    }
-
-    // Cohorts can complete out of dispatch order; reports and sinks
-    // expect round-ordered records (logical times stay monotone in
-    // `logical_time_s`, not in round index).
-    records.sort_by_key(|r| r.round);
-    let result = SimResult {
-        policy,
-        target_accuracy: target,
-        records,
-    };
+) -> std::io::Result<SimResult> {
+    let mut run = EventDrivenRun::new(sim);
+    run.prime(sim, selector, observers)?;
+    while run.step(sim, selector, observers)?.is_some() {}
+    let result = run.into_result(policy);
     if result.converged() {
         for obs in observers.iter_mut() {
-            obs.on_converged(&result);
+            obs.on_converged(&result)?;
         }
     }
-    result
+    Ok(result)
 }
 
 #[cfg(test)]

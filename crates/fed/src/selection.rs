@@ -192,6 +192,30 @@ pub trait Selector {
 
     /// Policy name used in reports.
     fn name(&self) -> &'static str;
+
+    /// Serializes whatever state `observe` accumulates across rounds, for
+    /// a checkpoint ([`mod@crate::serve`]). Stateless selectors — everything
+    /// whose decisions depend only on the round context and the engine's
+    /// RNG — keep the default `None`; learning selectors (the AutoFL
+    /// agent's Q-tables, pending rounds and exploration stream) return
+    /// `Some` so a resumed run keeps learning from where it stopped.
+    fn state_snapshot(&self) -> Option<serde::Value> {
+        None
+    }
+
+    /// Restores state captured by [`Selector::state_snapshot`] onto a
+    /// freshly minted selector of the same policy. The default accepts
+    /// only the stateless `None` snapshot.
+    fn state_restore(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        match state {
+            serde::Value::Null => Ok(()),
+            other => Err(serde::Error::custom(format!(
+                "selector `{}` is stateless but the checkpoint holds a {} state",
+                self.name(),
+                other.kind()
+            ))),
+        }
+    }
 }
 
 /// Deterministic partial top-`k` selection: truncates `items` to the `k`

@@ -28,11 +28,12 @@
 use crate::builder::ConfigError;
 use crate::engine::{SimConfig, SimResult};
 use crate::policy::{run_policy, Policy, PolicyRegistry};
+use crate::serve::ConvergeTarget;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// A declarative experiment: config × policies × repeats.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentSpec {
     /// Human-readable experiment name (used in report headers).
     pub name: String,
@@ -42,6 +43,45 @@ pub struct ExperimentSpec {
     pub policies: Vec<String>,
     /// Number of repeats; repeat `i` uses master seed `config.seed + i`.
     pub repeats: usize,
+    /// Optional convergence target: when set, the serve daemon wraps
+    /// every policy in a [`crate::serve::ConvergenceController`] that
+    /// retunes `K` each round toward the target. Ignored by the plain
+    /// [`ExperimentSpec::run`] fan-out, which keeps parameters fixed.
+    pub control: Option<ConvergeTarget>,
+}
+
+// Hand-written (not derived) so `control` is *omitted* when `None`:
+// the derive would emit `"control": null` into every regenerated spec
+// file, breaking byte-stability of the pre-control files under
+// `AUTOFL_REGEN_SPECS`.
+impl Serialize for ExperimentSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("name".to_string(), serde::Value::Str(self.name.clone())),
+            ("config".to_string(), self.config.to_value()),
+            ("policies".to_string(), self.policies.to_value()),
+            ("repeats".to_string(), self.repeats.to_value()),
+        ];
+        if let Some(control) = &self.control {
+            fields.push(("control".to_string(), control.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl Deserialize for ExperimentSpec {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        fn field<T: Deserialize>(value: &serde::Value, name: &str) -> Result<T, serde::Error> {
+            T::from_value(serde::field_or_null(value, name)).map_err(|e| e.at(name))
+        }
+        Ok(ExperimentSpec {
+            name: field(value, "name")?,
+            config: field(value, "config")?,
+            policies: field(value, "policies")?,
+            repeats: field(value, "repeats")?,
+            control: field(value, "control")?,
+        })
+    }
 }
 
 /// Why a spec could not be loaded or executed.
@@ -114,7 +154,14 @@ impl ExperimentSpec {
             config,
             policies: policies.into_iter().map(Into::into).collect(),
             repeats,
+            control: None,
         }
+    }
+
+    /// Attaches a convergence target (see [`ExperimentSpec::control`]).
+    pub fn with_control(mut self, target: ConvergeTarget) -> Self {
+        self.control = Some(target);
+        self
     }
 
     /// Pretty-printed JSON for checking into a repository.
@@ -238,6 +285,56 @@ mod tests {
         // Serialize → parse → serialize is a fixed point, so checked-in
         // files stay byte-stable under re-export.
         assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn control_field_roundtrips_and_is_omitted_when_absent() {
+        let spec = spec_fixture();
+        assert!(
+            !spec.to_json().contains("control"),
+            "uncontrolled specs must not serialize a control key"
+        );
+        let controlled = spec.with_control(ConvergeTarget::EnergyBudget {
+            joules_per_round: 250.0,
+        });
+        let json = controlled.to_json();
+        let parsed = ExperimentSpec::from_json(&json).expect("parses");
+        assert_eq!(parsed, controlled);
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn truncated_json_fails_with_a_message_not_a_panic() {
+        let json = spec_fixture().to_json();
+        let cut = &json[..json.len() / 2];
+        let err = ExperimentSpec::from_json(cut).unwrap_err();
+        assert!(matches!(err, SpecError::Json(_)), "got {err:?}");
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn type_mismatched_field_names_the_offending_path() {
+        let json = spec_fixture()
+            .to_json()
+            .replace("\"repeats\": 2", "\"repeats\": \"two\"");
+        let err = ExperimentSpec::from_json(&json).unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, SpecError::Json(_)), "got {err:?}");
+        assert!(
+            msg.contains("repeats"),
+            "message should name the field: {msg}"
+        );
+    }
+
+    #[test]
+    fn missing_required_field_is_reported() {
+        let err = ExperimentSpec::from_json("{\"name\": \"x\"}").unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, SpecError::Json(_)), "got {err:?}");
+        assert!(
+            msg.contains("config"),
+            "message should name the field: {msg}"
+        );
     }
 
     #[test]

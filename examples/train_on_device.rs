@@ -20,7 +20,7 @@ use autofl_nn::zoo::Workload;
 struct RoundReport;
 
 impl RoundObserver for RoundReport {
-    fn on_round_end(&mut self, record: &RoundRecord) {
+    fn on_round_end(&mut self, record: &RoundRecord) -> std::io::Result<()> {
         println!(
             "round {:>2}: acc {:>5.1}%  round time {:>6.1} s  energy {:>7.1} J  cohort {:?}",
             record.round,
@@ -33,10 +33,12 @@ impl RoundObserver for RoundReport {
                 .map(|id| id.0)
                 .collect::<Vec<_>>(),
         );
+        Ok(())
     }
 
-    fn on_converged(&mut self, _result: &SimResult) {
+    fn on_converged(&mut self, _result: &SimResult) -> std::io::Result<()> {
         println!("target reached.");
+        Ok(())
     }
 }
 

@@ -1,0 +1,156 @@
+//! Kill-and-resume bit-identity of the checkpoint/resume service.
+//!
+//! The contract under test (`docs/serving.md`): interrupting a run at any
+//! round, serializing its state through the checkpoint envelope, and
+//! resuming in a fresh process state must reproduce the *exact* JSONL
+//! trace of a run that was never interrupted — same bytes, under every
+//! combination of worker threads, shard counts, fleet dynamics, the
+//! buffered async runtime and the network fabric.
+
+use autofl_core::policy::standard_registry;
+use autofl_fed::engine::{RoundRecord, SimConfig};
+use autofl_fed::fabric::{LinkModel, NetworkFabric};
+use autofl_fed::fleet::FleetDynamics;
+use autofl_fed::policy::{Policy, RandomPolicy};
+use autofl_fed::runtime::AsyncRuntime;
+use autofl_fed::serve::{read_checkpoint, write_checkpoint, ConvergeTarget, ExperimentRun};
+
+/// Runs `f` with `AUTOFL_THREADS` pinned to `threads`, restoring the
+/// previous value afterwards (same idiom as tests/determinism.rs: thread
+/// count must never affect results, only scheduling).
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let prev = std::env::var("AUTOFL_THREADS").ok();
+    std::env::set_var("AUTOFL_THREADS", threads.to_string());
+    rayon::refresh_thread_count();
+    let result = f();
+    match prev {
+        Some(v) => std::env::set_var("AUTOFL_THREADS", v),
+        None => std::env::remove_var("AUTOFL_THREADS"),
+    }
+    rayon::refresh_thread_count();
+    result
+}
+
+/// The trace as `spec_serve` streams it: one JSON line per record, in
+/// emission order. Byte equality here is byte equality of trace files.
+fn trace(records: &[RoundRecord]) -> String {
+    records
+        .iter()
+        .map(|r| format!("{}\n", serde_json::to_string(r).expect("record serializes")))
+        .collect()
+}
+
+/// A small config with everything turned on: fleet dynamics, the network
+/// fabric, `shards` fleet shards, fixed horizon.
+fn full_config(seed: u64, shards: usize) -> SimConfig {
+    let mut config = SimConfig::tiny_test(seed);
+    config.shards = shards;
+    config.fleet = Some(FleetDynamics::realistic());
+    config.network = Some(NetworkFabric::new(LinkModel::calm()));
+    config.max_rounds = 10;
+    config.target_accuracy = Some(1.1);
+    config
+}
+
+/// Reference trace of an uninterrupted run, and the resumed trace of the
+/// same run killed after `stop_after` records — the checkpoint travels
+/// through the on-disk envelope (digest and all), not just memory.
+fn interrupted_vs_straight(
+    config: &SimConfig,
+    policy: &dyn Policy,
+    control: Option<ConvergeTarget>,
+    stop_after: usize,
+) -> (String, String) {
+    let mut straight = ExperimentRun::new(config, policy, control).expect("config validates");
+    while straight.step().expect("no observers").is_some() {}
+    let reference = trace(straight.records());
+
+    let mut first = ExperimentRun::new(config, policy, control).expect("config validates");
+    for _ in 0..stop_after {
+        first
+            .step()
+            .expect("no observers")
+            .expect("interrupt point is before the end of the run");
+    }
+    let dir = std::env::temp_dir().join(format!(
+        "autofl-ckpt-test-{}-{}",
+        std::process::id(),
+        config.seed
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("unit.ckpt.json");
+    write_checkpoint(&path, first.state_snapshot()).expect("checkpoint writes");
+    drop(first); // the "killed" process
+
+    let payload = read_checkpoint(&path).expect("checkpoint validates");
+    let mut resumed =
+        ExperimentRun::resume(config, policy, control, &payload).expect("checkpoint restores");
+    while resumed.step().expect("no observers").is_some() {}
+    let resumed = trace(resumed.records());
+    std::fs::remove_dir_all(&dir).unwrap();
+    (reference, resumed)
+}
+
+#[test]
+fn lockstep_resume_is_bit_identical_across_threads_and_shards() {
+    for threads in [1, 4] {
+        for shards in [1, 4] {
+            with_threads(threads, || {
+                let config = full_config(11, shards);
+                for stop_after in [1, 5] {
+                    let (reference, resumed) =
+                        interrupted_vs_straight(&config, &RandomPolicy, None, stop_after);
+                    assert_eq!(
+                        reference, resumed,
+                        "trace diverged: threads={threads} shards={shards} stop={stop_after}"
+                    );
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn event_driven_buffered_resume_is_bit_identical() {
+    for threads in [1, 4] {
+        for shards in [1, 4] {
+            with_threads(threads, || {
+                let mut config = full_config(23, shards);
+                config.runtime = Some(AsyncRuntime::buffered(2, 1.0).concurrent_cohorts(2));
+                for stop_after in [1, 4] {
+                    let (reference, resumed) =
+                        interrupted_vs_straight(&config, &RandomPolicy, None, stop_after);
+                    assert_eq!(
+                        reference, resumed,
+                        "trace diverged: threads={threads} shards={shards} stop={stop_after}"
+                    );
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn autofl_selector_state_survives_the_checkpoint() {
+    // AutoFL carries the heaviest selector state — Q-tables, pending
+    // rounds awaiting reward, its own RNG — all of which must round-trip.
+    let registry = standard_registry();
+    let policy = registry.expect("AutoFL");
+    let config = full_config(37, 2);
+    let (reference, resumed) = interrupted_vs_straight(&config, policy, None, 5);
+    assert_eq!(reference, resumed, "AutoFL trace diverged after resume");
+}
+
+#[test]
+fn controlled_run_resumes_on_the_same_control_trajectory() {
+    let mut config = full_config(53, 1);
+    config.max_rounds = 12;
+    let control = Some(ConvergeTarget::EnergyBudget {
+        joules_per_round: 0.05,
+    });
+    let (reference, resumed) = interrupted_vs_straight(&config, &RandomPolicy, control, 6);
+    assert_eq!(
+        reference, resumed,
+        "controller EMA/scale must continue, not restart, after resume"
+    );
+}

@@ -174,7 +174,8 @@ fn smoke_spec_trace_matches_the_checked_in_golden_file() {
         .get(&spec.policies[0])
         .expect("first policy resolves");
     let mut sink = JsonlSink::new(Vec::new());
-    let result = run_policy_observed(&spec.config, policy, &mut [&mut sink]);
+    let result = run_policy_observed(&spec.config, policy, &mut [&mut sink])
+        .expect("in-memory sink cannot fail");
     let produced = String::from_utf8(sink.into_inner()).expect("JSONL is UTF-8");
     assert_eq!(produced.lines().count(), result.records.len());
     if std::env::var("AUTOFL_REGEN_SPECS").is_ok() {
