@@ -14,6 +14,7 @@
 //!   tractable; an integration test checks its ordering agrees with real
 //!   training.
 
+use crate::adversary::{AdversaryConfig, AdversaryRole};
 use crate::algorithms::{AggregationAlgorithm, ClientUpdate};
 use crate::fabric::UpdateCodec;
 use autofl_data::FlData;
@@ -51,6 +52,11 @@ pub struct CohortStats {
     pub local_epochs: usize,
     /// Mini-batch size `B`.
     pub batch_size: usize,
+    /// Severity-weighted share of the cohort's effective update mass
+    /// controlled by active poisoners (label-flippers, gradient
+    /// scalers), in `[0, 1]`. Exactly `0.0` whenever the adversary
+    /// subsystem is off, so honest runs take no poison branch at all.
+    pub poison: f64,
 }
 
 /// Maps a cohort to the next global accuracy.
@@ -153,6 +159,10 @@ pub struct SurrogateEngine {
     nominal_samples: f64,
     nominal_epochs: f64,
     robustness: f64,
+    /// How much poisoned update mass the aggregation rule filters out
+    /// ([`AggregationAlgorithm::poison_robustness`]); derived from the
+    /// configuration, so it is not part of the checkpointed state.
+    poison_robustness: f64,
     rng: SmallRng,
 }
 
@@ -176,6 +186,7 @@ impl SurrogateEngine {
             nominal_samples: nominal_samples.max(1.0),
             nominal_epochs: nominal_epochs.max(1.0),
             robustness: algorithm.heterogeneity_robustness(),
+            poison_robustness: algorithm.poison_robustness(),
             rng: SmallRng::seed_from_u64(seed),
         }
     }
@@ -220,14 +231,29 @@ impl AccuracyEngine for SurrogateEngine {
         let drift = (member_div / 2.0) * (1.0 - 0.35 * balance);
         let drift_excess = (drift - DRIFT_KNEE).max(0.0);
         let drift_penalty = 0.9 * exposure * drift_excess / (1.0 - DRIFT_KNEE);
-        let ceiling = self.profile.max_accuracy
+        let mut ceiling = self.profile.max_accuracy
             * (0.25 + 0.75 * eff_coverage)
             * (1.0 - drift_penalty).max(0.2);
         // Drifted aggregations actively regress the model (local epochs on
         // 1–2 classes corrupt shared features), so heavily-skewed cohorts
         // equilibrate *below* the target instead of ratcheting toward it.
-        let regression =
+        let mut regression =
             rate * exposure * self.acc * (0.5 * (divergence - 1.0).max(0.0) + 6.0 * drift_excess);
+        // Poison impact: the share of hostile update mass the aggregation
+        // rule fails to filter both caps the reachable accuracy (the
+        // model keeps re-learning flipped labels) and actively regresses
+        // it in proportion to current accuracy. The regression is
+        // quadratic in the surviving share: the sliver leaking past an
+        // order-statistics rule is a second-order perturbation, while the
+        // full poisoned mass a linear rule averages in dominates the
+        // gradient signal. `stats.poison` is exactly 0.0 whenever the
+        // adversary subsystem is off, so honest runs never enter this
+        // branch and stay bit-identical.
+        let surviving_poison = ((1.0 - self.poison_robustness) * stats.poison).clamp(0.0, 1.0);
+        if surviving_poison > 0.0 {
+            ceiling *= (1.0 - 0.75 * surviving_poison).max(0.1);
+            regression += rate * self.acc * 4.0 * surviving_poison * surviving_poison;
+        }
         let noise = self.rng.gen_range(-0.0008..0.0008);
         self.acc = (self.acc + rate * quality * (ceiling - self.acc) - regression + noise)
             .clamp(0.0, self.profile.max_accuracy);
@@ -280,6 +306,11 @@ pub struct RealTrainingEngine {
     /// real encode→decode round trip before aggregation. `None` without
     /// a fabric.
     codec: Option<Box<dyn UpdateCodec>>,
+    /// Adversarial fleet roles: poisoners actually train on flipped
+    /// labels, scalers multiply their real deltas, free-riders return
+    /// zero-work updates without training. `None` — the default — takes
+    /// no adversary branch anywhere.
+    adversary: Option<AdversaryConfig>,
 }
 
 impl std::fmt::Debug for RealTrainingEngine {
@@ -308,6 +339,7 @@ impl RealTrainingEngine {
         seed: u64,
         shards: usize,
         codec: Option<Box<dyn UpdateCodec>>,
+        adversary: Option<AdversaryConfig>,
     ) -> Self {
         let mut model = workload.build_trainable(seed);
         let global = model.param_vector();
@@ -324,6 +356,7 @@ impl RealTrainingEngine {
             rounds_applied: 0,
             shards: shards.max(1),
             codec,
+            adversary,
         };
         engine.acc = engine.evaluate();
         engine
@@ -352,6 +385,21 @@ impl RealTrainingEngine {
         if indices.is_empty() {
             return None;
         }
+        // Adversary role of this client — a pure function of
+        // `(seed, device)`, matching the engine-side assignment exactly.
+        let role = self
+            .adversary
+            .map_or(AdversaryRole::Honest, |a| a.role_of(self.seed, device.0));
+        if role == AdversaryRole::FreeRider {
+            // A free-rider performs no training: it uploads a zero delta
+            // claiming its full sample count, hoping to ride the cohort's
+            // aggregate. (The engine zeroes its update mass server-side.)
+            return Some(ClientUpdate {
+                delta: vec![0.0; self.global.len()],
+                num_samples: indices.len(),
+                local_steps: 1,
+            });
+        }
         let mut model = self.workload.build_trainable(self.seed);
         model.set_param_vector(&self.global);
         let mut sgd = Sgd::new(self.lr).with_clip_norm(5.0);
@@ -374,9 +422,18 @@ impl RealTrainingEngine {
 
         let mut taken = 0usize;
         'outer: loop {
-            for (x, y) in self.data.train.minibatches(indices, batch_size, &mut rng) {
+            for (x, mut y) in self.data.train.minibatches(indices, batch_size, &mut rng) {
                 if taken >= steps {
                     break 'outer;
+                }
+                // Label-flipping poisoner: trains on y → C−1−y, producing
+                // a well-formed but misdirected delta — the *actual*
+                // corrupted update enters aggregation below.
+                if role == AdversaryRole::Poisoner {
+                    let c = self.data.train.num_classes();
+                    for label in &mut y {
+                        *label = c - 1 - *label;
+                    }
                 }
                 let logits = model.forward(&x, true);
                 let (_, grad) = autofl_nn::loss::softmax_cross_entropy(&logits, &y);
@@ -417,11 +474,19 @@ impl RealTrainingEngine {
         }
 
         let after = model.param_vector();
-        let delta: Vec<f32> = after
+        let mut delta: Vec<f32> = after
             .iter()
             .zip(self.global.iter())
             .map(|(a, g)| a - g)
             .collect();
+        // Scaled-gradient attacker: honest training, delta blown up (or
+        // inverted) by the configured factor on the way out.
+        if role == AdversaryRole::Scaler {
+            let factor = self.adversary.map_or(1.0, |a| a.scale_factor) as f32;
+            for d in &mut delta {
+                *d *= factor;
+            }
+        }
         Some(ClientUpdate {
             delta,
             num_samples: indices.len(),
@@ -549,6 +614,7 @@ mod tests {
             mean_member_divergence: 0.05,
             local_epochs: 5,
             batch_size: 16,
+            poison: 0.0,
         }
     }
 
@@ -654,6 +720,7 @@ mod tests {
             5,
             1,
             None,
+            None,
         );
         let start = e.accuracy();
         let stats = CohortStats {
@@ -665,6 +732,7 @@ mod tests {
             mean_member_divergence: 0.0,
             local_epochs: 2,
             batch_size: 16,
+            poison: 0.0,
         };
         for _ in 0..10 {
             e.apply_round(&stats);

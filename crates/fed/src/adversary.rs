@@ -1,0 +1,264 @@
+//! Opt-in adversarial fleet roles: Byzantine clients on deterministic
+//! streams.
+//!
+//! AutoFL's learned selection only ever sees *passive* misbehaviour —
+//! dropout, churn, weak links. This module adds *active* adversaries as a
+//! first-class, opt-in subsystem ([`crate::engine::SimConfig::adversary`]):
+//!
+//! | Role | Behaviour |
+//! |------|-----------|
+//! | [`AdversaryRole::Poisoner`] | flips training labels (`y → C−1−y`), submitting a well-formed but misdirected delta |
+//! | [`AdversaryRole::Scaler`] | trains honestly, then multiplies its delta by [`AdversaryConfig::scale_factor`] |
+//! | [`AdversaryRole::FreeRider`] | skips local training and submits an all-zero delta, paying only communication cost |
+//! | [`AdversaryRole::FaultySensor`] | corrupts the `DeviceConditions` it *reports* (always-healthy lie), deceiving selection and the AutoFL state bins; its true conditions still govern cost |
+//!
+//! # Determinism
+//!
+//! Roles are **static** per `(seed, device)`: assignment draws one uniform
+//! from the `(seed, TAG_ADV, 0, id)` stream (round key 0 is reserved for
+//! assignment). Per-round misbehaviour that needs randomness draws from
+//! `(seed, TAG_ADV, round + 1, id)` via `adv_stream` — per-device
+//! streams, so any thread or shard count replays the identical sequence,
+//! and no existing stream (conditions, dropout, net, codec) moves when
+//! the subsystem is enabled. With `adversary: None` no stream is created
+//! at all and runs are bit-identical to a build without this module.
+//!
+//! Defenses live on the aggregation side: the robust aggregators
+//! (`Median`, `TrimmedMean`, `Krum` — see [`crate::algorithms`]) discard
+//! or out-vote poisoned update mass, which the surrogate models through
+//! [`crate::algorithms::AggregationAlgorithm::poison_robustness`].
+
+use crate::fleet::{device_stream_seed, TAG_ADV};
+use autofl_device::interference::Interference;
+use autofl_device::network::{NetworkObservation, SignalStrength};
+use autofl_device::scenario::DeviceConditions;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The behaviour a device exhibits for the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdversaryRole {
+    /// Honest participant (the default for every device outside the
+    /// configured adversarial fractions).
+    Honest,
+    /// Label-flipping data poisoner: trains on `y → num_classes − 1 − y`.
+    Poisoner,
+    /// Scaled-gradient attacker: honest training, delta multiplied by
+    /// [`AdversaryConfig::scale_factor`].
+    Scaler,
+    /// Free-rider: submits a zero delta without training; compute time
+    /// and energy are zero, communication cost is paid in full.
+    FreeRider,
+    /// Faulty sensor: reports corrupted [`DeviceConditions`] (no
+    /// interference, strong signal, no throttle) while its true
+    /// conditions still drive execution cost.
+    FaultySensor,
+}
+
+impl AdversaryRole {
+    /// Whether the role misbehaves at all.
+    pub fn is_adversarial(&self) -> bool {
+        !matches!(self, AdversaryRole::Honest)
+    }
+
+    /// Relative severity of the *update poisoning* this role injects,
+    /// used to weight the surrogate's poison-impact term. Free-riders
+    /// and faulty sensors corrupt participation and observation, not the
+    /// update direction, so they carry no poison mass.
+    pub(crate) fn poison_severity(&self, scale_factor: f64) -> f64 {
+        match self {
+            AdversaryRole::Poisoner => 1.0,
+            AdversaryRole::Scaler => scale_factor.abs().min(4.0),
+            _ => 0.0,
+        }
+    }
+}
+
+/// Configuration of the adversarial sub-fleet
+/// ([`crate::engine::SimConfig::adversary`]).
+///
+/// Each fraction assigns that share of the fleet (deterministically, per
+/// device — see [`AdversaryConfig::role_of`]) to the corresponding role;
+/// the fractions must each lie in `[0, 1]` and sum to at most 1
+/// (validated by [`crate::builder::SimBuilder`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdversaryConfig {
+    /// Fraction of devices flipping their training labels.
+    pub poisoner_fraction: f64,
+    /// Fraction of devices scaling their deltas by `scale_factor`.
+    pub scaler_fraction: f64,
+    /// Fraction of devices free-riding with zero-work updates.
+    pub free_rider_fraction: f64,
+    /// Fraction of devices reporting corrupted conditions.
+    pub faulty_sensor_fraction: f64,
+    /// Multiplier the scaled-gradient attackers apply (must be finite
+    /// and nonzero; validated).
+    pub scale_factor: f64,
+}
+
+impl AdversaryConfig {
+    /// Pure label-flipping poisoning at the given adversarial fraction.
+    pub fn poisoning(fraction: f64) -> Self {
+        AdversaryConfig {
+            poisoner_fraction: fraction,
+            scaler_fraction: 0.0,
+            free_rider_fraction: 0.0,
+            faulty_sensor_fraction: 0.0,
+            scale_factor: 4.0,
+        }
+    }
+
+    /// A mixed adversarial population: the fraction is split evenly
+    /// between poisoners and scaled-gradient attackers.
+    pub fn mixed(fraction: f64) -> Self {
+        AdversaryConfig {
+            poisoner_fraction: fraction / 2.0,
+            scaler_fraction: fraction / 2.0,
+            free_rider_fraction: 0.0,
+            faulty_sensor_fraction: 0.0,
+            scale_factor: 4.0,
+        }
+    }
+
+    /// Total adversarial fraction across all roles.
+    pub fn adversarial_fraction(&self) -> f64 {
+        self.poisoner_fraction
+            + self.scaler_fraction
+            + self.free_rider_fraction
+            + self.faulty_sensor_fraction
+    }
+
+    /// The static role of device `id` under simulation seed `seed`.
+    ///
+    /// One uniform draw from the `(seed, TAG_ADV, 0, id)` stream is cut
+    /// against the cumulative role fractions, so each device's role is a
+    /// pure function of `(seed, id)` — independent of thread count,
+    /// shard layout, round, and every other subsystem's streams.
+    pub fn role_of(&self, seed: u64, id: usize) -> AdversaryRole {
+        let mut rng = SmallRng::seed_from_u64(device_stream_seed(seed, TAG_ADV, 0, id));
+        let draw: f64 = rng.gen_range(0.0..1.0);
+        let mut cut = self.poisoner_fraction;
+        if draw < cut {
+            return AdversaryRole::Poisoner;
+        }
+        cut += self.scaler_fraction;
+        if draw < cut {
+            return AdversaryRole::Scaler;
+        }
+        cut += self.free_rider_fraction;
+        if draw < cut {
+            return AdversaryRole::FreeRider;
+        }
+        cut += self.faulty_sensor_fraction;
+        if draw < cut {
+            return AdversaryRole::FaultySensor;
+        }
+        AdversaryRole::Honest
+    }
+
+    /// The conditions a faulty sensor *reports*: the always-healthy lie —
+    /// no co-running load, a strong-signal bandwidth draw, no throttle.
+    /// Consumes draws only from the passed (adversary-stream) RNG.
+    pub(crate) fn corrupt_report(rng: &mut SmallRng) -> DeviceConditions {
+        DeviceConditions {
+            interference: Interference::none(),
+            network: NetworkObservation::sample(SignalStrength::Strong, rng),
+            throttle: 0.0,
+        }
+    }
+}
+
+/// Device `id`'s per-round misbehaviour stream for `round`.
+///
+/// Round keys are offset by one because round key 0 is reserved for the
+/// static role assignment of [`AdversaryConfig::role_of`] — without the
+/// offset, round-0 misbehaviour draws would alias the assignment draws.
+pub(crate) fn adv_stream(seed: u64, round: usize, id: usize) -> SmallRng {
+    SmallRng::seed_from_u64(device_stream_seed(seed, TAG_ADV, round as u64 + 1, id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_are_static_and_seed_dependent() {
+        let cfg = AdversaryConfig::mixed(0.4);
+        for id in 0..64 {
+            assert_eq!(cfg.role_of(7, id), cfg.role_of(7, id));
+        }
+        // A different seed reshuffles at least one role over 64 devices.
+        assert!((0..64).any(|id| cfg.role_of(7, id) != cfg.role_of(8, id)));
+    }
+
+    #[test]
+    fn role_fractions_are_respected_in_aggregate() {
+        let cfg = AdversaryConfig {
+            poisoner_fraction: 0.2,
+            scaler_fraction: 0.1,
+            free_rider_fraction: 0.1,
+            faulty_sensor_fraction: 0.1,
+            scale_factor: 4.0,
+        };
+        let n = 4000;
+        let mut counts = [0usize; 5];
+        for id in 0..n {
+            let idx = match cfg.role_of(3, id) {
+                AdversaryRole::Honest => 0,
+                AdversaryRole::Poisoner => 1,
+                AdversaryRole::Scaler => 2,
+                AdversaryRole::FreeRider => 3,
+                AdversaryRole::FaultySensor => 4,
+            };
+            counts[idx] += 1;
+        }
+        let frac = |c: usize| c as f64 / n as f64;
+        assert!((frac(counts[0]) - 0.5).abs() < 0.05, "{counts:?}");
+        assert!((frac(counts[1]) - 0.2).abs() < 0.04, "{counts:?}");
+        assert!((frac(counts[2]) - 0.1).abs() < 0.03, "{counts:?}");
+        assert!((frac(counts[3]) - 0.1).abs() < 0.03, "{counts:?}");
+        assert!((frac(counts[4]) - 0.1).abs() < 0.03, "{counts:?}");
+    }
+
+    #[test]
+    fn zero_fractions_assign_nobody() {
+        let cfg = AdversaryConfig::poisoning(0.0);
+        assert!((0..512).all(|id| cfg.role_of(11, id) == AdversaryRole::Honest));
+        assert_eq!(cfg.adversarial_fraction(), 0.0);
+    }
+
+    #[test]
+    fn corrupt_report_always_reads_healthy() {
+        let mut rng = adv_stream(5, 0, 17);
+        let c = AdversaryConfig::corrupt_report(&mut rng);
+        assert!(!c.interference.is_active());
+        assert_eq!(c.network.signal, SignalStrength::Strong);
+        assert_eq!(c.throttle, 0.0);
+    }
+
+    #[test]
+    fn assignment_and_round_streams_never_alias() {
+        // Round 0's misbehaviour stream must differ from the assignment
+        // stream for every device.
+        for id in 0..32 {
+            let mut s = adv_stream(9, 0, id);
+            let mut a = SmallRng::seed_from_u64(device_stream_seed(9, TAG_ADV, 0, id));
+            let x: f64 = s.gen_range(0.0..1.0);
+            let y: f64 = a.gen_range(0.0..1.0);
+            assert_ne!(x.to_bits(), y.to_bits(), "device {id} streams alias");
+        }
+    }
+
+    #[test]
+    fn poison_severity_ranks_roles() {
+        assert_eq!(AdversaryRole::Poisoner.poison_severity(4.0), 1.0);
+        assert_eq!(AdversaryRole::Scaler.poison_severity(-3.0), 3.0);
+        assert_eq!(AdversaryRole::Scaler.poison_severity(100.0), 4.0);
+        assert_eq!(AdversaryRole::FreeRider.poison_severity(4.0), 0.0);
+        assert_eq!(AdversaryRole::FaultySensor.poison_severity(4.0), 0.0);
+        assert_eq!(AdversaryRole::Honest.poison_severity(4.0), 0.0);
+        assert!(AdversaryRole::Poisoner.is_adversarial());
+        assert!(!AdversaryRole::Honest.is_adversarial());
+    }
+}

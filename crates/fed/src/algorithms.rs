@@ -1,6 +1,32 @@
 //! Gradient aggregation algorithms: FedAvg and the comparators the paper
-//! evaluates against (FedProx, FedNova, FEDL), plus the two-level
-//! hierarchical aggregation path used at fleet scale.
+//! evaluates against (FedProx, FedNova, FEDL), the Byzantine-robust
+//! aggregators (coordinate-wise median, trimmed mean, Krum), and the
+//! two-level hierarchical aggregation path used at fleet scale.
+//!
+//! # The aggregator trait
+//!
+//! [`AggregationAlgorithm`] is the serializable *spec* of a rule — the
+//! thing configs and experiment files carry. The behaviour lives behind
+//! the [`Aggregator`] trait, lowered via
+//! [`AggregationAlgorithm::build_aggregator`] (the same spec→behaviour
+//! split as `CodecSpec → UpdateCodec` in [`crate::fabric`]). The split
+//! exists because the linear rules and the order-statistics rules have
+//! fundamentally different sharding stories:
+//!
+//! * **Linear rules** (FedAvg, FedProx, FedNova, FEDL) are weighted sums,
+//!   so per-shard partials reduce to one [`ExactF32Sum`] per coordinate
+//!   and merge exactly — [`LinearAggregator`].
+//! * **Order-statistics rules** (median, trimmed mean) cannot reduce a
+//!   shard to a running sum: the only partial state that combines exactly
+//!   is the multiset of submitted values itself. Concatenating the shard
+//!   partials in any order feeds the same multiset to the sort, so the
+//!   two-level combine is still exact — the implementations compute the
+//!   flat statistic directly at every shard count and still honour
+//!   [`Aggregator::exact_sharded`].
+//! * **Krum** scores every update against every other, which no per-shard
+//!   state can carry; it declares itself flat-only
+//!   (`exact_sharded() == false`) and configuration validation rejects it
+//!   with `shards > 1`.
 //!
 //! # Hierarchical aggregation and exact summation
 //!
@@ -61,6 +87,26 @@ pub enum AggregationAlgorithm {
         /// Local approximation accuracy parameter η.
         eta: f32,
     },
+    /// Coordinate-wise median (robust): each global coordinate moves by
+    /// the median of the submitted deltas at that coordinate, ignoring
+    /// sample weights. Tolerates up to half the cohort sending arbitrary
+    /// values per coordinate.
+    Median,
+    /// Coordinate-wise trimmed mean (robust): per coordinate, the
+    /// `⌊trim·n⌋` lowest and highest values are discarded and the rest
+    /// are sample-weight averaged with the surviving weight mass
+    /// renormalised. `trim = 0` keeps every value and is bit-identical
+    /// to FedAvg.
+    TrimmedMean {
+        /// Fraction of updates trimmed from *each* end per coordinate,
+        /// in `[0, 0.5)`.
+        trim: f64,
+    },
+    /// Krum (Blanchard et al.): selects the single submitted update whose
+    /// summed squared distance to its closest peers is smallest and
+    /// applies it verbatim. Scores every update against every other, so
+    /// it is flat-only (`shards` must stay 1; validation enforces this).
+    Krum,
 }
 
 impl AggregationAlgorithm {
@@ -71,11 +117,16 @@ impl AggregationAlgorithm {
             AggregationAlgorithm::FedProx { .. } => "FedProx",
             AggregationAlgorithm::FedNova => "FedNova",
             AggregationAlgorithm::Fedl { .. } => "FEDL",
+            AggregationAlgorithm::Median => "Median",
+            AggregationAlgorithm::TrimmedMean { .. } => "TrimmedMean",
+            AggregationAlgorithm::Krum => "Krum",
         }
     }
 
     /// Whether stragglers may submit partial updates (fewer local steps)
-    /// instead of being dropped.
+    /// instead of being dropped. Only classic FedAvg drops them; the
+    /// robust aggregators tolerate shrunken updates by construction
+    /// (order statistics treat them as any other value).
     pub fn accepts_partial_updates(&self) -> bool {
         !matches!(self, AggregationAlgorithm::FedAvg)
     }
@@ -86,36 +137,168 @@ impl AggregationAlgorithm {
     ///
     /// Ordering follows the paper's Section 6.3: FedNova and FEDL are
     /// "robust to data heterogeneity by giving less weight to gradient
-    /// updates from non-IID devices", with FedNova slightly ahead.
+    /// updates from non-IID devices", with FedNova slightly ahead. The
+    /// order-statistics aggregators damp outlier *coordinates*, which
+    /// helps moderately against skew; Krum keeps a single client's
+    /// update per round and therefore averages nothing away.
     pub fn heterogeneity_robustness(&self) -> f64 {
         match self {
             AggregationAlgorithm::FedAvg => 0.0,
             AggregationAlgorithm::FedProx { .. } => 0.40,
             AggregationAlgorithm::FedNova => 0.55,
             AggregationAlgorithm::Fedl { .. } => 0.50,
+            AggregationAlgorithm::Median => 0.45,
+            AggregationAlgorithm::TrimmedMean { .. } => 0.35,
+            AggregationAlgorithm::Krum => 0.15,
         }
     }
 
-    /// The per-update aggregation weights this rule assigns (sample
-    /// fractions for FedAvg/FedProx/FEDL; step-normalised sample
-    /// fractions rescaled by the effective step count for FedNova).
-    ///
-    /// Weights are computed once over the full cohort in update order —
-    /// never per shard — so sharded aggregation sees exactly the flat
-    /// path's coefficients.
-    fn update_weights(&self, updates: &[ClientUpdate]) -> Vec<f32> {
-        let total: f64 = updates.iter().map(|u| u.num_samples as f64).sum();
+    /// How strongly the rule suppresses *actively poisoned* update mass
+    /// (label-flipping, scaled gradients), in `[0, 1]`. Consumed by the
+    /// surrogate's poison-impact term ([`crate::accuracy`]). The linear
+    /// rules trust every update (0); median and Krum discard outliers
+    /// almost entirely; the trimmed mean's defense grows with its trim
+    /// fraction and vanishes at `trim = 0`, where it *is* FedAvg.
+    pub fn poison_robustness(&self) -> f64 {
         match self {
             AggregationAlgorithm::FedAvg
             | AggregationAlgorithm::FedProx { .. }
-            | AggregationAlgorithm::Fedl { .. } => updates
-                .iter()
-                .map(|u| (u.num_samples as f64 / total) as f32)
-                .collect(),
+            | AggregationAlgorithm::FedNova
+            | AggregationAlgorithm::Fedl { .. } => 0.0,
+            AggregationAlgorithm::Median => 0.85,
+            AggregationAlgorithm::TrimmedMean { trim } => (2.0 * trim).clamp(0.0, 0.8),
+            AggregationAlgorithm::Krum => 0.90,
+        }
+    }
+
+    /// Whether [`AggregationAlgorithm::aggregate_sharded`] is bit-equal
+    /// to the flat path at every shard count (an exact two-level combine
+    /// exists). Flat-only rules are rejected by configuration validation
+    /// when `shards > 1`.
+    pub fn exact_sharded(&self) -> bool {
+        !matches!(self, AggregationAlgorithm::Krum)
+    }
+
+    /// Lowers the spec to its behaviour — the aggregation counterpart of
+    /// `CodecSpec::build` in [`crate::fabric`].
+    pub fn build_aggregator(&self) -> Box<dyn Aggregator> {
+        match self {
+            AggregationAlgorithm::FedAvg
+            | AggregationAlgorithm::FedProx { .. }
+            | AggregationAlgorithm::FedNova
+            | AggregationAlgorithm::Fedl { .. } => Box::new(LinearAggregator { spec: *self }),
+            AggregationAlgorithm::Median => Box::new(MedianAggregator),
+            AggregationAlgorithm::TrimmedMean { trim } => {
+                Box::new(TrimmedMeanAggregator { trim: *trim })
+            }
+            AggregationAlgorithm::Krum => Box::new(KrumAggregator),
+        }
+    }
+
+    /// Applies the aggregation rule to the global parameter vector
+    /// (single-shard [`AggregationAlgorithm::aggregate_sharded`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any update's delta length differs from the global
+    /// vector, or any delta term is non-finite.
+    pub fn aggregate(&self, global: &mut [f32], updates: &[ClientUpdate]) {
+        self.aggregate_sharded(global, updates, 1);
+    }
+
+    /// Two-level hierarchical aggregation through the rule's
+    /// [`Aggregator`]: updates are grouped into `shards` contiguous
+    /// ranges whose partials combine exactly, so the result is
+    /// **bit-identical for every shard count** wherever
+    /// [`AggregationAlgorithm::exact_sharded`] holds — `shards` tunes
+    /// parallelism and the simulated server topology, never the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any update's delta length differs from the global
+    /// vector, any delta term is non-finite, or a flat-only rule (Krum)
+    /// is asked for `shards > 1`.
+    pub fn aggregate_sharded(&self, global: &mut [f32], updates: &[ClientUpdate], shards: usize) {
+        self.build_aggregator()
+            .aggregate_sharded(global, updates, shards);
+    }
+}
+
+/// Server-side aggregation behaviour, lowered from the serializable
+/// [`AggregationAlgorithm`] spec via
+/// [`AggregationAlgorithm::build_aggregator`].
+///
+/// # Contract
+///
+/// * `aggregate_sharded(global, updates, 1)` and `aggregate(global,
+///   updates)` are the same computation.
+/// * If [`Aggregator::exact_sharded`] returns `true`, `aggregate_sharded`
+///   is bit-identical at every `shards` value: the per-shard partial
+///   state must combine exactly (an exact accumulator, or the raw value
+///   multiset). If it returns `false` the implementation may reject
+///   `shards > 1`; [`crate::builder::SimBuilder`] validation refuses such
+///   configurations up front.
+/// * Aggregating an empty cohort is a no-op; every update's delta must
+///   match the global vector's length and contain only finite terms.
+/// * The metadata methods agree with the spec enum's methods of the same
+///   name.
+pub trait Aggregator: Send + Sync + std::fmt::Debug {
+    /// Display name (matches [`AggregationAlgorithm::name`]).
+    fn name(&self) -> &'static str;
+    /// See [`AggregationAlgorithm::accepts_partial_updates`].
+    fn accepts_partial_updates(&self) -> bool;
+    /// See [`AggregationAlgorithm::heterogeneity_robustness`].
+    fn heterogeneity_robustness(&self) -> f64;
+    /// See [`AggregationAlgorithm::poison_robustness`].
+    fn poison_robustness(&self) -> f64;
+    /// See [`AggregationAlgorithm::exact_sharded`].
+    fn exact_sharded(&self) -> bool;
+    /// Folds the cohort's updates into the global vector across `shards`
+    /// partials.
+    fn aggregate_sharded(&self, global: &mut [f32], updates: &[ClientUpdate], shards: usize);
+    /// Flat aggregation (`shards == 1`).
+    fn aggregate(&self, global: &mut [f32], updates: &[ClientUpdate]) {
+        self.aggregate_sharded(global, updates, 1);
+    }
+}
+
+/// FedAvg-family sample-fraction weights, computed once over the full
+/// cohort in update order — never per shard — so sharded aggregation
+/// sees exactly the flat path's coefficients. Shared by the linear path
+/// and the trimmed mean (whose `trim = 0` case must reproduce FedAvg bit
+/// for bit).
+fn sample_fraction_weights(updates: &[ClientUpdate]) -> Vec<f32> {
+    let total: f64 = updates.iter().map(|u| u.num_samples as f64).sum();
+    updates
+        .iter()
+        .map(|u| (u.num_samples as f64 / total) as f32)
+        .collect()
+}
+
+fn assert_deltas_conform(global: &[f32], updates: &[ClientUpdate]) {
+    for u in updates {
+        assert_eq!(u.delta.len(), global.len(), "client delta length mismatch");
+    }
+}
+
+/// The weighted-sum rules (FedAvg, FedProx, FedNova, FEDL) on the exact
+/// hierarchical summation path.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearAggregator {
+    spec: AggregationAlgorithm,
+}
+
+impl LinearAggregator {
+    /// The per-update aggregation weights this rule assigns (sample
+    /// fractions for FedAvg/FedProx/FEDL; step-normalised sample
+    /// fractions rescaled by the effective step count for FedNova).
+    fn update_weights(&self, updates: &[ClientUpdate]) -> Vec<f32> {
+        match self.spec {
             AggregationAlgorithm::FedNova => {
                 // Normalise by local steps, then re-scale by the effective
                 // step count so the update magnitude matches homogeneous
                 // FedAvg: Δ = τ_eff · Σ p_i · (Δ_i / τ_i).
+                let total: f64 = updates.iter().map(|u| u.num_samples as f64).sum();
                 let tau_eff: f64 = updates
                     .iter()
                     .map(|u| u.num_samples as f64 / total * u.local_steps.max(1) as f64)
@@ -128,40 +311,33 @@ impl AggregationAlgorithm {
                     })
                     .collect()
             }
+            _ => sample_fraction_weights(updates),
         }
     }
+}
 
-    /// Applies the aggregation rule to the global parameter vector
-    /// (single-shard [`AggregationAlgorithm::aggregate_sharded`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics if any update's delta length differs from the global
-    /// vector, or any weighted delta term is non-finite.
-    pub fn aggregate(&self, global: &mut [f32], updates: &[ClientUpdate]) {
-        self.aggregate_sharded(global, updates, 1);
+impl Aggregator for LinearAggregator {
+    fn name(&self) -> &'static str {
+        self.spec.name()
+    }
+    fn accepts_partial_updates(&self) -> bool {
+        self.spec.accepts_partial_updates()
+    }
+    fn heterogeneity_robustness(&self) -> f64 {
+        self.spec.heterogeneity_robustness()
+    }
+    fn poison_robustness(&self) -> f64 {
+        self.spec.poison_robustness()
+    }
+    fn exact_sharded(&self) -> bool {
+        true
     }
 
-    /// Two-level hierarchical aggregation: updates are grouped into
-    /// `shards` contiguous ranges, each shard folds its weighted deltas
-    /// into an exact partial accumulator (in parallel), and the partials
-    /// merge into the global model in shard order.
-    ///
-    /// Because the partial sums are exact ([`ExactF32Sum`]), the result
-    /// is **bit-identical for every shard count** — `shards` tunes
-    /// parallelism and the simulated server topology, never the model.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any update's delta length differs from the global
-    /// vector, or any weighted delta term is non-finite.
-    pub fn aggregate_sharded(&self, global: &mut [f32], updates: &[ClientUpdate], shards: usize) {
+    fn aggregate_sharded(&self, global: &mut [f32], updates: &[ClientUpdate], shards: usize) {
         if updates.is_empty() {
             return;
         }
-        for u in updates {
-            assert_eq!(u.delta.len(), global.len(), "client delta length mismatch");
-        }
+        assert_deltas_conform(global, updates);
         let weights = self.update_weights(updates);
         // Per-shard partial aggregates, fanned out across the pool. The
         // term `w · d` is rounded to f32 exactly as the flat inner loop
@@ -191,6 +367,238 @@ impl AggregationAlgorithm {
         }
         for (g, a) in global.iter_mut().zip(combined.iter()) {
             *g = (f64::from(*g) + a.to_f64()) as f32;
+        }
+    }
+}
+
+/// Coordinate-wise median. The per-shard partial is the multiset of
+/// submitted values itself — concatenation is an exact combine — so the
+/// implementation sorts each coordinate's full column directly and is
+/// bit-identical at every shard count; parallelism fans out across
+/// coordinates instead of shards.
+#[derive(Debug, Clone, Copy)]
+pub struct MedianAggregator;
+
+impl Aggregator for MedianAggregator {
+    fn name(&self) -> &'static str {
+        "Median"
+    }
+    fn accepts_partial_updates(&self) -> bool {
+        true
+    }
+    fn heterogeneity_robustness(&self) -> f64 {
+        AggregationAlgorithm::Median.heterogeneity_robustness()
+    }
+    fn poison_robustness(&self) -> f64 {
+        AggregationAlgorithm::Median.poison_robustness()
+    }
+    fn exact_sharded(&self) -> bool {
+        true
+    }
+
+    fn aggregate_sharded(&self, global: &mut [f32], updates: &[ClientUpdate], _shards: usize) {
+        if updates.is_empty() {
+            return;
+        }
+        assert_deltas_conform(global, updates);
+        let n = updates.len();
+        let steps: Vec<f32> = (0..global.len())
+            .into_par_iter()
+            .with_min_len(256)
+            .map(|j| {
+                let mut column: Vec<f32> = updates
+                    .iter()
+                    .map(|u| {
+                        let v = u.delta[j];
+                        assert!(v.is_finite(), "median aggregation requires finite deltas");
+                        v
+                    })
+                    .collect();
+                // A total order makes the result permutation-invariant.
+                column.sort_by(f32::total_cmp);
+                if n % 2 == 1 {
+                    column[n / 2]
+                } else {
+                    ((f64::from(column[n / 2 - 1]) + f64::from(column[n / 2])) / 2.0) as f32
+                }
+            })
+            .collect();
+        for (g, s) in global.iter_mut().zip(steps.iter()) {
+            *g = (f64::from(*g) + f64::from(*s)) as f32;
+        }
+    }
+}
+
+/// Coordinate-wise trimmed mean. Like the median, the exact per-shard
+/// partial is the raw value multiset, so the flat statistic is computed
+/// directly at every shard count. The surviving values are summed with
+/// FedAvg's sample-fraction weights on the exact accumulator, and the
+/// trimmed-away weight mass is renormalised back in; with `trim = 0`
+/// nothing is trimmed, the renormalisation factor is exactly `1.0`, and
+/// the result is bit-identical to FedAvg.
+#[derive(Debug, Clone, Copy)]
+pub struct TrimmedMeanAggregator {
+    /// Fraction trimmed from each end per coordinate, in `[0, 0.5)`.
+    pub trim: f64,
+}
+
+impl Aggregator for TrimmedMeanAggregator {
+    fn name(&self) -> &'static str {
+        "TrimmedMean"
+    }
+    fn accepts_partial_updates(&self) -> bool {
+        true
+    }
+    fn heterogeneity_robustness(&self) -> f64 {
+        AggregationAlgorithm::TrimmedMean { trim: self.trim }.heterogeneity_robustness()
+    }
+    fn poison_robustness(&self) -> f64 {
+        AggregationAlgorithm::TrimmedMean { trim: self.trim }.poison_robustness()
+    }
+    fn exact_sharded(&self) -> bool {
+        true
+    }
+
+    fn aggregate_sharded(&self, global: &mut [f32], updates: &[ClientUpdate], _shards: usize) {
+        if updates.is_empty() {
+            return;
+        }
+        assert_deltas_conform(global, updates);
+        let n = updates.len();
+        // Validation pins trim < 0.5, so 2k < n and at least one value
+        // survives per coordinate.
+        let k = (self.trim * n as f64).floor() as usize;
+        let weights = sample_fraction_weights(updates);
+        let total_w: f64 = weights.iter().copied().map(f64::from).sum();
+        let steps: Vec<f64> = (0..global.len())
+            .into_par_iter()
+            .with_min_len(256)
+            .map(|j| {
+                let mut column: Vec<(f32, usize)> = updates
+                    .iter()
+                    .enumerate()
+                    .map(|(u, upd)| {
+                        let v = upd.delta[j];
+                        assert!(v.is_finite(), "trimmed mean requires finite deltas");
+                        (v, u)
+                    })
+                    .collect();
+                column.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                // Sum the kept terms in *update* order (not sorted order):
+                // at trim = 0 this is term-for-term the FedAvg inner loop.
+                let mut kept: Vec<usize> = column[k..n - k].iter().map(|&(_, u)| u).collect();
+                kept.sort_unstable();
+                let mut acc = ExactF32Sum::default();
+                let mut kept_w = 0.0f64;
+                for &u in &kept {
+                    acc.add(weights[u] * updates[u].delta[j]);
+                    kept_w += f64::from(weights[u]);
+                }
+                // Renormalise the surviving weight mass. With nothing
+                // trimmed `kept_w` is the same f64 sum as `total_w`, the
+                // factor is exactly 1.0 and the multiply is a bit-exact
+                // no-op — the FedAvg-equality contract.
+                acc.to_f64() * (total_w / kept_w)
+            })
+            .collect();
+        for (g, s) in global.iter_mut().zip(steps.iter()) {
+            *g = (f64::from(*g) + s) as f32;
+        }
+    }
+}
+
+/// Krum. Scores every update by the summed squared distance to its
+/// `n − f − 2` nearest peers (with `f = ⌊(n−1)/3⌋` assumed Byzantine)
+/// and applies the lowest-scoring update verbatim — the output is always
+/// one of the submitted deltas. Flat-only: the pairwise score matrix has
+/// no exact per-shard partial.
+#[derive(Debug, Clone, Copy)]
+pub struct KrumAggregator;
+
+impl KrumAggregator {
+    /// Index of the update Krum selects (ties go to the lowest index).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty cohort.
+    pub fn select(updates: &[ClientUpdate]) -> usize {
+        let n = updates.len();
+        assert!(n > 0, "Krum selection needs at least one update");
+        if n == 1 {
+            return 0;
+        }
+        let f = (n - 1) / 3;
+        let neighbours = n.saturating_sub(f + 2).max(1).min(n - 1);
+        // Pairwise squared L2 distances, accumulated in coordinate order
+        // (f64) — deterministic and symmetric.
+        let mut d2 = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let d: f64 = updates[i]
+                    .delta
+                    .iter()
+                    .zip(updates[j].delta.iter())
+                    .map(|(a, b)| {
+                        let diff = f64::from(*a) - f64::from(*b);
+                        diff * diff
+                    })
+                    .sum();
+                d2[i * n + j] = d;
+                d2[j * n + i] = d;
+            }
+        }
+        let mut best = 0usize;
+        let mut best_score = f64::INFINITY;
+        let mut nearest: Vec<f64> = Vec::with_capacity(n - 1);
+        for i in 0..n {
+            nearest.clear();
+            nearest.extend((0..n).filter(|&j| j != i).map(|j| d2[i * n + j]));
+            nearest.sort_by(f64::total_cmp);
+            let score: f64 = nearest[..neighbours].iter().sum();
+            if score < best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl Aggregator for KrumAggregator {
+    fn name(&self) -> &'static str {
+        "Krum"
+    }
+    fn accepts_partial_updates(&self) -> bool {
+        true
+    }
+    fn heterogeneity_robustness(&self) -> f64 {
+        AggregationAlgorithm::Krum.heterogeneity_robustness()
+    }
+    fn poison_robustness(&self) -> f64 {
+        AggregationAlgorithm::Krum.poison_robustness()
+    }
+    fn exact_sharded(&self) -> bool {
+        false
+    }
+
+    fn aggregate_sharded(&self, global: &mut [f32], updates: &[ClientUpdate], shards: usize) {
+        assert!(
+            shards <= 1,
+            "Krum is flat-only: no exact per-shard partial exists \
+             (configuration validation rejects shards > 1)"
+        );
+        if updates.is_empty() {
+            return;
+        }
+        assert_deltas_conform(global, updates);
+        for u in updates {
+            for v in &u.delta {
+                assert!(v.is_finite(), "Krum requires finite deltas");
+            }
+        }
+        let chosen = Self::select(updates);
+        for (g, d) in global.iter_mut().zip(updates[chosen].delta.iter()) {
+            *g = (f64::from(*g) + f64::from(*d)) as f32;
         }
     }
 }
@@ -382,13 +790,22 @@ mod tests {
         assert!(AggregationAlgorithm::FedNova.accepts_partial_updates());
         assert!(AggregationAlgorithm::FedProx { mu: 0.01 }.accepts_partial_updates());
         assert!(AggregationAlgorithm::Fedl { eta: 0.1 }.accepts_partial_updates());
+        assert!(AggregationAlgorithm::Median.accepts_partial_updates());
+        assert!(AggregationAlgorithm::Krum.accepts_partial_updates());
     }
 
     #[test]
     fn empty_round_is_a_no_op() {
-        let mut global = vec![1.0f32, 2.0];
-        AggregationAlgorithm::FedAvg.aggregate(&mut global, &[]);
-        assert_eq!(global, vec![1.0, 2.0]);
+        for algorithm in [
+            AggregationAlgorithm::FedAvg,
+            AggregationAlgorithm::Median,
+            AggregationAlgorithm::TrimmedMean { trim: 0.2 },
+            AggregationAlgorithm::Krum,
+        ] {
+            let mut global = vec![1.0f32, 2.0];
+            algorithm.aggregate(&mut global, &[]);
+            assert_eq!(global, vec![1.0, 2.0], "{}", algorithm.name());
+        }
     }
 
     #[test]
@@ -472,6 +889,9 @@ mod tests {
             AggregationAlgorithm::FedAvg,
             AggregationAlgorithm::FedNova,
             AggregationAlgorithm::FedProx { mu: 0.01 },
+            AggregationAlgorithm::Median,
+            AggregationAlgorithm::TrimmedMean { trim: 0.0 },
+            AggregationAlgorithm::TrimmedMean { trim: 0.3 },
         ] {
             let mut flat = vec![0.5f32; 9];
             algorithm.aggregate(&mut flat, &updates);
@@ -482,6 +902,124 @@ mod tests {
                 let sharded_bits: Vec<u32> = sharded.iter().map(|v| v.to_bits()).collect();
                 assert_eq!(flat_bits, sharded_bits, "{} at {shards}", algorithm.name());
             }
+        }
+    }
+
+    #[test]
+    fn median_resists_a_poisoned_minority() {
+        // Three honest clients push +1, two attackers push -100: the
+        // mean is dragged far negative, the median stays at +1.
+        let updates: Vec<ClientUpdate> = [1.0f32, 1.0, 1.0, -100.0, -100.0]
+            .iter()
+            .map(|&v| update(vec![v], 10, 5))
+            .collect();
+        let mut median = vec![0.0f32; 1];
+        AggregationAlgorithm::Median.aggregate(&mut median, &updates);
+        assert_eq!(median[0], 1.0);
+        let mut mean = vec![0.0f32; 1];
+        AggregationAlgorithm::FedAvg.aggregate(&mut mean, &updates);
+        assert!(mean[0] < -30.0, "FedAvg should be dragged, got {}", mean[0]);
+    }
+
+    #[test]
+    fn median_of_even_cohort_is_the_midpoint() {
+        let updates: Vec<ClientUpdate> = [2.0f32, 4.0, -10.0, 100.0]
+            .iter()
+            .map(|&v| update(vec![v], 10, 5))
+            .collect();
+        let mut g = vec![0.0f32; 1];
+        AggregationAlgorithm::Median.aggregate(&mut g, &updates);
+        assert_eq!(g[0], 3.0);
+    }
+
+    #[test]
+    fn trimmed_mean_discards_the_tails() {
+        // trim = 0.25 over 4 updates cuts one value from each end.
+        let updates: Vec<ClientUpdate> = [1.0f32, 2.0, 3.0, 1000.0]
+            .iter()
+            .map(|&v| update(vec![v], 10, 5))
+            .collect();
+        let mut g = vec![0.0f32; 1];
+        AggregationAlgorithm::TrimmedMean { trim: 0.25 }.aggregate(&mut g, &updates);
+        // Kept: 2.0 and 3.0 with equal weights -> 2.5.
+        assert!((g[0] - 2.5).abs() < 1e-6, "got {}", g[0]);
+    }
+
+    #[test]
+    fn trimmed_mean_at_zero_is_fedavg_bit_for_bit() {
+        let updates: Vec<ClientUpdate> = (0..7)
+            .map(|i| {
+                update(
+                    (0..5)
+                        .map(|j| ((i * 13 + j * 7) % 11) as f32 * 0.21 - 1.0)
+                        .collect(),
+                    5 + i * 2,
+                    3,
+                )
+            })
+            .collect();
+        let mut avg = vec![0.25f32; 5];
+        AggregationAlgorithm::FedAvg.aggregate(&mut avg, &updates);
+        let mut trimmed = vec![0.25f32; 5];
+        AggregationAlgorithm::TrimmedMean { trim: 0.0 }.aggregate(&mut trimmed, &updates);
+        let a: Vec<u32> = avg.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = trimmed.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn krum_applies_one_submitted_update_verbatim() {
+        // A tight honest cluster and one far-away attacker: Krum must
+        // pick a cluster member and apply its delta exactly.
+        let updates = vec![
+            update(vec![1.0, 1.1], 10, 5),
+            update(vec![1.1, 0.9], 10, 5),
+            update(vec![0.9, 1.0], 10, 5),
+            update(vec![50.0, -50.0], 10, 5),
+        ];
+        let chosen = KrumAggregator::select(&updates);
+        assert!(chosen < 3, "Krum picked the attacker ({chosen})");
+        let mut g = vec![0.0f32; 2];
+        AggregationAlgorithm::Krum.aggregate(&mut g, &updates);
+        for (a, b) in g.iter().zip(updates[chosen].delta.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "flat-only")]
+    fn krum_rejects_sharded_aggregation() {
+        let updates = vec![update(vec![1.0], 10, 5)];
+        let mut g = vec![0.0f32; 1];
+        AggregationAlgorithm::Krum.aggregate_sharded(&mut g, &updates, 2);
+    }
+
+    #[test]
+    fn spec_and_lowered_aggregator_metadata_agree() {
+        for algorithm in [
+            AggregationAlgorithm::FedAvg,
+            AggregationAlgorithm::FedProx { mu: 0.01 },
+            AggregationAlgorithm::FedNova,
+            AggregationAlgorithm::Fedl { eta: 0.1 },
+            AggregationAlgorithm::Median,
+            AggregationAlgorithm::TrimmedMean { trim: 0.2 },
+            AggregationAlgorithm::Krum,
+        ] {
+            let lowered = algorithm.build_aggregator();
+            assert_eq!(algorithm.name(), lowered.name());
+            assert_eq!(
+                algorithm.accepts_partial_updates(),
+                lowered.accepts_partial_updates()
+            );
+            assert_eq!(
+                algorithm.heterogeneity_robustness().to_bits(),
+                lowered.heterogeneity_robustness().to_bits()
+            );
+            assert_eq!(
+                algorithm.poison_robustness().to_bits(),
+                lowered.poison_robustness().to_bits()
+            );
+            assert_eq!(algorithm.exact_sharded(), lowered.exact_sharded());
         }
     }
 }

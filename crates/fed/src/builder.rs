@@ -28,6 +28,7 @@
 //! inside the engine; the same checks run on configurations deserialized
 //! from spec files via [`SimConfig::validate`].
 
+use crate::adversary::AdversaryConfig;
 use crate::algorithms::AggregationAlgorithm;
 use crate::engine::{Fidelity, SimConfig, Simulation};
 use crate::fabric::{CodecSpec, NetworkFabric};
@@ -131,6 +132,23 @@ pub enum ConfigError {
         device_begin: usize,
         /// First reachable device id after the span (exclusive).
         device_end: usize,
+    },
+    /// An adversary role fraction outside `[0, 1]`, or role fractions
+    /// summing past 1.
+    BadAdversaryFraction(f64),
+    /// A scaled-gradient attack factor that is non-finite, zero, or
+    /// absurdly large.
+    BadScaleFactor(f64),
+    /// A trimmed-mean trim fraction outside `[0, 0.5)` (each end must
+    /// keep a strict majority of values).
+    BadTrimFraction(f64),
+    /// A flat-only aggregation rule (no exact per-shard combine exists —
+    /// [`AggregationAlgorithm::exact_sharded`]) paired with `shards > 1`.
+    FlatOnlyAggregator {
+        /// The offending rule's name.
+        algorithm: &'static str,
+        /// The configured shard count.
+        shards: usize,
     },
 }
 
@@ -238,6 +256,26 @@ impl std::fmt::Display for ConfigError {
                  device_begin < device_end <= fleet size, got rounds \
                  [{from_round}, {until_round}) over devices \
                  [{device_begin}, {device_end})"
+            ),
+            ConfigError::BadAdversaryFraction(v) => write!(
+                f,
+                "adversary role fractions must each lie in [0, 1] and sum \
+                 to at most 1, got {v}"
+            ),
+            ConfigError::BadScaleFactor(v) => write!(
+                f,
+                "adversary scale_factor must be finite, nonzero and \
+                 |factor| <= 1e6, got {v}"
+            ),
+            ConfigError::BadTrimFraction(v) => write!(
+                f,
+                "trimmed-mean trim fraction must lie in [0, 0.5), got {v}"
+            ),
+            ConfigError::FlatOnlyAggregator { algorithm, shards } => write!(
+                f,
+                "{algorithm} is flat-only (no exact per-shard combine \
+                 exists) and cannot run with shards = {shards}; use \
+                 shards = 1"
             ),
         }
     }
@@ -426,6 +464,38 @@ impl SimConfig {
                 }
             }
         }
+        if let AggregationAlgorithm::TrimmedMean { trim } = self.algorithm {
+            if !trim.is_finite() || !(0.0..0.5).contains(&trim) {
+                return Err(ConfigError::BadTrimFraction(trim));
+            }
+        }
+        if !self.algorithm.exact_sharded() && self.shards > 1 {
+            return Err(ConfigError::FlatOnlyAggregator {
+                algorithm: self.algorithm.name(),
+                shards: self.shards,
+            });
+        }
+        if let Some(adv) = &self.adversary {
+            let fractions = [
+                adv.poisoner_fraction,
+                adv.scaler_fraction,
+                adv.free_rider_fraction,
+                adv.faulty_sensor_fraction,
+            ];
+            for f in fractions {
+                if !f.is_finite() || !(0.0..=1.0).contains(&f) {
+                    return Err(ConfigError::BadAdversaryFraction(f));
+                }
+            }
+            let total: f64 = fractions.iter().sum();
+            if total > 1.0 {
+                return Err(ConfigError::BadAdversaryFraction(total));
+            }
+            let s = adv.scale_factor;
+            if !s.is_finite() || s == 0.0 || s.abs() > 1e6 {
+                return Err(ConfigError::BadScaleFactor(s));
+            }
+        }
         Ok(())
     }
 }
@@ -534,6 +604,24 @@ impl SimBuilder {
     #[must_use]
     pub fn no_network(mut self) -> Self {
         self.config.network = None;
+        self
+    }
+
+    /// Installs the adversary subsystem: a fraction of the fleet plays
+    /// one of the roles in [`crate::adversary::AdversaryRole`], driven on
+    /// dedicated tagged RNG streams so results stay bit-reproducible at
+    /// any thread or shard count.
+    #[must_use]
+    pub fn adversary(mut self, adversary: AdversaryConfig) -> Self {
+        self.config.adversary = Some(adversary);
+        self
+    }
+
+    /// Removes the adversary subsystem (the default): every device is
+    /// honest and the engine is bit-identical to the pre-adversary tree.
+    #[must_use]
+    pub fn no_adversary(mut self) -> Self {
+        self.config.adversary = None;
         self
     }
 
@@ -952,6 +1040,56 @@ mod tests {
                     device_end: 4,
                 },
             ),
+            (
+                {
+                    let mut c = base.clone();
+                    let mut adv = AdversaryConfig::poisoning(0.3);
+                    adv.poisoner_fraction = -0.1;
+                    c.adversary = Some(adv);
+                    c
+                },
+                ConfigError::BadAdversaryFraction(-0.1),
+            ),
+            (
+                {
+                    let mut c = base.clone();
+                    let mut adv = AdversaryConfig::poisoning(0.6);
+                    adv.free_rider_fraction = 0.6;
+                    c.adversary = Some(adv);
+                    c
+                },
+                ConfigError::BadAdversaryFraction(1.2),
+            ),
+            (
+                {
+                    let mut c = base.clone();
+                    let mut adv = AdversaryConfig::poisoning(0.3);
+                    adv.scale_factor = 0.0;
+                    c.adversary = Some(adv);
+                    c
+                },
+                ConfigError::BadScaleFactor(0.0),
+            ),
+            (
+                {
+                    let mut c = base.clone();
+                    c.algorithm = AggregationAlgorithm::TrimmedMean { trim: 0.5 };
+                    c
+                },
+                ConfigError::BadTrimFraction(0.5),
+            ),
+            (
+                {
+                    let mut c = base.clone();
+                    c.algorithm = AggregationAlgorithm::Krum;
+                    c.shards = 4;
+                    c
+                },
+                ConfigError::FlatOnlyAggregator {
+                    algorithm: "Krum",
+                    shards: 4,
+                },
+            ),
         ];
         for (config, expected) in cases {
             let err = config.validate().expect_err(&format!("{expected:?}"));
@@ -1060,6 +1198,38 @@ mod tests {
         assert!(matches!(
             at(devices + 1),
             Err(ConfigError::BadPartitionRule { .. })
+        ));
+    }
+
+    #[test]
+    fn adversary_block_validates_and_builder_roundtrips() {
+        let adv = AdversaryConfig::mixed(0.3);
+        let cfg = Simulation::builder(Workload::TinyTest)
+            .adversary(adv)
+            .algorithm(AggregationAlgorithm::Median)
+            .build_config()
+            .expect("a mixed 30% adversary under Median is valid");
+        assert_eq!(cfg.adversary, Some(adv));
+        let cfg = Simulation::builder(Workload::TinyTest)
+            .adversary(adv)
+            .no_adversary()
+            .build_config()
+            .expect("no_adversary is valid");
+        assert_eq!(cfg.adversary, None);
+        // Krum is flat-only; one shard passes, several are rejected.
+        let at = |shards| {
+            Simulation::builder(Workload::TinyTest)
+                .algorithm(AggregationAlgorithm::Krum)
+                .shards(shards)
+                .build_config()
+        };
+        assert!(at(1).is_ok(), "Krum at shards = 1 must validate");
+        assert!(matches!(
+            at(2),
+            Err(ConfigError::FlatOnlyAggregator {
+                algorithm: "Krum",
+                shards: 2,
+            })
         ));
     }
 

@@ -4,6 +4,7 @@
 use crate::accuracy::{
     AccuracyEngine, CohortStats, ConvergenceProfile, RealTrainingEngine, SurrogateEngine,
 };
+use crate::adversary::{adv_stream, AdversaryConfig, AdversaryRole};
 use crate::algorithms::AggregationAlgorithm;
 use crate::estimate::participant_costs;
 use crate::fabric::{NetworkFabric, RoundNetStats, UpdateCodec};
@@ -73,6 +74,12 @@ pub struct SimConfig {
     /// code path and reproduces pre-fabric runs bit for bit. Deserializes
     /// to `None` when absent from serialized specs.
     pub network: Option<NetworkFabric>,
+    /// Adversarial fleet roles (label-flipping poisoners, scaled-gradient
+    /// attackers, free-riders, faulty sensors — [`crate::adversary`]).
+    /// `None` — the default — bypasses every adversary code path and
+    /// reproduces honest-fleet runs bit for bit. Deserializes to `None`
+    /// when absent from serialized specs.
+    pub adversary: Option<AdversaryConfig>,
     /// Aggregation algorithm.
     pub algorithm: AggregationAlgorithm,
     /// Accuracy engine.
@@ -112,6 +119,7 @@ impl SimConfig {
             fleet: None,
             runtime: None,
             network: None,
+            adversary: None,
             algorithm: AggregationAlgorithm::FedAvg,
             fidelity: Fidelity::Surrogate,
             num_devices: 200,
@@ -136,6 +144,7 @@ impl SimConfig {
             fleet: None,
             runtime: None,
             network: None,
+            adversary: None,
             algorithm: AggregationAlgorithm::FedAvg,
             fidelity: Fidelity::Surrogate,
             num_devices: 12,
@@ -173,11 +182,13 @@ impl SimConfig {
 
 /// Everything measured in one aggregation round.
 ///
-/// Serialization is hand-written (not derived) with one quirk: the `net`
-/// field is *omitted* — not `null` — when no fabric is attached, so
-/// fabric-less round traces stay byte-identical to pre-fabric releases
-/// (pinned by the golden `smoke_trace.jsonl`). Absent `net` deserializes
-/// to `None`, so pre-fabric traces keep loading.
+/// Serialization is hand-written (not derived) with one quirk: the
+/// opt-in subsystem fields — `net` (network fabric) and
+/// `adversarial`/`flagged` (adversary roles) — are *omitted*, not
+/// `null`, when their subsystem is off, so subsystem-less round traces
+/// stay byte-identical to earlier releases (pinned by the golden
+/// `smoke_trace.jsonl`). Absent fields deserialize to `None`, so older
+/// traces keep loading.
 #[derive(Debug, Clone)]
 pub struct RoundRecord {
     /// Round index (0-based).
@@ -223,6 +234,17 @@ pub struct RoundRecord {
     /// Network-fabric accounting (bytes, drops, partitions). `Some` iff
     /// [`SimConfig::network`] is attached.
     pub net: Option<RoundNetStats>,
+    /// Number of *adversarial* devices (any non-honest role) among this
+    /// round's participants. `Some` iff [`SimConfig::adversary`] is
+    /// attached; omitted from serialized records when `None`, so
+    /// adversary-less traces stay byte-identical to earlier releases.
+    pub adversarial: Option<usize>,
+    /// Number of adversarial updates the server-side defenses neutralised
+    /// this round: free-riders' zero-mass updates always count; poisoners
+    /// and scalers count iff the configured aggregator has positive
+    /// [`AggregationAlgorithm::poison_robustness`]. `Some` iff
+    /// [`SimConfig::adversary`] is attached; omitted when `None`.
+    pub flagged: Option<usize>,
 }
 
 impl Serialize for RoundRecord {
@@ -255,6 +277,12 @@ impl Serialize for RoundRecord {
         if let Some(net) = &self.net {
             fields.push(("net".to_string(), net.to_value()));
         }
+        if let Some(adversarial) = &self.adversarial {
+            fields.push(("adversarial".to_string(), adversarial.to_value()));
+        }
+        if let Some(flagged) = &self.flagged {
+            fields.push(("flagged".to_string(), flagged.to_value()));
+        }
         serde::Value::Map(fields)
     }
 }
@@ -280,6 +308,8 @@ impl Deserialize for RoundRecord {
             logical_time_s: field(value, "logical_time_s")?,
             mean_staleness: field(value, "mean_staleness")?,
             net: field(value, "net")?,
+            adversarial: field(value, "adversarial")?,
+            flagged: field(value, "flagged")?,
         })
     }
 }
@@ -430,6 +460,15 @@ struct RoundScratch {
     /// Shard bins with per-bin eligible counts recomputed under the
     /// partition mask, backing [`AvailabilityView::Masked`].
     masked_bins: Vec<ShardBin>,
+    /// The conditions devices *report* to the server — the true sampled
+    /// conditions with faulty sensors' lies overlaid. Selection (and the
+    /// AutoFL state bins) read this store; cost execution keeps reading
+    /// the true conditions. Only touched when an adversary config with
+    /// faulty sensors is attached.
+    reported: ConditionsStore,
+    /// Per-participant adversary roles, in participant order. Only
+    /// touched when an adversary config is attached.
+    roles: Vec<AdversaryRole>,
 }
 
 /// Everything a dispatched cohort carries between check-in/execution
@@ -469,6 +508,12 @@ pub(crate) struct DispatchOutcome {
     /// Exactly `1.0` without a fabric (or on full-sync rounds), so
     /// multiplying update fractions by it is bit-exact a no-op.
     pub codec_fidelity: f64,
+    /// Adversarial participants this round; `Some` iff an adversary
+    /// config is attached (see [`RoundRecord::adversarial`]).
+    pub adversarial: Option<usize>,
+    /// Neutralised adversarial updates; `Some` iff an adversary config
+    /// is attached (see [`RoundRecord::flagged`]).
+    pub flagged: Option<usize>,
 }
 
 /// The simulation: owns the fleet, the data, the accuracy engine and the
@@ -600,6 +645,7 @@ impl Simulation {
                 config.seed,
                 config.shards,
                 config.network.as_ref().map(|f| f.build_codec()),
+                config.adversary,
             )),
         };
         let rng = SmallRng::seed_from_u64(config.seed ^ 0x51b);
@@ -741,6 +787,8 @@ impl Simulation {
             logical_time_s,
             mean_staleness: 0.0,
             net: outcome.net,
+            adversarial: outcome.adversarial,
+            flagged: outcome.flagged,
         };
         (record, shadow_decision)
     }
@@ -782,6 +830,29 @@ impl Simulation {
             .sample_into(&self.fleet, cond_seed, &mut self.scratch.conditions);
         if let Some(store) = &self.fleet_state {
             store.overlay_throttle(&mut self.scratch.conditions);
+        }
+        // 1c. Faulty sensors lie to the server: the conditions *reported*
+        // to selection (and through it the AutoFL state bins) are
+        // overwritten with an always-healthy fabrication drawn on the
+        // device's `(seed, TAG_ADV, round + 1, id)` stream, while the
+        // true sampled conditions keep driving cost execution below.
+        // Without faulty sensors the reported store is never built and
+        // selection reads the true store directly.
+        let lying_sensors = self
+            .config
+            .adversary
+            .as_ref()
+            .is_some_and(|a| a.faulty_sensor_fraction > 0.0);
+        if lying_sensors {
+            let adv = self.config.adversary.as_ref().expect("lying_sensors");
+            self.scratch.reported.clone_from(&self.scratch.conditions);
+            for id in 0..self.fleet.len() {
+                if adv.role_of(self.config.seed, id) == AdversaryRole::FaultySensor {
+                    let mut rng = adv_stream(self.config.seed, round, id);
+                    let lie = AdversaryConfig::corrupt_report(&mut rng);
+                    self.scratch.reported.set(id, &lie);
+                }
+            }
         }
         let base_availability = match &self.fleet_state {
             Some(store) => AvailabilityView::Dynamic(store),
@@ -854,7 +925,11 @@ impl Simulation {
         let ctx = RoundContext {
             round,
             fleet: &self.fleet,
-            conditions: &self.scratch.conditions,
+            conditions: if lying_sensors {
+                &self.scratch.reported
+            } else {
+                &self.scratch.conditions
+            },
             availability,
             partition: &self.data.partition,
             params: &params,
@@ -867,6 +942,17 @@ impl Simulation {
             plans,
         } = selector.select(&ctx, &mut self.rng);
         assert_eq!(participants.len(), plans.len(), "selector plan mismatch");
+        // Per-participant adversary roles — a pure function of
+        // `(seed, device)`, so any thread or shard count computes the
+        // same assignment. Empty (and never read) without an adversary.
+        self.scratch.roles.clear();
+        if let Some(adv) = &self.config.adversary {
+            self.scratch.roles.extend(
+                participants
+                    .iter()
+                    .map(|id| adv.role_of(self.config.seed, id.0)),
+            );
+        }
         let shadow_decision = shadow.as_mut().map(|s| {
             // The shadow gets its own tagged RNG stream (TAG_SHADOW in
             // the (seed, tag, round, id) discipline of
@@ -909,6 +995,18 @@ impl Simulation {
             &self.scratch.conditions,
         );
         let mut completion: Vec<f64> = costs.iter().map(|c| c.total_time_s()).collect();
+        // 3a. Free-riders skip local training entirely: their round is
+        // pure communication (they still download the model and upload a
+        // zero-work update), so their completion time — and, in step 4,
+        // their energy — is comm-only. Applied before the link-latency
+        // draw and the deadline median, exactly like fast compute.
+        if self.config.adversary.is_some() {
+            for (i, c) in completion.iter_mut().enumerate() {
+                if self.scratch.roles[i] == AdversaryRole::FreeRider {
+                    *c = costs[i].comm_time_s;
+                }
+            }
+        }
         // 3b. Fabric link: per-participant latency and loss drawn on the
         // tagged `(seed, TAG_NET, round, id)` streams of
         // `docs/determinism.md`. Latency lands in the completion time
@@ -1023,7 +1121,16 @@ impl Simulation {
         let mut per_participant_energy = Vec::with_capacity(costs.len());
         let mut active_energy_j = 0.0;
         for (i, cost) in costs.iter().enumerate() {
-            let e = cost.total_energy_j() * energy_shares[i];
+            // A free-rider burned no compute: it pays the uplink/downlink
+            // energy only (Eq. 3 without the Eq. 2 compute term).
+            let base = if self.config.adversary.is_some()
+                && self.scratch.roles[i] == AdversaryRole::FreeRider
+            {
+                cost.comm_energy_j
+            } else {
+                cost.total_energy_j()
+            };
+            let e = base * energy_shares[i];
             active_energy_j += e;
             per_participant_energy.push(e);
         }
@@ -1049,6 +1156,31 @@ impl Simulation {
             }
         });
 
+        // Adversary accounting for the round record: how many selected
+        // participants misbehave, and how many of their surviving updates
+        // the server neutralises (free-riders' zero-work updates always;
+        // poisoned/scaled updates only under a robust aggregator).
+        let (adversarial, flagged) = if self.config.adversary.is_some() {
+            let adversarial = self
+                .scratch
+                .roles
+                .iter()
+                .filter(|r| r.is_adversarial())
+                .count();
+            let robust = self.config.algorithm.poison_robustness() > 0.0;
+            let flagged = (0..participants.len())
+                .filter(|&i| fractions[i] > 0.0)
+                .filter(|&i| match self.scratch.roles[i] {
+                    AdversaryRole::FreeRider => true,
+                    AdversaryRole::Poisoner | AdversaryRole::Scaler => robust,
+                    _ => false,
+                })
+                .count();
+            (Some(adversarial), Some(flagged))
+        } else {
+            (None, None)
+        };
+
         let outcome = DispatchOutcome {
             ineligible: ineligible + partitioned,
             prev_accuracy,
@@ -1063,6 +1195,8 @@ impl Simulation {
             active_energy_j,
             net,
             codec_fidelity,
+            adversarial,
+            flagged,
         };
         (outcome, shadow_decision)
     }
@@ -1112,14 +1246,51 @@ impl Simulation {
     pub(crate) fn aggregate_update(
         &mut self,
         survivors: Vec<DeviceId>,
-        survivor_fractions: Vec<f64>,
+        mut survivor_fractions: Vec<f64>,
     ) -> f64 {
+        // Adversary accounting, before any mass is computed. Free-riders
+        // transmitted a zero-work update, so the server holds no usable
+        // update mass for them — their fraction is zeroed here, removing
+        // them from every downstream statistic exactly like a lost
+        // upload. Poisoners and scalers *do* contribute mass, but it is
+        // hostile: the severity-weighted share of cohort mass they
+        // control becomes the surrogate's poison-impact input (real
+        // training applies their actually-corrupted deltas instead).
+        // Exactly 0.0 — and no branch taken — when the subsystem is off.
+        let mut poison = 0.0f64;
+        if let Some(adv) = self.config.adversary {
+            let mut total_mass = 0.0f64;
+            let mut poisoned_mass = 0.0f64;
+            for (id, f) in survivors.iter().zip(survivor_fractions.iter_mut()) {
+                let role = adv.role_of(self.config.seed, id.0);
+                if role == AdversaryRole::FreeRider {
+                    *f = 0.0;
+                }
+                let w = self.data.partition.device_sample_count(id.0) as f64 * *f;
+                total_mass += w;
+                poisoned_mass += w * role.poison_severity(adv.scale_factor);
+            }
+            if total_mass > 0.0 {
+                poison = (poisoned_mass / total_mass).clamp(0.0, 1.0);
+            }
+        }
         let effective_samples: f64 = survivors
             .iter()
             .zip(&survivor_fractions)
             .map(|(id, f)| self.data.partition.device_sample_count(id.0) as f64 * f)
             .sum();
-        let survivor_ids: Vec<usize> = survivors.iter().map(|id| id.0).collect();
+        let survivor_ids: Vec<usize> = if self.config.adversary.is_some() {
+            // Zero-mass (free-rider) survivors contributed no gradient,
+            // so they must not count toward class coverage either.
+            survivors
+                .iter()
+                .zip(&survivor_fractions)
+                .filter(|(_, &f)| f > 0.0)
+                .map(|(id, _)| id.0)
+                .collect()
+        } else {
+            survivors.iter().map(|id| id.0).collect()
+        };
         #[cfg(debug_assertions)]
         if effective_samples > 0.0 {
             // The aggregation invariant behind partial FedAvg: the
@@ -1159,6 +1330,7 @@ impl Simulation {
             mean_member_divergence,
             local_epochs: self.config.params.local_epochs,
             batch_size: self.config.params.batch_size,
+            poison,
         };
         self.engine.apply_round(&stats)
     }

@@ -229,6 +229,10 @@ const TAG_SHADOW: u64 = 0x5ad0;
 pub(crate) const TAG_NET: u64 = 0x7e70;
 /// Stochastic-rounding streams of the update codecs (`Int8Quant`).
 pub(crate) const TAG_CODEC: u64 = 0xc0de;
+/// Adversary subsystem streams: role assignment (round key 0) and
+/// per-round misbehaviour draws (round key `round + 1`) — see
+/// [`crate::adversary`].
+pub(crate) const TAG_ADV: u64 = 0xadfe;
 
 /// Seed of the shadow selector's per-round RNG stream (`TAG_SHADOW`).
 ///

@@ -5,8 +5,14 @@
 //! * [`global`] — the `(B, E, K)` parameter sets S1–S4 (Table 5).
 //! * [`clusters`] — the characterization compositions C0–C7 (Table 4).
 //! * [`algorithms`] — FedAvg plus the comparators FedProx, FedNova, FEDL,
-//!   and the exact-summation hierarchical aggregation path
+//!   the Byzantine-robust aggregators (coordinate-wise median, trimmed
+//!   mean, Krum) behind the [`algorithms::Aggregator`] trait, and the
+//!   exact-summation hierarchical aggregation path
 //!   ([`algorithms::AggregationAlgorithm::aggregate_sharded`]).
+//! * [`adversary`] — opt-in adversarial fleet roles (label-flipping
+//!   poisoners, scaled-gradient attackers, free-riders, faulty sensors)
+//!   on dedicated tagged RNG streams, countered by the robust
+//!   aggregators.
 //! * [`selection`] — the [`selection::Selector`] trait, the
 //!   Random/Performance/Power baselines, and the deterministic partial
 //!   top-K primitive ([`selection::top_k_by`]).
@@ -72,6 +78,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod accuracy;
+pub mod adversary;
 pub mod algorithms;
 pub mod builder;
 pub mod clusters;
@@ -88,7 +95,11 @@ pub mod selection;
 pub mod serve;
 pub mod spec;
 
-pub use algorithms::{AggregationAlgorithm, ExactF32Sum};
+pub use adversary::{AdversaryConfig, AdversaryRole};
+pub use algorithms::{
+    AggregationAlgorithm, Aggregator, ExactF32Sum, KrumAggregator, LinearAggregator,
+    MedianAggregator, TrimmedMeanAggregator,
+};
 pub use builder::{ConfigError, SimBuilder};
 pub use clusters::CharacterizationCluster;
 pub use engine::{Fidelity, RoundRecord, SimConfig, SimResult, Simulation};

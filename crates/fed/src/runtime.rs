@@ -435,6 +435,8 @@ impl EventDrivenRun {
                         logical_time_s: now,
                         mean_staleness,
                         net: outcome.net,
+                        adversarial: outcome.adversarial,
+                        flagged: outcome.flagged,
                     };
                     for obs in observers.iter_mut() {
                         obs.on_round_end(&record)?;

@@ -1105,6 +1105,8 @@ mod tests {
             logical_time_s: 1.0,
             mean_staleness: 0.0,
             net: None,
+            adversarial: None,
+            flagged: None,
         };
         // Far over budget: K must shrink.
         for _ in 0..10 {
@@ -1139,6 +1141,8 @@ mod tests {
             logical_time_s: 1.0,
             mean_staleness: 0.0,
             net: None,
+            adversarial: None,
+            flagged: None,
         };
         let (actual, tgt) = target.get_actual_and_target(&below);
         assert!(actual < tgt, "below the floor must read as below target");
